@@ -1,0 +1,548 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5) on the simulated machine, plus the space measurements
+   behind the §1 claims, the §6 ablations, and a Bechamel microbenchmark
+   suite measuring the simulator's own wall-clock costs.
+
+     dune exec bench/main.exe               # everything, quick settings
+     dune exec bench/main.exe -- fig4       # one figure
+     dune exec bench/main.exe -- fig4 --duration 2000000 --csv
+
+   Throughput numbers are virtual-time (2000 cycles/µs); only shapes are
+   comparable with the paper, never absolute values. *)
+
+let pf fmt = Format.printf fmt
+
+let chart_mode = ref false
+
+let emit ~csv table =
+  if csv then Workload.Report.print_csv Format.std_formatter table
+  else begin
+    Workload.Report.print Format.std_formatter table;
+    if !chart_mode then Workload.Report.plot Format.std_formatter table
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+
+let run_fig1 ~duration ~seed ~csv =
+  let results = Workload.Queue_bench.run ~duration ~seed () in
+  emit ~csv (Workload.Queue_bench.to_table results)
+
+let run_latency ~duration:_ ~seed ~csv =
+  let results = Workload.Latency.run ~seed () in
+  emit ~csv (Workload.Latency.to_table results)
+
+let run_fig3 ~duration ~seed ~csv =
+  let results = Workload.Collect_dominated.run ~duration ~seed () in
+  emit ~csv (Workload.Collect_dominated.to_table results)
+
+let run_fig4 ~duration ~seed ~csv =
+  let results = Workload.Collect_update.run_fig4 ~duration ~seed () in
+  emit ~csv
+    (Workload.Collect_update.to_table
+       ~title:"Figure 4: Collect-Update (1 collector, 15 updaters)" results)
+
+let run_fig5 ~duration ~seed ~csv =
+  let results = Workload.Collect_update.run_fig5 ~duration ~seed () in
+  emit ~csv
+    (Workload.Collect_update.to_table
+       ~title:"Figure 5: Step sizes for ArrayDynAppendDereg" results)
+
+let run_fig6 ~duration ~seed ~csv =
+  let results = Workload.Collect_update.run_fig6 ~duration ~seed () in
+  emit ~csv (Workload.Collect_update.fig6_table results)
+
+let run_fig7 ~duration ~seed ~csv =
+  let results = Workload.Collect_dereg.run ~duration ~seed () in
+  emit ~csv (Workload.Collect_dereg.to_table results)
+
+let run_fig8 ~duration ~seed ~csv =
+  (* duration here scales the phase length: 6 phases per run *)
+  let phase_len = max 200_000 (duration / 2) in
+  let results = Workload.Phased.run ~phase_len ~seed () in
+  emit ~csv (Workload.Phased.to_table results)
+
+(* Abort-rate telemetry behind Figures 4/5: the fraction of transaction
+   attempts that abort, per algorithm and update period. This is the
+   mechanism the paper invokes to explain every degradation curve. *)
+let run_aborts ~duration ~seed ~csv =
+  let steps = [ Collect.Intf.Fixed 8; Collect.Intf.Fixed 32; Collect.Intf.Adaptive ] in
+  let maker = Option.get (Collect.find_maker "ArrayDynAppendDereg") in
+  let periods = [ 100_000; 20_000; 8_000; 2_000; 800; 400 ] in
+  let rows =
+    List.map
+      (fun period ->
+        ( Workload.Collect_update.period_label period,
+          List.map
+            (fun step ->
+              let r =
+                Workload.Collect_update.run_one maker ~updaters:15 ~period ~duration ~step
+                  ~seed
+              in
+              (* Updater transactions essentially never abort, so the abort
+                 count is attributable to the collector's chunks. *)
+              let collects =
+                int_of_float
+                  (r.throughput *. float_of_int duration
+                  /. float_of_int Workload.Driver.cycles_per_us)
+              in
+              if collects = 0 then None
+              else Some (float_of_int r.aborts /. float_of_int collects))
+            steps ))
+      periods
+  in
+  emit ~csv
+    {
+      Workload.Report.title =
+        "Abort telemetry: ArrayDynAppendDereg collect-update";
+      xlabel = "period";
+      unit = "aborts per collect";
+      columns = List.map Workload.Collect_update.step_label steps;
+      rows;
+    }
+
+let run_space ~duration:_ ~seed ~csv =
+  emit ~csv
+    (Workload.Space_bench.to_table ~title:"Space: queues at peak vs drained"
+       (Workload.Space_bench.queue_space ~seed ()));
+  emit ~csv
+    (Workload.Space_bench.to_table ~title:"Space: collect objects at peak vs deregistered"
+       (Workload.Space_bench.collect_space ~seed ()))
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (paper §6)                                                *)
+
+(* TLE: the paper notes the algorithms can run without any transactional
+   progress guarantee by falling back to a lock (§6). Compare native retry
+   against TLE fallback under contention. *)
+let ablate_tle ~duration ~seed ~csv =
+  let maker = Option.get (Collect.find_maker "ArrayDynAppendDereg") in
+  let run_with config =
+    let m = Workload.Driver.machine ~htm_config:config ~seed () in
+    let cfg =
+      { Collect.Intf.max_slots = 128; num_threads = 16; step = Collect.Intf.Fixed 16;
+        min_size = 4 }
+    in
+    let inst = maker.make m.htm m.boot cfg in
+    let deadline = Workload.Driver.warmup + duration in
+    let collects = ref 0 in
+    let measuring = ref true in
+    let collector ctx =
+      let buf = Sim.Ibuf.create () in
+      collects :=
+        Workload.Driver.measured_loop ctx ~deadline (fun () ->
+            Sim.Ibuf.clear buf;
+            inst.collect ctx buf);
+      measuring := false
+    in
+    let updater ctx =
+      let hs = Array.init 4 (fun _ -> inst.register ctx (Workload.Driver.fresh_value ())) in
+      Workload.Driver.periodic_loop ctx ~deadline ~period:2_000 (fun () ->
+          inst.update ctx hs.(0) (Workload.Driver.fresh_value ()));
+      while !measuring do
+        Sim.tick ctx 2000
+      done;
+      Array.iter (fun h -> inst.deregister ctx h) hs
+    in
+    Sim.run ~seed (Array.init 16 (fun i -> if i = 0 then collector else updater));
+    let st = Htm.stats m.htm in
+    (Workload.Driver.ops_per_us ~ops:!collects ~duration, st.lock_fallbacks)
+  in
+  let native, _ = run_with Htm.default_config in
+  let tle, fallbacks = run_with { Htm.default_config with tle = Htm.Tle_after 4 } in
+  emit ~csv
+    {
+      Workload.Report.title = "Ablation: TLE fallback (collect-update, period 2k)";
+      xlabel = "mode";
+      unit = "ops/us";
+      columns = [ "throughput"; "lock fallbacks" ];
+      rows =
+        [
+          ("native retry", [ Some native; Some 0.0 ]);
+          ("TLE after 4 aborts", [ Some tle; Some (float_of_int fallbacks) ]);
+        ];
+    }
+
+(* Sandboxing (paper footnote 1 / §6): a transaction that loads a pointer,
+   stalls, and dereferences it after a concurrent thread has freed the
+   target — exactly the pattern of FastCollect's unpinned traversal cursor.
+   A sandboxed HTM aborts and retries; an unsandboxed one segfaults. *)
+let ablate_sandbox ~duration:_ ~seed ~csv =
+  let run_with sandboxed =
+    let config = { Htm.default_config with sandboxed } in
+    let mem = Simmem.create () in
+    let htm = Htm.create ~config mem in
+    let boot = Sim.boot ~seed () in
+    let box = Simmem.malloc mem boot 1 in
+    let target = Simmem.malloc mem boot 2 in
+    Simmem.write mem boot target 41;
+    Simmem.write mem boot box target;
+    let reader ctx =
+      let v =
+        Htm.atomic htm ctx (fun tx ->
+            let p = Htm.read tx box in
+            (* stall with the pointer in hand *)
+            Sim.advance_to ctx (Sim.clock ctx + 2_000);
+            Htm.read tx p)
+      in
+      ignore v
+    in
+    let mutator ctx =
+      Sim.advance_to ctx 500;
+      let fresh = Simmem.malloc mem ctx 2 in
+      Simmem.write mem ctx fresh 42;
+      Simmem.write mem ctx box fresh;
+      Simmem.free mem ctx target
+    in
+    match Sim.run ~seed [| reader; mutator |] with
+    | () -> "completed (transaction aborted and retried)"
+    | exception Simmem.Fault f -> Format.asprintf "SEGFAULT: %a" Simmem.pp_fault f
+  in
+  let on = run_with true in
+  let off = run_with false in
+  ignore csv;
+  pf "== Ablation: sandboxing (dangling dereference inside a transaction) ==@.";
+  pf "sandboxed HTM:     %s@." on;
+  pf "unsandboxed HTM:   %s@.@." off
+
+(* Store-buffer capacity sweep: the adaptive controller must discover the
+   largest step each buffer admits. *)
+let ablate_store_buffer ~duration ~seed ~csv =
+  let maker = Option.get (Collect.find_maker "ArrayDynAppendDereg") in
+  let rows =
+    List.map
+      (fun sb ->
+        let config = { Htm.default_config with store_buffer = sb } in
+        let m = Workload.Driver.machine ~htm_config:config ~seed () in
+        let cfg =
+          { Collect.Intf.max_slots = 128; num_threads = 2; step = Collect.Intf.Adaptive;
+            min_size = 4 }
+        in
+        let inst = maker.make m.htm m.boot cfg in
+        let deadline = Workload.Driver.warmup + duration in
+        let collects = ref 0 in
+        let measuring = ref true in
+        let bodies =
+          [|
+            (fun ctx ->
+              let buf = Sim.Ibuf.create () in
+              collects :=
+                Workload.Driver.measured_loop ctx ~deadline (fun () ->
+                    Sim.Ibuf.clear buf;
+                    inst.collect ctx buf);
+              measuring := false);
+            (fun ctx ->
+              let hs =
+                Array.init 64 (fun _ -> inst.register ctx (Workload.Driver.fresh_value ()))
+              in
+              while !measuring do
+                Sim.tick ctx 2000
+              done;
+              Array.iter (fun h -> inst.deregister ctx h) hs);
+          |]
+        in
+        Sim.run ~seed bodies;
+        let top_step =
+          List.fold_left (fun acc (s, _) -> max acc s) 0 (inst.step_histogram ())
+        in
+        ( string_of_int sb,
+          [
+            Some (Workload.Driver.ops_per_us ~ops:!collects ~duration);
+            Some (float_of_int top_step);
+          ] ))
+      [ 8; 16; 32; 64 ]
+  in
+  emit ~csv
+    {
+      Workload.Report.title = "Ablation: store-buffer capacity (adaptive step discovery)";
+      xlabel = "buffer";
+      unit = "ops/us";
+      columns = [ "collect throughput"; "largest step setting" ];
+      rows;
+    }
+
+let run_ablate ~duration ~seed ~csv =
+  ablate_tle ~duration ~seed ~csv;
+  ablate_sandbox ~duration ~seed ~csv;
+  ablate_store_buffer ~duration ~seed ~csv
+
+(* ------------------------------------------------------------------ *)
+(* Extension variants (paper §3.1.2 and §4.1, described but not
+   implemented there)                                                  *)
+
+(* The §3.1.2 starvation scenario: a large stable handle population keeps
+   collects long, while churners rapidly cycle one volatile slot each.
+   Plain FastCollect restarts on every deregister anywhere; the deferred
+   variant restarts only when its own cursor's node is hit. *)
+let ext_starvation ~duration ~seed mk churn_period =
+  let m = Workload.Driver.machine ~seed () in
+  let churners = 15 in
+  let cfg =
+    { Collect.Intf.max_slots = 256; num_threads = churners + 1;
+      step = Collect.Intf.Adaptive; min_size = 4 }
+  in
+  let inst = mk.Collect.Intf.make m.htm m.boot cfg in
+  let deadline = Workload.Driver.warmup + duration in
+  let collects = ref 0 in
+  let measuring = ref true in
+  let collector ctx =
+    let buf = Sim.Ibuf.create () in
+    collects :=
+      Workload.Driver.measured_loop ctx ~deadline (fun () ->
+          Sim.Ibuf.clear buf;
+          inst.collect ctx buf);
+    measuring := false
+  in
+  let churner ctx =
+    let stable =
+      Array.init 4 (fun _ -> inst.register ctx (Workload.Driver.fresh_value ()))
+    in
+    let volatile = ref (inst.register ctx (Workload.Driver.fresh_value ())) in
+    let next = ref Workload.Driver.warmup in
+    while !next < deadline do
+      Sim.advance_to ctx !next;
+      inst.deregister ctx !volatile;
+      Sim.advance_to ctx (!next + (churn_period / 2));
+      volatile := inst.register ctx (Workload.Driver.fresh_value ());
+      next := !next + churn_period
+    done;
+    while !measuring do
+      Sim.tick ctx 2000
+    done;
+    inst.deregister ctx !volatile;
+    Array.iter (fun h -> inst.deregister ctx h) stable
+  in
+  Sim.run ~seed (Array.init (churners + 1) (fun i -> if i = 0 then collector else churner));
+  inst.destroy m.boot;
+  Workload.Driver.ops_per_us ~ops:!collects ~duration
+
+let run_ext ~duration ~seed ~csv =
+  let fc = Option.get (Collect.find_maker "ListFastCollect") in
+  let fcd = Option.get (Collect.find_maker "ListFastCollectDeferred") in
+  let periods = [ 50_000; 20_000; 10_000; 5_000; 2_000; 1_000 ] in
+  let rows =
+    List.map
+      (fun p ->
+        ( Workload.Collect_update.period_label p,
+          [
+            Some (ext_starvation ~duration ~seed fc p);
+            Some (ext_starvation ~duration ~seed fcd p);
+          ] ))
+      periods
+  in
+  emit ~csv
+    {
+      Workload.Report.title =
+        "Extension: deferred-free FastCollect, 60 stable handles + 15 churning (section \
+         3.1.2)";
+      xlabel = "churn period";
+      unit = "ops/us";
+      columns = [ "ListFastCollect"; "ListFastCollectDeferred" ];
+      rows;
+    };
+  (* Michael-Scott reclaimed through a Dynamic Collect object vs the fixed
+     hazard array: same discipline, dynamic announcement space. *)
+  let queue_rows =
+    List.map
+      (fun threads ->
+        let one name =
+          let mk = Option.get (Hqueue.find_maker name) in
+          let m = Workload.Driver.machine ~seed () in
+          let q = mk.make m.htm m.boot ~num_threads:threads in
+          let deadline = Workload.Driver.warmup + duration in
+          let ops = Array.make threads 0 in
+          Sim.run ~seed
+            (Array.init threads (fun i ->
+                 fun ctx ->
+                   ops.(i) <-
+                     Workload.Driver.measured_loop ctx ~deadline (fun () ->
+                         if Sim.Rng.bool (Sim.rng ctx) then
+                           q.enqueue ctx (Workload.Driver.fresh_value ())
+                         else ignore (q.dequeue ctx))));
+          q.destroy m.boot;
+          Workload.Driver.ops_per_us ~ops:(Array.fold_left ( + ) 0 ops) ~duration
+        in
+        ( string_of_int threads,
+          [ Some (one "MichaelScott+ROP"); Some (one "MichaelScott+Collect") ] ))
+      [ 2; 4; 8; 16 ]
+  in
+  emit ~csv
+    {
+      Workload.Report.title =
+        "Extension: reclamation via fixed hazard array vs Dynamic Collect (section 1.2)";
+      xlabel = "threads";
+      unit = "ops/us";
+      columns = [ "MichaelScott+ROP"; "MichaelScott+Collect" ];
+      rows = queue_rows;
+    };
+  (* Update-optimised AppendDereg: faster updates, dearer collects. *)
+  let variants =
+    List.filter_map Collect.find_maker [ "ArrayDynAppendDereg"; "ArrayDynAppendFastUpd" ]
+  in
+  let lat = Workload.Latency.run ~makers:variants ~seed () in
+  emit ~csv
+    { (Workload.Latency.to_table lat) with
+      title = "Extension: update latency of the section 4.1 variant" };
+  let coll =
+    List.concat_map
+      (fun period ->
+        List.map
+          (fun mk ->
+            Workload.Collect_update.run_one mk ~updaters:15 ~period ~duration
+              ~step:(Collect.Intf.Fixed 32) ~seed)
+          variants)
+      [ 100_000; 10_000; 2_000 ]
+  in
+  emit ~csv
+    (Workload.Collect_update.to_table
+       ~title:"Extension: collect throughput of the section 4.1 variant" coll)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: wall-clock cost of the simulator itself.  *)
+
+let micro_tests () =
+  let open Bechamel in
+  let mem = Simmem.create () in
+  let htm = Htm.create mem in
+  let boot = Sim.boot () in
+  let word = Simmem.malloc mem boot 8 in
+  let tx_rw =
+    Test.make ~name:"htm: atomic read+write"
+      (Staged.stage (fun () ->
+           Htm.atomic htm boot (fun tx -> Htm.write tx word (Htm.read tx word + 1))))
+  in
+  let mem_rw =
+    Test.make ~name:"simmem: read+write"
+      (Staged.stage (fun () -> Simmem.write mem boot word (Simmem.read mem boot word + 1)))
+  in
+  let q = Hqueue.Htm_queue.maker.make htm boot ~num_threads:2 in
+  let queue_cycle =
+    Test.make ~name:"htm queue: enqueue+dequeue"
+      (Staged.stage (fun () ->
+           q.enqueue boot 1;
+           ignore (q.dequeue boot)))
+  in
+  let maker = Option.get (Collect.find_maker "ArrayDynAppendDereg") in
+  let inst =
+    maker.make htm boot
+      { Collect.Intf.max_slots = 128; num_threads = 2; step = Collect.Intf.Fixed 32;
+        min_size = 4 }
+  in
+  let (_ : int array) = Array.init 64 (fun i -> inst.register boot (i + 1)) in
+  let buf = Sim.Ibuf.create () in
+  let collect64 =
+    Test.make ~name:"collect: ArrayDynAppendDereg over 64 slots"
+      (Staged.stage (fun () ->
+           Sim.Ibuf.clear buf;
+           inst.collect boot buf))
+  in
+  let spawn =
+    Test.make ~name:"sim: run of 4 trivial threads"
+      (Staged.stage (fun () -> Sim.run ~seed:1 (Array.make 4 (fun ctx -> Sim.tick ctx 10))))
+  in
+  [ mem_rw; tx_rw; queue_cycle; collect64; spawn ]
+
+let run_micro ~duration:_ ~seed:_ ~csv:_ =
+  let open Bechamel in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  pf "== Microbenchmarks: wall-clock cost of simulator primitives ==@.";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analysis = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> pf "%-45s %8.1f ns/run@." name est
+          | Some _ | None -> pf "%-45s (no estimate)@." name)
+        analysis)
+    (micro_tests ());
+  pf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                        *)
+
+type figure = {
+  fname : string;
+  doc : string;
+  default_duration : int;
+  frun : duration:int -> seed:int -> csv:bool -> unit;
+}
+
+let figures =
+  [
+    { fname = "fig1"; doc = "queue throughput vs threads"; default_duration = 300_000;
+      frun = run_fig1 };
+    { fname = "latency"; doc = "section 5.1 update latency"; default_duration = 0;
+      frun = run_latency };
+    { fname = "fig3"; doc = "collect-dominated mixed workload"; default_duration = 400_000;
+      frun = run_fig3 };
+    { fname = "fig4"; doc = "collect-update period sweep"; default_duration = 400_000;
+      frun = run_fig4 };
+    { fname = "fig5"; doc = "step-size comparison"; default_duration = 300_000;
+      frun = run_fig5 };
+    { fname = "fig6"; doc = "adaptive step-size distribution"; default_duration = 400_000;
+      frun = run_fig6 };
+    { fname = "fig7"; doc = "collect-(de)register sweep"; default_duration = 400_000;
+      frun = run_fig7 };
+    { fname = "fig8"; doc = "phased registered-slot count"; default_duration = 2_000_000;
+      frun = run_fig8 };
+    { fname = "space"; doc = "space usage at quiescence"; default_duration = 0;
+      frun = run_space };
+    { fname = "aborts"; doc = "abort-rate telemetry behind figs 4/5"; default_duration = 300_000;
+      frun = run_aborts };
+    { fname = "ablate"; doc = "section 6 ablations"; default_duration = 200_000;
+      frun = run_ablate };
+    { fname = "ext"; doc = "paper-described but unimplemented variants"; default_duration = 300_000;
+      frun = run_ext };
+    { fname = "micro"; doc = "bechamel microbenchmarks"; default_duration = 0;
+      frun = run_micro };
+  ]
+
+let run_all ~seed ~csv =
+  List.iter (fun f -> f.frun ~duration:f.default_duration ~seed ~csv) figures
+
+open Cmdliner
+
+let duration_arg default =
+  let doc = "Measured window in virtual cycles (2000 cycles = 1 us)." in
+  Arg.(value & opt int default & info [ "duration"; "d" ] ~doc)
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed"; "s" ] ~doc:"Experiment seed.")
+let csv_arg = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of tables.")
+
+let chart_arg =
+  Arg.(value & flag & info [ "chart" ] ~doc:"Also draw each table as an ASCII chart.")
+
+let cmd_of_figure f =
+  let action duration seed csv chart =
+    chart_mode := chart;
+    f.frun ~duration ~seed ~csv
+  in
+  Cmd.v
+    (Cmd.info f.fname ~doc:f.doc)
+    Term.(const action $ duration_arg f.default_duration $ seed_arg $ csv_arg $ chart_arg)
+
+let all_cmd =
+  let action seed csv chart =
+    chart_mode := chart;
+    run_all ~seed ~csv
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"run every figure and table (default)")
+    Term.(const action $ seed_arg $ csv_arg $ chart_arg)
+
+let () =
+  let default =
+    Term.(
+      const (fun seed csv chart ->
+          chart_mode := chart;
+          run_all ~seed ~csv)
+      $ seed_arg $ csv_arg $ chart_arg)
+  in
+  let info =
+    Cmd.info "bench" ~doc:"Reproduce the tables and figures of Dragojevic et al., PODC 2011"
+  in
+  exit (Cmd.eval (Cmd.group ~default info (all_cmd :: List.map cmd_of_figure figures)))

@@ -1,0 +1,169 @@
+(* Interactive explorer: run one Dynamic Collect algorithm under a custom
+   workload and report throughput, transaction statistics, memory
+   behaviour and the telescoping histogram.
+
+     dune exec bin/explore.exe -- --list
+     dune exec bin/explore.exe -- -a ArrayDynAppendDereg -t 8 -m 80,10,5,5
+     dune exec bin/explore.exe -- -a ListFastCollect --step adaptive -d 1000000
+*)
+
+let list_algorithms () =
+  Format.printf "%-24s %-8s %-7s %s@." "algorithm" "dynamic" "htm" "update class";
+  List.iter
+    (fun (m : Collect.Intf.maker) ->
+      Format.printf "%-24s %-8b %-7b %s@." m.algo_name m.solves_dynamic m.uses_htm
+        (if m.direct_update then "direct (naked store)" else "indirect (transaction)"))
+    Collect.all_with_extensions
+
+type op = Op_collect | Op_update | Op_register | Op_deregister
+
+let op_name = function
+  | Op_collect -> "collect"
+  | Op_update -> "update"
+  | Op_register -> "register"
+  | Op_deregister -> "deregister"
+
+let parse_mix s =
+  match String.split_on_char ',' s |> List.map int_of_string with
+  | [ c; u; r; d ] when c + u + r + d = 100 && c >= 0 && u >= 0 && r >= 0 && d >= 0 ->
+    (c, u, r, d)
+  | _ -> failwith "mix must be four comma-separated percentages summing to 100"
+  | exception _ -> failwith "mix must be four comma-separated percentages summing to 100"
+
+let parse_step = function
+  | "adaptive" -> Collect.Intf.Adaptive
+  | s ->
+    (match int_of_string_opt s with
+     | Some n when n >= 1 -> Collect.Intf.Fixed n
+     | Some _ | None -> failwith "step must be a positive integer or 'adaptive'")
+
+let run algo threads mix step duration budget seed =
+  let collect_pct, update_pct, register_pct, _ = parse_mix mix in
+  let maker =
+    match Collect.find_maker algo with
+    | Some m -> m
+    | None ->
+      Format.eprintf "unknown algorithm %S; try --list@." algo;
+      exit 1
+  in
+  let mem = Simmem.create () in
+  let htm = Htm.create mem in
+  let boot = Sim.boot ~seed () in
+  let cfg =
+    { Collect.Intf.max_slots = budget; num_threads = threads; step = parse_step step;
+      min_size = 4 }
+  in
+  let inst = maker.make htm boot cfg in
+  let per_thread = max 1 (budget / threads) in
+  let op_counts = Hashtbl.create 4 in
+  let bump op = Hashtbl.replace op_counts op (1 + Option.value ~default:0 (Hashtbl.find_opt op_counts op)) in
+  let values_seen = ref 0 in
+  let body _i ctx =
+    let mine = Queue.create () in
+    let buf = Sim.Ibuf.create () in
+    let rng = Sim.rng ctx in
+    for _ = 1 to per_thread / 2 do
+      Queue.add (inst.register ctx (Workload.Driver.fresh_value ())) mine
+    done;
+    while Sim.clock ctx < duration do
+      Workload.Driver.tick_dispatch ctx;
+      let dice = Sim.Rng.int rng 100 in
+      if dice < collect_pct then begin
+        Sim.Ibuf.clear buf;
+        inst.collect ctx buf;
+        values_seen := !values_seen + Sim.Ibuf.length buf;
+        bump Op_collect
+      end
+      else if dice < collect_pct + update_pct then begin
+        if not (Queue.is_empty mine) then begin
+          let h = Queue.pop mine in
+          inst.update ctx h (Workload.Driver.fresh_value ());
+          Queue.add h mine;
+          bump Op_update
+        end
+      end
+      else if dice < collect_pct + update_pct + register_pct then begin
+        if Queue.length mine < per_thread then begin
+          Queue.add (inst.register ctx (Workload.Driver.fresh_value ())) mine;
+          bump Op_register
+        end
+      end
+      else if not (Queue.is_empty mine) then begin
+        inst.deregister ctx (Queue.pop mine);
+        bump Op_deregister
+      end
+    done;
+    Queue.iter (fun h -> inst.deregister ctx h) mine
+  in
+  Sim.run ~seed (Array.init threads (fun i -> body i));
+  let total = Hashtbl.fold (fun _ n acc -> acc + n) op_counts 0 in
+  Format.printf "== %s: %d threads, mix %s, %d cycles, seed %d ==@.@." algo threads mix
+    duration seed;
+  Format.printf "total throughput: %.3f ops/us (%d ops)@."
+    (Workload.Driver.ops_per_us ~ops:total ~duration)
+    total;
+  List.iter
+    (fun op ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt op_counts op) in
+      Format.printf "  %-12s %8d@." (op_name op) n)
+    [ Op_collect; Op_update; Op_register; Op_deregister ];
+  let collects = Option.value ~default:0 (Hashtbl.find_opt op_counts Op_collect) in
+  if collects > 0 then
+    Format.printf "  avg values per collect: %.1f@."
+      (float_of_int !values_seen /. float_of_int collects);
+  let st = Htm.stats htm in
+  Format.printf "@.HTM: %d commits; aborts: %d conflict, %d overflow, %d illegal, %d explicit; %d lock fallbacks@."
+    st.commits st.aborts_conflict st.aborts_overflow st.aborts_illegal st.aborts_explicit
+    st.lock_fallbacks;
+  (match inst.step_histogram () with
+   | [] -> ()
+   | hist ->
+     Format.printf "telescoping: %s@."
+       (String.concat "  "
+          (List.map (fun (s, n) -> Printf.sprintf "step%d:%d" s n) hist)));
+  let ms = Simmem.stats mem in
+  Format.printf "memory: %d words live, peak %d, %d allocs / %d frees@." ms.live_words
+    ms.peak_live_words ms.total_allocs ms.total_frees;
+  Format.printf
+    "accesses: %d loads (%.1f%% miss), %d stores (%.1f%% miss), %d atomics@."
+    ms.reads
+    (100.0 *. float_of_int ms.read_misses /. float_of_int (max 1 ms.reads))
+    ms.writes
+    (100.0 *. float_of_int ms.write_misses /. float_of_int (max 1 ms.writes))
+    ms.atomics;
+  inst.destroy boot;
+  Format.printf "after destroy: %d words live@." (Simmem.stats mem).live_words
+
+open Cmdliner
+
+let algo =
+  Arg.(value & opt string "ArrayDynAppendDereg"
+       & info [ "a"; "algo" ] ~doc:"Algorithm name (see --list).")
+
+let threads = Arg.(value & opt int 8 & info [ "t"; "threads" ] ~doc:"Simulated threads.")
+
+let mix =
+  Arg.(value & opt string "80,10,5,5"
+       & info [ "m"; "mix" ] ~doc:"collect,update,register,deregister percentages.")
+
+let step =
+  Arg.(value & opt string "32" & info [ "step" ] ~doc:"Telescoping step: N or 'adaptive'.")
+
+let duration =
+  Arg.(value & opt int 400_000 & info [ "d"; "duration" ] ~doc:"Virtual cycles to run.")
+
+let budget = Arg.(value & opt int 64 & info [ "budget" ] ~doc:"Total handle budget.")
+let seed = Arg.(value & opt int 1 & info [ "s"; "seed" ] ~doc:"Random seed.")
+let list_flag = Arg.(value & flag & info [ "list" ] ~doc:"List algorithms and exit.")
+
+let () =
+  let action list algo threads mix step duration budget seed =
+    if list then list_algorithms () else run algo threads mix step duration budget seed
+  in
+  let term =
+    Term.(const action $ list_flag $ algo $ threads $ mix $ step $ duration $ budget $ seed)
+  in
+  let info =
+    Cmd.info "explore" ~doc:"Explore a Dynamic Collect algorithm under a custom workload"
+  in
+  exit (Cmd.eval (Cmd.v info term))

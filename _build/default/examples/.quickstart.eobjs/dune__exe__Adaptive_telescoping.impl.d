@@ -1,0 +1,1 @@
+examples/adaptive_telescoping.ml: Array Collect Htm List Option Printf Sim Simmem String

@@ -1,0 +1,1 @@
+examples/dynamic_threads.ml: Array Hqueue Htm List Option Printf Sim Simmem

@@ -1,0 +1,1 @@
+examples/queue_pipeline.ml: Array Hqueue Htm List Printf Sim Simmem

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Collect Htm List Option Printf Sim Simmem String

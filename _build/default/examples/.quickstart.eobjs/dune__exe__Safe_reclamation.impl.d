@@ -1,0 +1,1 @@
+examples/safe_reclamation.ml: Array Collect Htm List Option Printf Sim Simmem

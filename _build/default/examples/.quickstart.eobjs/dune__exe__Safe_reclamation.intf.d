@@ -1,0 +1,1 @@
+examples/safe_reclamation.mli:

@@ -1,0 +1,78 @@
+(* The adaptive telescoping controller (§3.4) reacting to a contention
+   regime change: updaters are calm for the first half of the run, then
+   update furiously. Large steps win while it is calm; under fire they
+   abort too often and the controller backs down.
+
+     dune exec examples/adaptive_telescoping.exe *)
+
+let phase_len = 600_000
+let calm_period = 50_000
+let furious_period = 700
+
+let () =
+  let mem = Simmem.create () in
+  let htm = Htm.create mem in
+  let boot = Sim.boot () in
+  let maker = Option.get (Collect.find_maker "ArrayDynAppendDereg") in
+  let cfg =
+    { Collect.Intf.max_slots = 128; num_threads = 16; step = Collect.Intf.Adaptive;
+      min_size = 4 }
+  in
+  let inst = maker.make htm boot cfg in
+  let phase_collects = [| 0; 0 |] in
+  let phase_hist = Array.make 2 [] in
+  let measuring = ref true in
+  let collector ctx =
+    let buf = Sim.Ibuf.create () in
+    let snap0 = ref [] in
+    for phase = 0 to 1 do
+      let deadline = (phase + 1) * phase_len in
+      while Sim.clock ctx < deadline do
+        Sim.tick ctx 200;
+        Sim.Ibuf.clear buf;
+        inst.collect ctx buf;
+        phase_collects.(phase) <- phase_collects.(phase) + 1
+      done;
+      (* histogram delta for this phase *)
+      let now = inst.step_histogram () in
+      let delta =
+        List.map
+          (fun (s, n) ->
+            (s, n - Option.value ~default:0 (List.assoc_opt s !snap0)))
+          now
+      in
+      phase_hist.(phase) <- delta;
+      snap0 := now
+    done;
+    measuring := false
+  in
+  let updater ctx =
+    let hs = Array.init 4 (fun _ -> inst.register ctx (1 + Sim.Rng.int (Sim.rng ctx) 1000)) in
+    let next = ref 0 in
+    while Sim.clock ctx < 2 * phase_len do
+      let period = if Sim.clock ctx < phase_len then calm_period else furious_period in
+      next := max (!next + period) (Sim.clock ctx);
+      Sim.advance_to ctx !next;
+      inst.update ctx hs.(0) (1 + Sim.Rng.int (Sim.rng ctx) 1000)
+    done;
+    while !measuring do
+      Sim.tick ctx 2000
+    done;
+    Array.iter (fun h -> inst.deregister ctx h) hs
+  in
+  Sim.run ~seed:5 (Array.init 16 (fun i -> if i = 0 then collector else updater));
+
+  let pp_hist h =
+    String.concat "  "
+      (List.filter_map
+         (fun (s, n) -> if n > 0 then Some (Printf.sprintf "step%d:%d" s n) else None)
+         h)
+  in
+  print_endline "Adaptive telescoping under a contention regime change";
+  Printf.printf "phase 1 (calm,    update period %6d cycles): %4d collects  [%s]\n"
+    calm_period phase_collects.(0) (pp_hist phase_hist.(0));
+  Printf.printf "phase 2 (furious, update period %6d cycles): %4d collects  [%s]\n"
+    furious_period phase_collects.(1) (pp_hist phase_hist.(1));
+  let st = Htm.stats htm in
+  Printf.printf "HTM: %d commits, %d conflict aborts, %d overflow aborts\n" st.commits
+    st.aborts_conflict st.aborts_overflow

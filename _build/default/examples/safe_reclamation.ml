@@ -1,0 +1,116 @@
+(* Safe memory reclamation built on Dynamic Collect — the paper's
+   motivating use case (§1.2).
+
+     dune exec examples/safe_reclamation.exe
+
+   A writer repeatedly publishes a new version of a shared configuration
+   block and retires the old one. Readers must never touch freed memory,
+   so before dereferencing the current block they *announce* it through a
+   Dynamic Collect handle (register/update), validate that it is still
+   current, and clear the announcement afterwards. The writer frees a
+   retired block only after a Collect shows nobody announces it — exactly
+   the hazard-pointer/ROP discipline, with the collect object supplying
+   the dynamic announcement slots.
+
+   Every reader access is checked by the simulated allocator: a single
+   use-after-free would abort the program with a Fault. *)
+
+let no_announcement = 1 (* a non-zero value that is never a block address *)
+
+let () =
+  let mem = Simmem.create () in
+  let htm = Htm.create mem in
+  let boot = Sim.boot () in
+  let maker = Option.get (Collect.find_maker "ArrayDynAppendDereg") in
+  let cfg =
+    { Collect.Intf.max_slots = 32; num_threads = 9; step = Collect.Intf.Fixed 8;
+      min_size = 4 }
+  in
+  let announcements = maker.make htm boot cfg in
+
+  (* The shared cell holding the current configuration block. *)
+  let current = Simmem.malloc mem boot 1 in
+  let make_config ctx version =
+    let block = Simmem.malloc mem ctx 4 in
+    for i = 0 to 3 do
+      Simmem.write mem ctx (block + i) ((version * 10) + i)
+    done;
+    block
+  in
+  Simmem.write mem boot current (make_config boot 0);
+
+  let reads_done = ref 0 in
+  let frees_done = ref 0 in
+  let deferred_max = ref 0 in
+  let running = ref true in
+
+  let reader ctx =
+    (* One announcement slot per reader, registered up front. *)
+    let h = announcements.register ctx no_announcement in
+    while !running do
+      (* announce-validate loop: after announcing, re-read [current]; if it
+         changed, the writer may already have collected, so re-announce. *)
+      let rec acquire () =
+        let block = Simmem.read mem ctx current in
+        announcements.update ctx h block;
+        if Simmem.read mem ctx current <> block then acquire () else block
+      in
+      let block = acquire () in
+      (* safely dereference: sum the fields *)
+      let sum = ref 0 in
+      for i = 0 to 3 do
+        sum := !sum + Simmem.read mem ctx (block + i)
+      done;
+      announcements.update ctx h no_announcement;
+      incr reads_done;
+      (* think time between critical sections; constant announcement
+         traffic visibly starves the reclaimer's collects *)
+      Sim.tick ctx (1_000 + Sim.Rng.int (Sim.rng ctx) 4_000)
+    done;
+    announcements.deregister ctx h
+  in
+
+  let writer ctx =
+    let retired = ref [] in
+    let buf = Sim.Ibuf.create () in
+    for version = 1 to 40 do
+      let fresh = make_config ctx version in
+      let old = Simmem.read mem ctx current in
+      Simmem.write mem ctx current fresh;
+      retired := old :: !retired;
+      deferred_max := max !deferred_max (List.length !retired);
+      (* Reclaim: free every retired block that no reader announces. *)
+      Sim.Ibuf.clear buf;
+      announcements.collect ctx buf;
+      let announced b = Sim.Ibuf.fold (fun acc v -> acc || v = b) false buf in
+      let keep, free_now = List.partition announced !retired in
+      List.iter
+        (fun b ->
+          Simmem.free mem ctx b;
+          incr frees_done)
+        free_now;
+      retired := keep;
+      Sim.tick ctx 2000
+    done;
+    running := false;
+    (* Final drain once readers have stopped announcing. *)
+    Sim.advance_to ctx (Sim.clock ctx + 50_000);
+    Sim.Ibuf.clear buf;
+    announcements.collect ctx buf;
+    List.iter
+      (fun b ->
+        Simmem.free mem ctx b;
+        incr frees_done)
+      !retired;
+    retired := []
+  in
+
+  Sim.run ~seed:7 (Array.init 9 (fun i -> if i = 0 then writer else reader));
+
+  print_endline "Safe reclamation through Dynamic Collect announcements";
+  Printf.printf "reader dereferences:        %d (zero use-after-free faults)\n" !reads_done;
+  Printf.printf "config blocks freed:        %d of 40 retired\n" !frees_done;
+  Printf.printf "max deferred at once:       %d\n" !deferred_max;
+  announcements.destroy boot;
+  Printf.printf "collect object destroyed; %d words still live (current block + cell)\n"
+    (Simmem.stats mem).live_words

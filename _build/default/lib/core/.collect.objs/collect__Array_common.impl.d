@@ -1,0 +1,1 @@
+lib/core/array_common.ml: Htm Sim Simmem Stepper

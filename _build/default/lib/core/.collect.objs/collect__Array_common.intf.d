@@ -1,0 +1,1 @@
+lib/core/array_common.mli: Htm Sim Stepper

@@ -1,0 +1,1 @@
+lib/core/array_dyn_append_dereg.ml: Array_common Collect_intf Htm Simmem Stepper

@@ -1,0 +1,1 @@
+lib/core/array_dyn_append_fastupd.ml: Collect_intf Htm Sim Simmem Stepper

@@ -1,0 +1,1 @@
+lib/core/array_dyn_append_fastupd.mli: Collect_intf

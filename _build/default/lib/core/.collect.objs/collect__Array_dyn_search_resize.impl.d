@@ -1,0 +1,1 @@
+lib/core/array_dyn_search_resize.ml: Collect_intf Htm Sim Simmem Stepper

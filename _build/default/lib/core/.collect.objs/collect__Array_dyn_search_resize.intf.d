@@ -1,0 +1,1 @@
+lib/core/array_dyn_search_resize.mli: Collect_intf

@@ -1,0 +1,1 @@
+lib/core/array_stat_append_dereg.ml: Array_common Collect_intf Htm Simmem Stepper

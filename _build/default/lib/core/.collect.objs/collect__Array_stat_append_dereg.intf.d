@@ -1,0 +1,1 @@
+lib/core/array_stat_append_dereg.mli: Collect_intf

@@ -1,0 +1,1 @@
+lib/core/array_stat_search_no.ml: Collect_intf Htm Sim Simmem

@@ -1,0 +1,1 @@
+lib/core/array_stat_search_no.mli: Collect_intf

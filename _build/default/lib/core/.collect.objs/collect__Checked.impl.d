@@ -1,0 +1,1 @@
+lib/core/checked.ml: Collect_intf Hashtbl Printf Sim

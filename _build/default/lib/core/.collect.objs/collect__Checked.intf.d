@@ -1,0 +1,1 @@
+lib/core/checked.mli: Collect_intf

@@ -1,0 +1,1 @@
+lib/core/collect_intf.ml: Htm Sim

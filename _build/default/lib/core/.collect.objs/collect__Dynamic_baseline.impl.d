@@ -1,0 +1,1 @@
+lib/core/dynamic_baseline.ml: Collect_intf Htm Sim Simmem

@@ -1,0 +1,1 @@
+lib/core/dynamic_baseline.mli: Collect_intf

@@ -1,0 +1,1 @@
+lib/core/fast_collect.ml: Collect_intf Htm Sim Simmem Stepper

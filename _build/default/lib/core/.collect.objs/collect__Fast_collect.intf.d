@@ -1,0 +1,1 @@
+lib/core/fast_collect.mli: Collect_intf

@@ -1,0 +1,1 @@
+lib/core/fast_collect_deferred.ml: Collect_intf Htm Sim Simmem Stepper

@@ -1,0 +1,1 @@
+lib/core/fast_collect_deferred.mli: Collect_intf

@@ -1,0 +1,1 @@
+lib/core/hohrc.ml: Collect_intf Htm Sim Simmem Stepper

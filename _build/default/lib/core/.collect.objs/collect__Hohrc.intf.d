@@ -1,0 +1,1 @@
+lib/core/hohrc.mli: Collect_intf

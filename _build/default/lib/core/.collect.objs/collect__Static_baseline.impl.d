@@ -1,0 +1,1 @@
+lib/core/static_baseline.ml: Array Collect_intf Htm List Sim Simmem

@@ -1,0 +1,1 @@
+lib/core/stepper.ml: Array Collect_intf Hashtbl Htm List Option Sim

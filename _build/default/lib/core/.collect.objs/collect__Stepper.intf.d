@@ -1,0 +1,1 @@
+lib/core/stepper.mli: Collect_intf Sim

@@ -1,0 +1,79 @@
+(** Pieces shared by the array-based collect algorithms (paper §3.2).
+
+    Header layout (word offsets from the header base):
+    {v
+      +0 array          base address of the current slot array
+      +1 capacity       number of slots in it
+      +2 count          number of registered slots (append algorithms)
+      +3 array_new      base of the array being installed, 0 when none
+      +4 capacity_new
+      +5 copied         slots copied so far during a resize
+    v}
+    Static algorithms use only the first three words. A slot is two words:
+    [+0] the value, [+1] the back-pointer to the handle's slot reference.
+    The handle itself is the address of a one-word slot reference holding
+    the slot's current address, which is how slots can move (compaction,
+    resizing) under concurrent [update]s. *)
+
+let hdr_array = 0
+let hdr_capacity = 1
+let hdr_count = 2
+let hdr_array_new = 3
+let hdr_capacity_new = 4
+let hdr_copied = 5
+
+let slot_words = 2
+
+(* Figure 2's [append]: store the value and back-pointer into the first
+   unused slot, point the slot reference at it, and bump [count]. Must run
+   inside the caller's transaction, with [count] already read there. *)
+let append tx ~hdr ~count slot_ref v =
+  let arr = Htm.read tx (hdr + hdr_array) in
+  let slot = arr + (slot_words * count) in
+  Htm.write tx slot v;
+  Htm.write tx (slot + 1) slot_ref;
+  Htm.write tx slot_ref slot;
+  Htm.write tx (hdr + hdr_count) (count + 1)
+
+(* Update through the slot reference. The transaction's read-set validation
+   guarantees the slot did not move between reading the reference and
+   storing the value — the race that makes compaction hard without HTM. *)
+let update_indirect htm ctx slot_ref v =
+  Htm.atomic htm ctx (fun tx -> Htm.write tx (Htm.read tx slot_ref) v)
+
+(* Telescoped reverse scan over registered slots (Figure 2's Collect with
+   the §3.4 step-size generalisation). Reading in reverse index order is
+   what makes compact-on-deregister safe: a surviving slot only ever moves
+   to a lower index, so it cannot be skipped. Each transaction re-reads
+   [count] before each element and clamps the cursor, exactly as lines
+   85–86 of the pseudocode. *)
+let reverse_collect htm ctx ~hdr ~stepper buf =
+  let mem = Htm.mem htm in
+  let i = ref (Simmem.read mem ctx (hdr + hdr_count) - 1) in
+  while !i >= 0 do
+    let len0 = Sim.Ibuf.length buf in
+    let committed =
+      Htm.atomic htm ctx
+        ~on_abort:(fun _ -> Stepper.on_abort stepper ctx)
+        (fun tx ->
+          Sim.Ibuf.reset_to buf len0;
+          let step = Stepper.get stepper ctx in
+          let arr = Htm.read tx (hdr + hdr_array) in
+          (* Figure 2 re-reads count before every element; within one
+             transaction count cannot change (validation would abort), so
+             one read per transaction is semantically identical. *)
+          let count = Htm.read tx (hdr + hdr_count) in
+          let j = ref (if !i >= count then count - 1 else !i) in
+          let k = ref 0 in
+          while !k < step && !j >= 0 do
+            Sim.Ibuf.add buf (Htm.read tx (arr + (slot_words * !j)));
+            Htm.record tx;
+            decr j;
+            incr k
+          done;
+          !j)
+    in
+    Stepper.on_commit stepper ctx;
+    Stepper.record_collected stepper ctx (Sim.Ibuf.length buf - len0);
+    i := committed
+  done

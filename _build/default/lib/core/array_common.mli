@@ -1,0 +1,26 @@
+(** Pieces shared by the array-based collect algorithms (paper §3.2):
+    the shared-header word layout, Figure 2's [append], update through a
+    slot reference, and the telescoped reverse collect scan. See the
+    implementation header for the layout diagram. *)
+
+val hdr_array : int
+val hdr_capacity : int
+val hdr_count : int
+val hdr_array_new : int
+val hdr_capacity_new : int
+val hdr_copied : int
+
+val slot_words : int
+(** Words per slot: value and back-pointer to the slot reference. *)
+
+val append : Htm.tx -> hdr:int -> count:int -> int -> int -> unit
+(** [append tx ~hdr ~count slot_ref v]: Figure 2's [append], inside the
+    caller's transaction, with [count] already read there. *)
+
+val update_indirect : Htm.t -> Sim.tctx -> int -> int -> unit
+(** Bind a value through the slot reference, transactionally (the ≈215 ns
+    class of §5.1). *)
+
+val reverse_collect : Htm.t -> Sim.tctx -> hdr:int -> stepper:Stepper.t -> Sim.Ibuf.t -> unit
+(** Telescoped reverse scan over the registered slots; reverse order is
+    what makes compact-on-deregister safe. *)

@@ -1,0 +1,8 @@
+(** ArrayDynAppendDereg — the paper's flagship algorithm (§4, Figure 2):
+    dynamic array, append registration, compaction on every deregister,
+    cooperative resizing.
+
+    Exposes only the registry entry; instantiate through
+    {!Collect_intf.maker}[.make]. *)
+
+val maker : Collect_intf.maker

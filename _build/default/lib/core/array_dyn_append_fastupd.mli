@@ -1,0 +1,7 @@
+(** ArrayDynAppendDereg optimised for Update — the §4.1 variant (value
+    stored with the slot reference; naked-store updates, dearer collects).
+
+    Exposes only the registry entry; instantiate through
+    {!Collect_intf.maker}[.make]. *)
+
+val maker : Collect_intf.maker

@@ -1,0 +1,7 @@
+(** ArrayDynSearchResize (paper §3.2.4): dynamic array, search-based
+    registration, compaction only on resize.
+
+    Exposes only the registry entry; instantiate through
+    {!Collect_intf.maker}[.make]. *)
+
+val maker : Collect_intf.maker

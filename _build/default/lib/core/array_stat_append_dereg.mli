@@ -1,0 +1,7 @@
+(** ArrayStatAppendDereg (paper §3.2.4): fixed-capacity array, append
+    registration, compaction on every deregister.
+
+    Exposes only the registry entry; instantiate through
+    {!Collect_intf.maker}[.make]. *)
+
+val maker : Collect_intf.maker

@@ -1,0 +1,93 @@
+(** ArrayStatSearchNo (paper §3.2.4): fixed-capacity array, search-based
+    registration, no compaction.
+
+    Slots are two words ([+0] occupancy flag, [+1] value). Because slots
+    never move, a handle is its slot's address: [update] is a naked store
+    (the paper's fast ≈135 ns class) and [collect] needs no transactions —
+    it scans up to the historical high-water mark with plain loads, reading
+    the flag and, when occupied, the value. The scan therefore costs two
+    loads per slot where the compacting collects pay one, and with no
+    compaction its length tracks the {e historical maximum} number of
+    registered slots and never shrinks (Figures 7/8). *)
+
+type t = {
+  htm : Htm.t;
+  hdr : int;  (** one word: the high-water mark *)
+  arr : int;
+  capacity : int;
+}
+
+let slot_words = 2
+
+let create htm ctx (cfg : Collect_intf.cfg) =
+  let mem = Htm.mem htm in
+  let capacity = max 1 cfg.max_slots in
+  let hdr = Simmem.malloc mem ctx 1 in
+  let arr = Simmem.malloc mem ctx (slot_words * capacity) in
+  { htm; hdr; arr; capacity }
+
+let register t ctx v =
+  let mem = Htm.mem t.htm in
+  (* Search with plain loads, then claim the candidate with a short
+     transaction that re-validates emptiness; a lost race just resumes the
+     search at the next slot. *)
+  let rec search i =
+    if i >= t.capacity then raise (Collect_intf.Capacity_exceeded "ArrayStatSearchNo")
+    else
+      let slot = t.arr + (slot_words * i) in
+      if Simmem.read mem ctx slot <> 0 then search (i + 1)
+      else begin
+        let claimed =
+          Htm.atomic t.htm ctx (fun tx ->
+              if Htm.read tx slot <> 0 then false
+              else begin
+                Htm.write tx slot 1;
+                Htm.write tx (slot + 1) v;
+                if Htm.read tx t.hdr < i + 1 then Htm.write tx t.hdr (i + 1);
+                true
+              end)
+        in
+        if claimed then slot else search (i + 1)
+      end
+  in
+  search 0
+
+let update t ctx slot v = Simmem.write (Htm.mem t.htm) ctx (slot + 1) v
+
+let deregister t ctx slot =
+  (* A naked store suffices: claiming transactions read the flag and are
+     doomed by the version bump (strong atomicity). *)
+  Simmem.write (Htm.mem t.htm) ctx slot 0
+
+let collect t ctx buf =
+  let mem = Htm.mem t.htm in
+  let top = Simmem.read mem ctx t.hdr in
+  for i = 0 to top - 1 do
+    let slot = t.arr + (slot_words * i) in
+    if Simmem.read mem ctx slot <> 0 then Sim.Ibuf.add buf (Simmem.read mem ctx (slot + 1))
+  done
+
+let destroy t ctx =
+  let mem = Htm.mem t.htm in
+  Simmem.free mem ctx t.arr;
+  Simmem.free mem ctx t.hdr
+
+let maker : Collect_intf.maker =
+  {
+    algo_name = "ArrayStatSearchNo";
+    solves_dynamic = false;
+    uses_htm = true;
+    direct_update = true;
+    make =
+      (fun htm ctx cfg ->
+        let t = create htm ctx cfg in
+        {
+          Collect_intf.name = "ArrayStatSearchNo";
+          register = register t;
+          update = update t;
+          deregister = deregister t;
+          collect = (fun ctx buf -> collect t ctx buf);
+          destroy = destroy t;
+          step_histogram = (fun () -> []);
+        });
+  }

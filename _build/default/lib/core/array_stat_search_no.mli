@@ -1,0 +1,7 @@
+(** ArrayStatSearchNo (paper §3.2.4): fixed-capacity array, search-based
+    registration, no compaction. Does not solve Dynamic Collect.
+
+    Exposes only the registry entry; instantiate through
+    {!Collect_intf.maker}[.make]. *)
+
+val maker : Collect_intf.maker

@@ -1,0 +1,61 @@
+(** Runtime well-formedness enforcement (paper §2.2).
+
+    The Dynamic Collect specification only constrains executions that are
+    well-formed: a thread may [update] or [deregister] only handles it
+    registered and has not since deregistered, and bound values must be
+    non-zero (zero is the null marker of the scan-based algorithms). The
+    algorithm implementations assume this and can corrupt their structures
+    silently if a client violates it — exactly the class of bug this
+    decorator catches during development.
+
+    [wrap inst] returns an instance with identical behaviour that raises
+    {!Violation} on the first ill-formed call. The bookkeeping is
+    OCaml-side (the simulator is cooperative, so no synchronisation is
+    needed) and costs no virtual time, leaving performance measurements
+    undisturbed. *)
+
+exception Violation of string
+
+let violation fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt
+
+let wrap (inst : Collect_intf.instance) : Collect_intf.instance =
+  let owners : (int, int) Hashtbl.t = Hashtbl.create 64 (* handle -> tid *) in
+  let owner_of op ctx h =
+    match Hashtbl.find_opt owners h with
+    | None -> violation "%s: %s of handle %#x which is not registered" inst.name op h
+    | Some owner ->
+      let tid = Sim.tid ctx in
+      if owner <> tid then
+        violation "%s: thread %d called %s on handle %#x owned by thread %d" inst.name tid
+          op h owner
+  in
+  {
+    inst with
+    register =
+      (fun ctx v ->
+        if v = 0 then violation "%s: register of the null value 0" inst.name;
+        let h = inst.register ctx v in
+        (match Hashtbl.find_opt owners h with
+         | Some owner ->
+           violation "%s: register returned handle %#x already owned by thread %d"
+             inst.name h owner
+         | None -> ());
+        Hashtbl.replace owners h (Sim.tid ctx);
+        h);
+    update =
+      (fun ctx h v ->
+        if v = 0 then violation "%s: update to the null value 0" inst.name;
+        owner_of "update" ctx h;
+        inst.update ctx h v);
+    deregister =
+      (fun ctx h ->
+        owner_of "deregister" ctx h;
+        Hashtbl.remove owners h;
+        inst.deregister ctx h);
+    destroy =
+      (fun ctx ->
+        if Hashtbl.length owners > 0 then
+          violation "%s: destroy with %d handles still registered" inst.name
+            (Hashtbl.length owners);
+        inst.destroy ctx);
+  }

@@ -1,0 +1,9 @@
+(** Runtime well-formedness enforcement for Dynamic Collect clients
+    (paper §2.2): wrap an instance to get identical behaviour plus a
+    {!Violation} on the first ill-formed call — foreign-handle updates,
+    double deregistration, null values, destroy with live handles. Costs
+    no virtual time. *)
+
+exception Violation of string
+
+val wrap : Collect_intf.instance -> Collect_intf.instance

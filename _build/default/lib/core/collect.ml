@@ -1,0 +1,54 @@
+(** Dynamic Collect — the paper's core contribution.
+
+    A Dynamic Collect object (paper §2) binds values to dynamically
+    registered handles and supports scanning all current bindings; it is
+    the problem at the heart of announcement-based memory reclamation
+    (hazard pointers, ROP). This library provides the six HTM-based
+    algorithms of §3 and the two non-HTM baselines of §3.3, all running on
+    the simulated machine ({!Sim}, {!Simmem}, {!Htm}).
+
+    Use {!Intf.maker}[.make] to instantiate an algorithm, or pick from the
+    {!all} registry. See [examples/quickstart.ml] for a tour. *)
+
+module Intf = Collect_intf
+module Stepper = Stepper
+module Checked = Checked
+module Hohrc = Hohrc
+module Fast_collect = Fast_collect
+module Array_stat_search_no = Array_stat_search_no
+module Array_stat_append_dereg = Array_stat_append_dereg
+module Array_dyn_search_resize = Array_dyn_search_resize
+module Array_dyn_append_dereg = Array_dyn_append_dereg
+module Static_baseline = Static_baseline
+module Dynamic_baseline = Dynamic_baseline
+module Fast_collect_deferred = Fast_collect_deferred
+module Array_dyn_append_fastupd = Array_dyn_append_fastupd
+
+(** The eight implementations evaluated in the paper, in its presentation
+    order. *)
+let all : Intf.maker list =
+  [
+    Hohrc.maker;
+    Fast_collect.maker;
+    Array_stat_search_no.maker;
+    Array_stat_append_dereg.maker;
+    Array_dyn_search_resize.maker;
+    Array_dyn_append_dereg.maker;
+    Static_baseline.maker;
+    Dynamic_baseline.maker;
+  ]
+
+(** Variants the paper describes but did not implement: the deferred-free
+    FastCollect mode (§3.1.2) and the update-optimised
+    ArrayDynAppendDereg (§4.1). They are excluded from the paper's figures
+    but covered by tests and the extension benchmarks. *)
+let extensions : Intf.maker list =
+  [ Fast_collect_deferred.maker; Array_dyn_append_fastupd.maker ]
+
+let all_with_extensions = all @ extensions
+
+(** The algorithms that actually solve the Dynamic Collect problem. *)
+let dynamic_solvers = List.filter (fun (m : Intf.maker) -> m.solves_dynamic) all
+
+let find_maker name =
+  List.find_opt (fun (m : Intf.maker) -> String.equal m.algo_name name) all_with_extensions

@@ -1,0 +1,71 @@
+(** Common types for Dynamic Collect implementations (paper §2).
+
+    A collect object binds {e values} (non-zero integers, i.e. machine
+    words) to {e handles} (addresses in simulated memory). Handles obey the
+    paper's well-formedness rules: [update] and [deregister] may only be
+    called by the thread that registered the handle, and only while it is
+    registered. [collect] may be called by any thread.
+
+    Zero is reserved: it is the null value used by scan-based algorithms to
+    mark empty slots, so clients must bind non-zero values only. *)
+
+type step_policy =
+  | Fixed of int  (** telescoping with a constant step size *)
+  | Fixed_instrumented of int
+      (** constant step size, but paying the per-transaction cost of
+          collecting adaptation data — Figure 5's "Best (adapt cost)"
+          configurations *)
+  | Adaptive  (** the paper's §3.4 adaptive controller *)
+
+type cfg = {
+  max_slots : int;
+      (** Capacity bound. Static algorithms allocate exactly this many
+          slots and raise {!Capacity_exceeded} beyond it; dynamic
+          algorithms ignore it. *)
+  num_threads : int;
+      (** Number of threads that will use the object; the static baseline
+          partitions its slots among this many threads by thread id. *)
+  step : step_policy;  (** telescoping policy for HTM-based collects *)
+  min_size : int;  (** MIN_SIZE of the dynamic arrays (Figure 2) *)
+}
+
+let default_cfg = { max_slots = 64; num_threads = 16; step = Fixed 1; min_size = 4 }
+
+exception Capacity_exceeded of string
+(** Raised by static algorithms when asked to register beyond their bound,
+    and by the static baseline when a thread exceeds its slot quota. *)
+
+type handle = int
+(** An address in simulated memory. Opaque to clients. *)
+
+(** A live collect object, exposed as a record of closures so that
+    heterogeneous algorithm sets can be benchmarked uniformly. *)
+type instance = {
+  name : string;
+  register : Sim.tctx -> int -> handle;
+  update : Sim.tctx -> handle -> int -> unit;
+  deregister : Sim.tctx -> handle -> unit;
+  collect : Sim.tctx -> Sim.Ibuf.t -> unit;
+      (** Appends the collected values to the buffer. May internally reset
+          the buffer back to its length at call time (restarting
+          algorithms), but never below it. *)
+  destroy : Sim.tctx -> unit;
+      (** Free the object's memory. Only valid when no handles are
+          registered and no operations are in flight. *)
+  step_histogram : unit -> (int * int) list;
+      (** Elements collected per telescoping step size (Figure 6);
+          empty for algorithms without transactional collects. *)
+}
+
+type maker = {
+  algo_name : string;
+  solves_dynamic : bool;
+      (** Whether the algorithm solves the Dynamic Collect problem (the
+          static baseline and static arrays do not — paper §3.2.1/§3.3). *)
+  uses_htm : bool;
+  direct_update : bool;
+      (** Whether [update] is a naked store to a handle-determined address
+          (the paper's ≈135 ns class) rather than a transaction through a
+          level of indirection (≈215 ns class). *)
+  make : Htm.t -> Sim.tctx -> cfg -> instance;
+}

@@ -1,0 +1,7 @@
+(** Dynamic baseline (paper §3.3): CAS-based list with hand-over-hand
+    traversal reference counts, after Herlihy-Luchangco-Moir 2003.
+
+    Exposes only the registry entry; instantiate through
+    {!Collect_intf.maker}[.make]. *)
+
+val maker : Collect_intf.maker

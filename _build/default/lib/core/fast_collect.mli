@@ -1,0 +1,7 @@
+(** FastCollect (paper §3.1.2): unpinned list traversal validated by a
+    shared deregister counter; restarts when it changes.
+
+    Exposes only the registry entry; instantiate through
+    {!Collect_intf.maker}[.make]. *)
+
+val maker : Collect_intf.maker

@@ -1,0 +1,7 @@
+(** FastCollect with deferred frees — the §3.1.2 variant that trades
+    reclamation promptness for collect progress under deregister churn.
+
+    Exposes only the registry entry; instantiate through
+    {!Collect_intf.maker}[.make]. *)
+
+val maker : Collect_intf.maker

@@ -1,0 +1,142 @@
+(** HOHRC — hand-over-hand reference counting over a doubly-linked list
+    (paper §3.1.1), with telescoping (§3.4).
+
+    Each node carries a reference count that pins it (prevents
+    deallocation) while a collect holds it as its traversal cursor. A
+    telescoped collect transaction walks up to [step] nodes, records their
+    values, pins the last node reached and unpins its previous cursor — the
+    intermediate nodes are only read, which is the whole point of
+    telescoping (the naive version writes every node twice, and Figure 3
+    shows what that does to cache behaviour).
+
+    Deregistration sets a delete marker; the node is unlinked and freed by
+    the deregisterer if unpinned, otherwise by the last collect that unpins
+    it. Values in delete-marked nodes are skipped (their registration ended
+    before or during the collect), but the nodes are still traversed.
+
+    Update is a naked store: the handle's storage never moves (§3.1's
+    stated advantage of the list-based algorithms). *)
+
+let off_val = 0
+let off_next = 1
+let off_prev = 2
+let off_refc = 3
+let off_del = 4
+
+let node_words = 5
+
+(* Bookkeeping stores per collect transaction: pin + unpin + 2-store unlink
+   + deferred-free bookkeeping margin. *)
+let collect_overhead = 5
+
+type t = {
+  htm : Htm.t;
+  sentinel : int;
+  stepper : Stepper.t;
+}
+
+let create htm ctx (cfg : Collect_intf.cfg) =
+  let sentinel = Simmem.malloc (Htm.mem htm) ctx node_words in
+  { htm; sentinel; stepper = Stepper.make cfg.step ~max_step:(32 - collect_overhead) }
+
+let register t ctx v =
+  let mem = Htm.mem t.htm in
+  let node = Simmem.malloc mem ctx node_words in
+  Simmem.write mem ctx (node + off_val) v;
+  Htm.atomic t.htm ctx (fun tx ->
+      let first = Htm.read tx (t.sentinel + off_next) in
+      Htm.write tx (node + off_next) first;
+      Htm.write tx (node + off_prev) t.sentinel;
+      Htm.write tx (t.sentinel + off_next) node;
+      if first <> 0 then Htm.write tx (first + off_prev) node);
+  node
+
+let update t ctx node v = Simmem.write (Htm.mem t.htm) ctx (node + off_val) v
+
+(* Unlink [n] within [tx]; only legal when its reference count is zero and
+   its delete marker is set, i.e. nobody can reach or pin it afterwards. *)
+let unlink_in_tx tx n =
+  let prev = Htm.read tx (n + off_prev) in
+  let next = Htm.read tx (n + off_next) in
+  Htm.write tx (prev + off_next) next;
+  if next <> 0 then Htm.write tx (next + off_prev) prev;
+  Htm.defer_free tx n
+
+let deregister t ctx node =
+  Htm.atomic t.htm ctx (fun tx ->
+      Htm.write tx (node + off_del) 1;
+      if Htm.read tx (node + off_refc) = 0 then unlink_in_tx tx node)
+
+let collect t ctx buf =
+  let cur = ref t.sentinel in
+  let finished = ref false in
+  while not !finished do
+    let len0 = Sim.Ibuf.length buf in
+    let continue_from =
+      Htm.atomic t.htm ctx
+        ~on_abort:(fun _ -> Stepper.on_abort t.stepper ctx)
+        (fun tx ->
+          Sim.Ibuf.reset_to buf len0;
+          let step = Stepper.get t.stepper ctx in
+          let node = ref (Htm.read tx (!cur + off_next)) in
+          let last = ref 0 in
+          let k = ref 0 in
+          while !node <> 0 && !k < step do
+            if Htm.read tx (!node + off_del) = 0 then begin
+              Sim.Ibuf.add buf (Htm.read tx (!node + off_val));
+              Htm.record tx
+            end;
+            last := !node;
+            incr k;
+            node := Htm.read tx (!node + off_next)
+          done;
+          (* Pin the stopping point if the traversal continues from it. *)
+          let continue_from = if !node = 0 then 0 else !last in
+          if continue_from <> 0 then
+            Htm.write tx (continue_from + off_refc)
+              (Htm.read tx (continue_from + off_refc) + 1);
+          (* Unpin the previous cursor; the last unpinner of a
+             delete-marked node reclaims it. *)
+          if !cur <> t.sentinel then begin
+            let rc = Htm.read tx (!cur + off_refc) - 1 in
+            Htm.write tx (!cur + off_refc) rc;
+            if rc = 0 && Htm.read tx (!cur + off_del) = 1 then unlink_in_tx tx !cur
+          end;
+          continue_from)
+    in
+    Stepper.on_commit t.stepper ctx;
+    Stepper.record_collected t.stepper ctx (Sim.Ibuf.length buf - len0);
+    if continue_from = 0 then finished := true else cur := continue_from
+  done
+
+let destroy t ctx =
+  let mem = Htm.mem t.htm in
+  let rec free_from node =
+    if node <> 0 then begin
+      let next = Simmem.read mem ctx (node + off_next) in
+      Simmem.free mem ctx node;
+      free_from next
+    end
+  in
+  free_from (Simmem.read mem ctx (t.sentinel + off_next));
+  Simmem.free mem ctx t.sentinel
+
+let maker : Collect_intf.maker =
+  {
+    algo_name = "ListHoHRC";
+    solves_dynamic = true;
+    uses_htm = true;
+    direct_update = true;
+    make =
+      (fun htm ctx cfg ->
+        let t = create htm ctx cfg in
+        {
+          Collect_intf.name = "ListHoHRC";
+          register = register t;
+          update = update t;
+          deregister = deregister t;
+          collect = (fun ctx buf -> collect t ctx buf);
+          destroy = destroy t;
+          step_histogram = (fun () -> Stepper.histogram t.stepper);
+        });
+  }

@@ -1,0 +1,8 @@
+(** HOHRC — hand-over-hand reference counting over a doubly-linked list
+    (paper §3.1.1), with telescoping (§3.4). See the implementation header
+    for the full algorithm description.
+
+    Exposes only the registry entry; instantiate through
+    {!Collect_intf.maker}[.make]. *)
+
+val maker : Collect_intf.maker

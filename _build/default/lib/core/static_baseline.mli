@@ -1,0 +1,7 @@
+(** Static baseline (paper §3.3): fixed array, threads statically mapped
+    to slots, no synchronisation. Does not solve Dynamic Collect.
+
+    Exposes only the registry entry; instantiate through
+    {!Collect_intf.maker}[.make]. *)
+
+val maker : Collect_intf.maker

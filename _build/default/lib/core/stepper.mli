@@ -1,0 +1,32 @@
+(** Per-thread telescoping step control shared by the HTM collects
+    (paper §3.4).
+
+    With [Fixed n] every thread always uses step [min n max_step]; with
+    [Fixed_instrumented n] the same, but paying the per-transaction cost of
+    maintaining the adaptation window (Figure 5's "Best (adapt cost)");
+    with [Adaptive] each thread owns an independent {!Htm.Adapt}
+    controller, since adaptation must react to the contention that thread
+    experiences. *)
+
+type t
+
+val make : Collect_intf.step_policy -> max_step:int -> t
+(** [max_step] is per algorithm: e.g. HOHRC spends up to 5 store-buffer
+    slots on reference-count bookkeeping, so its steps cannot reach 32.
+    For [Adaptive] the bound is rounded down to a power of two. *)
+
+val get : t -> Sim.tctx -> int
+(** The step size this thread should use for its next transaction. *)
+
+val on_commit : t -> Sim.tctx -> unit
+(** Record a committed collect transaction (charges the instrumentation
+    cost for adaptive/instrumented policies). *)
+
+val on_abort : t -> Sim.tctx -> unit
+(** Record an aborted attempt. *)
+
+val record_collected : t -> Sim.tctx -> int -> unit
+(** Account elements collected at the current step size (Figure 6). *)
+
+val histogram : t -> (int * int) list
+(** [(step, elements)] pairs merged across threads, ascending by step. *)

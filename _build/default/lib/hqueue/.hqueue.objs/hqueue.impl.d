@@ -1,0 +1,1 @@
+lib/hqueue/hqueue.ml: Htm_queue List Ms_collect_queue Ms_queue Ms_rop_queue Queue_intf String

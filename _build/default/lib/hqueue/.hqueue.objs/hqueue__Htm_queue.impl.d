@@ -1,0 +1,1 @@
+lib/hqueue/htm_queue.ml: Htm Queue_intf Simmem

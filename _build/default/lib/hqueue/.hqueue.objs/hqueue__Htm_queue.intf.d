@@ -1,0 +1,1 @@
+lib/hqueue/htm_queue.mli: Queue_intf

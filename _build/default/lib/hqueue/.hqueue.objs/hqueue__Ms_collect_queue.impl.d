@@ -1,0 +1,1 @@
+lib/hqueue/ms_collect_queue.ml: Array Collect Htm List Queue_intf Sim Simmem

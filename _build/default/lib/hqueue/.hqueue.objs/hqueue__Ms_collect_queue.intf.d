@@ -1,0 +1,1 @@
+lib/hqueue/ms_collect_queue.mli: Queue_intf

@@ -1,0 +1,1 @@
+lib/hqueue/ms_queue.ml: Array Htm List Queue_intf Sim Simmem

@@ -1,0 +1,1 @@
+lib/hqueue/ms_queue.mli: Queue_intf

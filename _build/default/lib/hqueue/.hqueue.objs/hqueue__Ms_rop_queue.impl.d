@@ -1,0 +1,1 @@
+lib/hqueue/ms_rop_queue.ml: Array Htm Int List Queue_intf Sim Simmem

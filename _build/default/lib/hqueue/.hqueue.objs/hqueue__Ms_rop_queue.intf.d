@@ -1,0 +1,1 @@
+lib/hqueue/ms_rop_queue.mli: Queue_intf

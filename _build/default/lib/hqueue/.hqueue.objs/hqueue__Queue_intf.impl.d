@@ -1,0 +1,1 @@
+lib/hqueue/queue_intf.ml: Htm Sim

@@ -1,0 +1,22 @@
+(** Concurrent FIFO queues (paper §1.1): the HTM queue and the two
+    Michael-Scott configurations it is compared against in Figure 1. *)
+
+module Intf = Queue_intf
+module Htm_queue = Htm_queue
+module Ms_queue = Ms_queue
+module Ms_rop_queue = Ms_rop_queue
+module Ms_collect_queue = Ms_collect_queue
+
+(** The three queues of the paper's Figure 1. *)
+let all : Queue_intf.maker list = [ Htm_queue.maker; Ms_queue.maker; Ms_rop_queue.maker ]
+
+(** Beyond the paper: Michael-Scott reclaimed through a Dynamic Collect
+    object (the §1.2 connection made concrete). *)
+let extensions : Queue_intf.maker list = [ Ms_collect_queue.maker ]
+
+let all_with_extensions = all @ extensions
+
+let find_maker name =
+  List.find_opt
+    (fun (m : Queue_intf.maker) -> String.equal m.queue_name name)
+    all_with_extensions

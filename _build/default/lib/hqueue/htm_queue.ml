@@ -1,0 +1,78 @@
+(** The HTM FIFO queue (paper §1.1): sequential queue code wrapped in
+    hardware transactions.
+
+    A dequeue frees the removed entry immediately after its transaction
+    commits. No later transaction can see a reference to it; a concurrent
+    transaction that still holds one and dereferences it simply aborts
+    (sandboxing, footnote 1 of the paper). That single property removes the
+    ABA problem, the need for counted pointers, and the entire reclamation
+    protocol that make Michael-Scott hard — this module is the "homework
+    exercise" version. *)
+
+let off_val = 0
+let off_next = 1
+let node_words = 2
+
+(* head and tail words are padded to separate cache lines *)
+let hdr_head = 0
+let hdr_tail = 8
+let hdr_words = 16
+
+type t = { htm : Htm.t; hdr : int }
+
+let create htm ctx = { htm; hdr = Simmem.malloc (Htm.mem htm) ctx hdr_words }
+
+let enqueue t ctx v =
+  let mem = Htm.mem t.htm in
+  let node = Simmem.malloc mem ctx node_words in
+  Simmem.write mem ctx (node + off_val) v;
+  Htm.atomic t.htm ctx (fun tx ->
+      let tail = Htm.read tx (t.hdr + hdr_tail) in
+      if tail = 0 then begin
+        Htm.write tx (t.hdr + hdr_head) node;
+        Htm.write tx (t.hdr + hdr_tail) node
+      end
+      else begin
+        Htm.write tx (tail + off_next) node;
+        Htm.write tx (t.hdr + hdr_tail) node
+      end)
+
+let dequeue t ctx =
+  Htm.atomic t.htm ctx (fun tx ->
+      let head = Htm.read tx (t.hdr + hdr_head) in
+      if head = 0 then None
+      else begin
+        let next = Htm.read tx (head + off_next) in
+        Htm.write tx (t.hdr + hdr_head) next;
+        if next = 0 then Htm.write tx (t.hdr + hdr_tail) 0;
+        let v = Htm.read tx (head + off_val) in
+        Htm.defer_free tx head;
+        Some v
+      end)
+
+let destroy t ctx =
+  let mem = Htm.mem t.htm in
+  let rec free_from node =
+    if node <> 0 then begin
+      let next = Simmem.read mem ctx (node + off_next) in
+      Simmem.free mem ctx node;
+      free_from next
+    end
+  in
+  free_from (Simmem.read mem ctx (t.hdr + hdr_head));
+  Simmem.free mem ctx t.hdr
+
+let maker : Queue_intf.maker =
+  {
+    queue_name = "HTM";
+    reclaims = true;
+    make =
+      (fun htm ctx ~num_threads:_ ->
+        let t = create htm ctx in
+        {
+          Queue_intf.name = "HTM";
+          enqueue = enqueue t;
+          dequeue = dequeue t;
+          destroy = destroy t;
+        });
+  }

@@ -1,0 +1,8 @@
+(** The HTM FIFO queue (paper §1.1): sequential queue code inside hardware
+    transactions; dequeued entries are freed immediately (sandboxing makes
+    that safe).
+
+    Exposes only the registry entry; instantiate through
+    {!Queue_intf.maker}[.make]. *)
+
+val maker : Queue_intf.maker

@@ -1,0 +1,9 @@
+(** Michael-Scott queue reclaimed through a Dynamic Collect object — the
+    §1.2 connection made concrete: announcements live in lazily registered
+    collect handles instead of a fixed per-possible-thread array, so the
+    announcement space tracks the threads that actually use the queue.
+
+    Exposes only the registry entry; instantiate through
+    {!Queue_intf.maker}[.make]. *)
+
+val maker : Queue_intf.maker

@@ -1,0 +1,168 @@
+(** The Michael-Scott lock-free queue (PODC '96), with counted pointers and
+    per-thread node pools — the state of the art the paper compares
+    against.
+
+    Because a dequeued node may still be examined by concurrent operations,
+    it can never be handed back to the allocator: it parks in the dequeuing
+    thread's private pool and is recycled by that thread's later enqueues.
+    Recycling makes the ABA problem real, hence the tag counters packed
+    into every pointer word. The cost the paper emphasises: even at
+    quiescence the memory footprint is proportional to the {e historical
+    maximum} queue length (measured by the [space] benchmark).
+
+    Pointer packing: address in bits 0–31, tag in bits 32–60. *)
+
+let off_val = 0
+let off_next = 1
+let node_words = 2
+
+(* head and tail words are padded to separate cache lines, as any
+   practical implementation does *)
+let hdr_head = 0
+let hdr_tail = 8
+let hdr_words = 16
+
+let ptr_of w = w land 0xFFFFFFFF
+let tag_of w = w lsr 32
+let pack ~tag ~ptr = ((tag land 0x0FFFFFFF) lsl 32) lor ptr
+
+type t = {
+  htm : Htm.t;
+  hdr : int;
+  pools : int list array; (* per-thread free node pools *)
+}
+
+let alloc_node t ctx =
+  let tid = Sim.tid ctx in
+  match t.pools.(tid) with
+  | node :: rest ->
+    t.pools.(tid) <- rest;
+    node
+  | [] -> Simmem.malloc (Htm.mem t.htm) ctx node_words
+
+let retire_node t ctx node =
+  let tid = Sim.tid ctx in
+  t.pools.(tid) <- node :: t.pools.(tid)
+
+let create htm ctx =
+  let mem = Htm.mem htm in
+  let hdr = Simmem.malloc mem ctx hdr_words in
+  let sentinel = Simmem.malloc mem ctx node_words in
+  Simmem.write mem ctx (hdr + hdr_head) (pack ~tag:0 ~ptr:sentinel);
+  Simmem.write mem ctx (hdr + hdr_tail) (pack ~tag:0 ~ptr:sentinel);
+  { htm; hdr; pools = Array.make (Sim.max_threads + 1) [] }
+
+let enqueue t ctx v =
+  let mem = Htm.mem t.htm in
+  let node = alloc_node t ctx in
+  Simmem.write mem ctx (node + off_val) v;
+  (* Recycled nodes keep their next-word tag monotonic across reuses. *)
+  let old_next = Simmem.read mem ctx (node + off_next) in
+  Simmem.write mem ctx (node + off_next) (pack ~tag:(tag_of old_next + 1) ~ptr:0);
+  let b = Sim.Backoff.create ctx in
+  let retry loop =
+    Sim.Backoff.once b;
+    loop ()
+  in
+  let rec loop () =
+    let tail = Simmem.read mem ctx (t.hdr + hdr_tail) in
+    let tptr = ptr_of tail in
+    let next = Simmem.read mem ctx (tptr + off_next) in
+    if Simmem.read mem ctx (t.hdr + hdr_tail) = tail then begin
+      if ptr_of next = 0 then begin
+        if
+          Simmem.cas mem ctx (tptr + off_next) ~expected:next
+            ~desired:(pack ~tag:(tag_of next + 1) ~ptr:node)
+        then begin
+          let (_ : bool) =
+            Simmem.cas mem ctx (t.hdr + hdr_tail) ~expected:tail
+              ~desired:(pack ~tag:(tag_of tail + 1) ~ptr:node)
+          in
+          ()
+        end
+        else retry loop
+      end
+      else begin
+        (* Help swing the lagging tail forward. *)
+        let (_ : bool) =
+          Simmem.cas mem ctx (t.hdr + hdr_tail) ~expected:tail
+            ~desired:(pack ~tag:(tag_of tail + 1) ~ptr:(ptr_of next))
+        in
+        retry loop
+      end
+    end
+    else retry loop
+  in
+  loop ()
+
+let dequeue t ctx =
+  let mem = Htm.mem t.htm in
+  let b = Sim.Backoff.create ctx in
+  let retry loop =
+    Sim.Backoff.once b;
+    loop ()
+  in
+  let rec loop () =
+    let head = Simmem.read mem ctx (t.hdr + hdr_head) in
+    let tail = Simmem.read mem ctx (t.hdr + hdr_tail) in
+    let next = Simmem.read mem ctx (ptr_of head + off_next) in
+    if Simmem.read mem ctx (t.hdr + hdr_head) = head then begin
+      if ptr_of head = ptr_of tail then begin
+        if ptr_of next = 0 then None
+        else begin
+          let (_ : bool) =
+            Simmem.cas mem ctx (t.hdr + hdr_tail) ~expected:tail
+              ~desired:(pack ~tag:(tag_of tail + 1) ~ptr:(ptr_of next))
+          in
+          retry loop
+        end
+      end
+      else begin
+        (* Read the value before the CAS: afterwards the node may already
+           be recycled by another thread. *)
+        let v = Simmem.read mem ctx (ptr_of next + off_val) in
+        if
+          Simmem.cas mem ctx (t.hdr + hdr_head) ~expected:head
+            ~desired:(pack ~tag:(tag_of head + 1) ~ptr:(ptr_of next))
+        then begin
+          retire_node t ctx (ptr_of head);
+          Some v
+        end
+        else retry loop
+      end
+    end
+    else retry loop
+  in
+  loop ()
+
+let destroy t ctx =
+  let mem = Htm.mem t.htm in
+  Array.iteri
+    (fun tid pool ->
+      List.iter (fun node -> Simmem.free mem ctx node) pool;
+      t.pools.(tid) <- [])
+    t.pools;
+  let rec free_from node =
+    if node <> 0 then begin
+      let next = ptr_of (Simmem.read mem ctx (node + off_next)) in
+      Simmem.free mem ctx node;
+      free_from next
+    end
+  in
+  free_from (ptr_of (Simmem.read mem ctx (t.hdr + hdr_head)));
+  Simmem.free mem ctx t.hdr
+
+let maker : Queue_intf.maker =
+  {
+    queue_name = "MichaelScott";
+    reclaims = false;
+    make =
+      (fun htm ctx ~num_threads:_ ->
+        let t = create htm ctx in
+        {
+          Queue_intf.name = "MichaelScott";
+          enqueue = enqueue t;
+          dequeue = dequeue t;
+          destroy = destroy t;
+        });
+  }

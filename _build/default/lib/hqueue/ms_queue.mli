@@ -1,0 +1,8 @@
+(** The Michael-Scott lock-free queue (PODC '96) with counted pointers
+    and per-thread node pools: never returns memory, footprint is the
+    historical maximum.
+
+    Exposes only the registry entry; instantiate through
+    {!Queue_intf.maker}[.make]. *)
+
+val maker : Queue_intf.maker

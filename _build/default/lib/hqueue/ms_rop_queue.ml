@@ -1,0 +1,201 @@
+(** Michael-Scott queue with announcement-based reclamation — the paper's
+    "Michael-Scott ROP" configuration (§1.1, Figure 1).
+
+    The Repeat Offender Problem mechanism and Michael's hazard pointers are
+    the same announce-validate-scan discipline; we implement the
+    hazard-pointer formulation (Michael, IEEE TPDS 2004): before
+    dereferencing a node, a thread {e announces} it in a shared array and
+    re-validates the source pointer; before freeing a node, the reclaimer
+    {e scans} the announcements and defers any node still announced. This
+    buys real reclamation (unlike the pooled Michael-Scott) at the price
+    the paper measures: an announcement store plus a validation re-read on
+    every traversal step, and periodic scans.
+
+    Announced nodes cannot be recycled mid-operation, which also kills the
+    ABA case, so pointers need no tags here. *)
+
+let off_val = 0
+let off_next = 1
+let node_words = 2
+
+(* head and tail words are padded to separate cache lines *)
+let hdr_head = 0
+let hdr_tail = 8
+let hdr_words = 16
+
+let hazards_per_thread = 2
+
+type t = {
+  htm : Htm.t;
+  hdr : int;
+  hz : int; (* announcement array: hazards_per_thread words per slot *)
+  num_threads : int;
+  retired : int list array; (* per-thread retired-but-not-yet-free nodes *)
+  retired_count : int array;
+  scan_threshold : int;
+}
+
+let slot_index t ctx =
+  let tid = Sim.tid ctx in
+  if tid = Sim.boot_tid then t.num_threads
+  else if tid < t.num_threads then tid
+  else invalid_arg "Ms_rop_queue: thread id outside the declared range"
+
+let hazard_addr t ctx i = t.hz + (hazards_per_thread * slot_index t ctx) + i
+
+(* An announcement must be globally visible before the validating re-read,
+   which requires a store-load fence (membar #StoreLoad on SPARC). This
+   fence, paid on every traversal step, is the heart of the 35–75 %
+   overhead the paper measures for ROP-style reclamation. *)
+let fence_cost = 60
+
+let announce t ctx i node =
+  Simmem.write (Htm.mem t.htm) ctx (hazard_addr t ctx i) node;
+  Sim.tick ctx fence_cost
+
+let clear_announcements t ctx =
+  announce t ctx 0 0;
+  announce t ctx 1 0
+
+let create htm ctx ~num_threads =
+  let mem = Htm.mem htm in
+  let hdr = Simmem.malloc mem ctx hdr_words in
+  let hz = Simmem.malloc mem ctx (hazards_per_thread * (num_threads + 1)) in
+  let sentinel = Simmem.malloc mem ctx node_words in
+  Simmem.write mem ctx (hdr + hdr_head) sentinel;
+  Simmem.write mem ctx (hdr + hdr_tail) sentinel;
+  {
+    htm;
+    hdr;
+    hz;
+    num_threads;
+    retired = Array.make (Sim.max_threads + 1) [];
+    retired_count = Array.make (Sim.max_threads + 1) 0;
+    scan_threshold = (2 * hazards_per_thread * (num_threads + 1)) + 2;
+  }
+
+(* Free every retired node not currently announced by anyone. *)
+let scan t ctx =
+  let mem = Htm.mem t.htm in
+  let nslots = hazards_per_thread * (t.num_threads + 1) in
+  let announced = Array.init nslots (fun i -> Simmem.read mem ctx (t.hz + i)) in
+  let tid = Sim.tid ctx in
+  let keep, free_list =
+    List.partition (fun node -> Array.exists (Int.equal node) announced) t.retired.(tid)
+  in
+  List.iter (fun node -> Simmem.free mem ctx node) free_list;
+  t.retired.(tid) <- keep;
+  t.retired_count.(tid) <- List.length keep
+
+let retire t ctx node =
+  let tid = Sim.tid ctx in
+  t.retired.(tid) <- node :: t.retired.(tid);
+  t.retired_count.(tid) <- t.retired_count.(tid) + 1;
+  if t.retired_count.(tid) >= t.scan_threshold then scan t ctx
+
+let enqueue t ctx v =
+  let mem = Htm.mem t.htm in
+  let node = Simmem.malloc mem ctx node_words in
+  Simmem.write mem ctx (node + off_val) v;
+  let b = Sim.Backoff.create ctx in
+  let retry loop =
+    Sim.Backoff.once b;
+    loop ()
+  in
+  let rec loop () =
+    let tail = Simmem.read mem ctx (t.hdr + hdr_tail) in
+    announce t ctx 0 tail;
+    if Simmem.read mem ctx (t.hdr + hdr_tail) <> tail then retry loop
+    else begin
+      let next = Simmem.read mem ctx (tail + off_next) in
+      if Simmem.read mem ctx (t.hdr + hdr_tail) <> tail then retry loop
+      else if next <> 0 then begin
+        let (_ : bool) =
+          Simmem.cas mem ctx (t.hdr + hdr_tail) ~expected:tail ~desired:next
+        in
+        retry loop
+      end
+      else if Simmem.cas mem ctx (tail + off_next) ~expected:0 ~desired:node then begin
+        let (_ : bool) =
+          Simmem.cas mem ctx (t.hdr + hdr_tail) ~expected:tail ~desired:node
+        in
+        ()
+      end
+      else retry loop
+    end
+  in
+  loop ();
+  announce t ctx 0 0
+
+let dequeue t ctx =
+  let mem = Htm.mem t.htm in
+  let b = Sim.Backoff.create ctx in
+  let retry loop =
+    Sim.Backoff.once b;
+    loop ()
+  in
+  let rec loop () =
+    let head = Simmem.read mem ctx (t.hdr + hdr_head) in
+    announce t ctx 0 head;
+    if Simmem.read mem ctx (t.hdr + hdr_head) <> head then retry loop
+    else begin
+      let tail = Simmem.read mem ctx (t.hdr + hdr_tail) in
+      let next = Simmem.read mem ctx (head + off_next) in
+      announce t ctx 1 next;
+      if Simmem.read mem ctx (t.hdr + hdr_head) <> head then retry loop
+      else if head = tail then begin
+        if next = 0 then None
+        else begin
+          let (_ : bool) =
+            Simmem.cas mem ctx (t.hdr + hdr_tail) ~expected:tail ~desired:next
+          in
+          retry loop
+        end
+      end
+      else begin
+        let v = Simmem.read mem ctx (next + off_val) in
+        if Simmem.cas mem ctx (t.hdr + hdr_head) ~expected:head ~desired:next then begin
+          retire t ctx head;
+          Some v
+        end
+        else retry loop
+      end
+    end
+  in
+  let r = loop () in
+  clear_announcements t ctx;
+  r
+
+let destroy t ctx =
+  let mem = Htm.mem t.htm in
+  Array.iteri
+    (fun tid nodes ->
+      List.iter (fun node -> Simmem.free mem ctx node) nodes;
+      t.retired.(tid) <- [];
+      t.retired_count.(tid) <- 0)
+    t.retired;
+  let rec free_from node =
+    if node <> 0 then begin
+      let next = Simmem.read mem ctx (node + off_next) in
+      Simmem.free mem ctx node;
+      free_from next
+    end
+  in
+  free_from (Simmem.read mem ctx (t.hdr + hdr_head));
+  Simmem.free mem ctx t.hz;
+  Simmem.free mem ctx t.hdr
+
+let maker : Queue_intf.maker =
+  {
+    queue_name = "MichaelScott+ROP";
+    reclaims = true;
+    make =
+      (fun htm ctx ~num_threads ->
+        let t = create htm ctx ~num_threads in
+        {
+          Queue_intf.name = "MichaelScott+ROP";
+          enqueue = enqueue t;
+          dequeue = dequeue t;
+          destroy = destroy t;
+        });
+  }

@@ -1,0 +1,8 @@
+(** Michael-Scott with announcement-based reclamation (the paper's
+    "Michael-Scott ROP"): hazard-pointer announce/validate/scan, real
+    reclamation at the cost of a fence per traversal step.
+
+    Exposes only the registry entry; instantiate through
+    {!Queue_intf.maker}[.make]. *)
+
+val maker : Queue_intf.maker

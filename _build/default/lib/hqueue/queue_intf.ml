@@ -1,0 +1,19 @@
+(** Common interface for the concurrent FIFO queues of paper §1.1. *)
+
+type instance = {
+  name : string;
+  enqueue : Sim.tctx -> int -> unit;
+  dequeue : Sim.tctx -> int option;
+  destroy : Sim.tctx -> unit;
+      (** Free everything the queue still owns (remaining entries, pools,
+          announcement arrays). Only valid when quiescent. *)
+}
+
+type maker = {
+  queue_name : string;
+  reclaims : bool;
+      (** Whether dequeued entries are returned to the allocator (the HTM
+          queue and the ROP variant) or parked in thread pools forever
+          (plain Michael-Scott). *)
+  make : Htm.t -> Sim.tctx -> num_threads:int -> instance;
+}

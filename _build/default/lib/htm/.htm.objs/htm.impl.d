@@ -1,0 +1,1 @@
+lib/htm/htm.ml: Adapt Array Format List Sim Simmem

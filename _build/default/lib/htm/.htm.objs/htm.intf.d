@@ -1,0 +1,1 @@
+lib/htm/htm.mli: Adapt Format Sim Simmem

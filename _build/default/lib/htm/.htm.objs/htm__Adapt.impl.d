@@ -1,0 +1,1 @@
+lib/htm/adapt.ml: Array

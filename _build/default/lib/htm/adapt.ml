@@ -1,0 +1,71 @@
+type t = {
+  min_step : int;
+  max_step : int;
+  mutable step : int;
+  mutable window : int; (* bit vector of recent outcomes, bit set = commit *)
+  mutable nbits : int; (* how many outcomes the window holds, <= 8 *)
+  mutable counter : int; (* commits - aborts over the window *)
+  hist : int array; (* elements collected, indexed by log2 of step size *)
+}
+
+let window_size = 8
+let double_threshold = 6
+let halve_threshold = -2
+
+let log2 n =
+  let rec go n acc = if n <= 1 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+let create ?(min_step = 1) ?(max_step = 32) ~initial () =
+  if min_step < 1 || max_step < min_step then invalid_arg "Adapt.create: bad bounds";
+  if initial < min_step || initial > max_step then invalid_arg "Adapt.create: bad initial";
+  {
+    min_step;
+    max_step;
+    step = initial;
+    window = 0;
+    nbits = 0;
+    counter = 0;
+    hist = Array.make (log2 max_step + 1) 0;
+  }
+
+let step t = t.step
+let counter t = t.counter
+let window_length t = t.nbits
+
+let reset_window t =
+  t.window <- 0;
+  t.nbits <- 0;
+  t.counter <- 0
+
+let push t outcome =
+  if t.nbits = window_size then begin
+    let oldest = (t.window lsr (window_size - 1)) land 1 in
+    t.counter <- t.counter - (if oldest = 1 then 1 else -1)
+  end
+  else t.nbits <- t.nbits + 1;
+  t.window <- ((t.window lsl 1) lor outcome) land ((1 lsl window_size) - 1);
+  t.counter <- t.counter + (if outcome = 1 then 1 else -1)
+
+let on_commit t =
+  push t 1;
+  if t.counter > double_threshold && t.step < t.max_step then begin
+    t.step <- t.step * 2;
+    reset_window t
+  end
+
+let on_abort t =
+  push t 0;
+  if t.counter < halve_threshold && t.step > t.min_step then begin
+    t.step <- t.step / 2;
+    reset_window t
+  end
+
+let record_collected t n = t.hist.(log2 t.step) <- t.hist.(log2 t.step) + n
+
+let histogram t =
+  let acc = ref [] in
+  for i = Array.length t.hist - 1 downto 0 do
+    if t.hist.(i) > 0 then acc := (1 lsl i, t.hist.(i)) :: !acc
+  done;
+  !acc

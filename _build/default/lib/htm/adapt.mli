@@ -1,0 +1,38 @@
+(** Adaptive telescoping step size (paper §3.4).
+
+    Telescoping amortises transaction begin/commit costs over several
+    traversal steps, but larger transactions abort more under contention.
+    The paper's controller keeps an 8-entry window of recent transaction
+    outcomes and a counter of [commits - aborts] over the window:
+
+    - after a commit, if the counter exceeds [+6], the step size doubles;
+    - after an abort, if the counter is below [-2], the step size halves;
+    - when the step size changes, the window is reset ("only transaction
+      attempts since the last resize are relevant").
+
+    The controller also keeps a histogram of how many elements were
+    collected at each step size, which regenerates the paper's Figure 6. *)
+
+type t
+
+val create : ?min_step:int -> ?max_step:int -> initial:int -> unit -> t
+(** Defaults: [min_step = 1], [max_step = 32] (Rock's store-buffer bound). *)
+
+val step : t -> int
+(** Current step size. *)
+
+val on_commit : t -> unit
+val on_abort : t -> unit
+
+val record_collected : t -> int -> unit
+(** [record_collected t n] accounts [n] elements collected at the current
+    step size (Figure 6 instrumentation). *)
+
+val histogram : t -> (int * int) list
+(** [(step_size, elements_collected)] pairs, ascending, zeros omitted. *)
+
+val counter : t -> int
+(** Current commits-minus-aborts value over the window (for tests). *)
+
+val window_length : t -> int
+(** Number of outcomes currently in the window, at most 8 (for tests). *)

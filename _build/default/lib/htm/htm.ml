@@ -1,0 +1,333 @@
+module Adapt = Adapt
+
+type abort_reason = Conflict | Overflow | Illegal | Explicit | Lock_held
+
+let pp_abort_reason ppf r =
+  Format.pp_print_string ppf
+    (match r with
+     | Conflict -> "conflict"
+     | Overflow -> "overflow"
+     | Illegal -> "illegal"
+     | Explicit -> "explicit"
+     | Lock_held -> "lock-held")
+
+type tle_mode = Tle_never | Tle_after of int
+
+type config = {
+  store_buffer : int;
+  tx_begin_cost : int;
+  tx_commit_cost : int;
+  tx_store_cost : int;
+  tx_abort_cost : int;
+  backoff_base : int;
+  backoff_max : int;
+  sandboxed : bool;
+  tle : tle_mode;
+}
+
+let default_config =
+  {
+    store_buffer = 32;
+    tx_begin_cost = 25;
+    tx_commit_cost = 35;
+    (* Store-buffer insertion is pipelined and effectively free on Rock;
+       the cost here models the per-element loop work of a telescoped scan;
+       the 32-entry capacity is the constraint that matters for sizing. *)
+    tx_store_cost = 0;
+    tx_abort_cost = 100;
+    backoff_base = 60;
+    backoff_max = 16384;
+    sandboxed = true;
+    tle = Tle_never;
+  }
+
+type stats = {
+  commits : int;
+  aborts_conflict : int;
+  aborts_overflow : int;
+  aborts_illegal : int;
+  aborts_explicit : int;
+  aborts_lock : int;
+  lock_fallbacks : int;
+}
+
+type mutable_stats = {
+  mutable s_commits : int;
+  mutable s_conflict : int;
+  mutable s_overflow : int;
+  mutable s_illegal : int;
+  mutable s_explicit : int;
+  mutable s_lock : int;
+  mutable s_fallbacks : int;
+}
+
+type t = {
+  hmem : Simmem.t;
+  cfg : config;
+  st : mutable_stats;
+  lock_addr : int;
+}
+
+exception Aborted of abort_reason
+
+let create ?(config = default_config) mem =
+  (* The TLE lock gets its own cache line so lock traffic does not
+     false-share with application data. *)
+  let boot = Sim.boot () in
+  let lock_addr = Simmem.malloc mem boot 8 in
+  {
+    hmem = mem;
+    cfg = config;
+    st =
+      {
+        s_commits = 0;
+        s_conflict = 0;
+        s_overflow = 0;
+        s_illegal = 0;
+        s_explicit = 0;
+        s_lock = 0;
+        s_fallbacks = 0;
+      };
+    lock_addr;
+  }
+
+let mem t = t.hmem
+let config t = t.cfg
+
+let stats t =
+  {
+    commits = t.st.s_commits;
+    aborts_conflict = t.st.s_conflict;
+    aborts_overflow = t.st.s_overflow;
+    aborts_illegal = t.st.s_illegal;
+    aborts_explicit = t.st.s_explicit;
+    aborts_lock = t.st.s_lock;
+    lock_fallbacks = t.st.s_fallbacks;
+  }
+
+let reset_stats t =
+  t.st.s_commits <- 0;
+  t.st.s_conflict <- 0;
+  t.st.s_overflow <- 0;
+  t.st.s_illegal <- 0;
+  t.st.s_explicit <- 0;
+  t.st.s_lock <- 0;
+  t.st.s_fallbacks <- 0
+
+type mode = Hw | Locked
+
+type tx = {
+  h : t;
+  ctx : Sim.tctx;
+  mutable mode : mode;
+  mutable attempt : int;
+  mutable raddr : int array;
+  mutable rver : int array;
+  mutable nreads : int;
+  mutable waddr : int array;
+  mutable wval : int array;
+  mutable nwrites : int;
+  mutable nstores : int;
+  mutable frees : int list;
+}
+
+let attempt_number tx = tx.attempt
+let in_fallback tx = tx.mode = Locked
+
+let reset_tx tx mode attempt =
+  tx.mode <- mode;
+  tx.attempt <- attempt;
+  tx.nreads <- 0;
+  tx.nwrites <- 0;
+  tx.nstores <- 0;
+  tx.frees <- []
+
+let fresh_tx h ctx =
+  {
+    h;
+    ctx;
+    mode = Hw;
+    attempt = 0;
+    raddr = Array.make 64 0;
+    rver = Array.make 64 0;
+    nreads = 0;
+    waddr = Array.make 32 0;
+    wval = Array.make 32 0;
+    nwrites = 0;
+    nstores = 0;
+    frees = [];
+  }
+
+let validate_reads tx =
+  let mem = tx.h.hmem in
+  let ok = ref true in
+  for i = 0 to tx.nreads - 1 do
+    if not (Simmem.Tx_plane.validate mem tx.raddr.(i) tx.rver.(i)) then ok := false
+  done;
+  !ok
+
+let grow_reads tx =
+  let n = Array.length tx.raddr in
+  let raddr = Array.make (2 * n) 0 and rver = Array.make (2 * n) 0 in
+  Array.blit tx.raddr 0 raddr 0 n;
+  Array.blit tx.rver 0 rver 0 n;
+  tx.raddr <- raddr;
+  tx.rver <- rver
+
+let note_read tx addr ver =
+  let rec known i = i < tx.nreads && (tx.raddr.(i) = addr || known (i + 1)) in
+  if not (known 0) then begin
+    if tx.nreads = Array.length tx.raddr then grow_reads tx;
+    tx.raddr.(tx.nreads) <- addr;
+    tx.rver.(tx.nreads) <- ver;
+    tx.nreads <- tx.nreads + 1
+  end
+
+let find_buffered tx addr =
+  let rec go i = if i < 0 then None else if tx.waddr.(i) = addr then Some tx.wval.(i) else go (i - 1) in
+  go (tx.nwrites - 1)
+
+let illegal tx addr =
+  if tx.h.cfg.sandboxed then raise (Aborted Illegal)
+  else raise (Simmem.Fault (Simmem.Use_after_free addr))
+
+let read tx addr =
+  match tx.mode with
+  | Locked -> Simmem.read tx.h.hmem tx.ctx addr
+  | Hw ->
+    (match find_buffered tx addr with
+     | Some v -> v
+     | None ->
+       (match Simmem.Tx_plane.read tx.h.hmem tx.ctx addr with
+        | None -> illegal tx addr
+        | Some (v, ver) ->
+          note_read tx addr ver;
+          if not (validate_reads tx) then raise (Aborted Conflict);
+          v))
+
+let consume_store_slot tx =
+  tx.nstores <- tx.nstores + 1;
+  if tx.nstores > tx.h.cfg.store_buffer then raise (Aborted Overflow);
+  Sim.tick tx.ctx tx.h.cfg.tx_store_cost
+
+let write tx addr v =
+  match tx.mode with
+  | Locked -> Simmem.write tx.h.hmem tx.ctx addr v
+  | Hw ->
+    if not (Simmem.is_allocated tx.h.hmem addr) then illegal tx addr;
+    consume_store_slot tx;
+    if tx.nwrites = Array.length tx.waddr then begin
+      let n = Array.length tx.waddr in
+      let waddr = Array.make (2 * n) 0 and wval = Array.make (2 * n) 0 in
+      Array.blit tx.waddr 0 waddr 0 n;
+      Array.blit tx.wval 0 wval 0 n;
+      tx.waddr <- waddr;
+      tx.wval <- wval
+    end;
+    tx.waddr.(tx.nwrites) <- addr;
+    tx.wval.(tx.nwrites) <- v;
+    tx.nwrites <- tx.nwrites + 1
+
+let record tx =
+  match tx.mode with
+  | Locked -> Sim.tick tx.ctx tx.h.cfg.tx_store_cost
+  | Hw -> consume_store_slot tx
+
+let abort tx =
+  match tx.mode with
+  | Hw -> raise (Aborted Explicit)
+  | Locked -> invalid_arg "Htm.abort: cannot abort under the TLE lock"
+
+let defer_free tx base = tx.frees <- base :: tx.frees
+
+(* Commit: validate, then apply the write buffer without yielding so the
+   transaction is atomic in virtual time. *)
+let commit tx =
+  let mem = tx.h.hmem in
+  if not (validate_reads tx) then raise (Aborted Conflict);
+  for i = 0 to tx.nwrites - 1 do
+    if not (Simmem.is_allocated mem tx.waddr.(i)) then illegal tx tx.waddr.(i)
+  done;
+  Sim.charge tx.ctx tx.h.cfg.tx_commit_cost;
+  for i = 0 to tx.nwrites - 1 do
+    let ok = Simmem.Tx_plane.commit_write mem tx.ctx tx.waddr.(i) tx.wval.(i) in
+    assert ok
+  done;
+  Sim.tick tx.ctx 0
+
+let run_frees tx =
+  List.iter (fun base -> Simmem.free tx.h.hmem tx.ctx base) (List.rev tx.frees);
+  tx.frees <- []
+
+let count_abort st = function
+  | Conflict -> st.s_conflict <- st.s_conflict + 1
+  | Overflow -> st.s_overflow <- st.s_overflow + 1
+  | Illegal -> st.s_illegal <- st.s_illegal + 1
+  | Explicit -> st.s_explicit <- st.s_explicit + 1
+  | Lock_held -> st.s_lock <- st.s_lock + 1
+
+let backoff h ctx n =
+  let shift = min n 9 in
+  let hi = min h.cfg.backoff_max (h.cfg.backoff_base lsl shift) in
+  let d = (hi / 2) + Sim.Rng.int (Sim.rng ctx) (max 1 (hi / 2)) in
+  Sim.tick ctx d
+
+let acquire_lock h ctx =
+  let rec spin n =
+    if not (Simmem.cas h.hmem ctx h.lock_addr ~expected:0 ~desired:1) then begin
+      backoff h ctx n;
+      spin (min (n + 1) 6)
+    end
+  in
+  spin 0
+
+let release_lock h ctx = Simmem.write h.hmem ctx h.lock_addr 0
+
+let run_locked h ctx tx attempt f =
+  acquire_lock h ctx;
+  h.st.s_fallbacks <- h.st.s_fallbacks + 1;
+  reset_tx tx Locked attempt;
+  match f tx with
+  | v ->
+    release_lock h ctx;
+    run_frees tx;
+    v
+  | exception e ->
+    release_lock h ctx;
+    raise e
+
+let atomic h ctx ?(on_abort = fun (_ : abort_reason) -> ()) f =
+  let tx = fresh_tx h ctx in
+  let rec attempt n =
+    let use_lock = match h.cfg.tle with Tle_never -> false | Tle_after k -> n >= k in
+    if use_lock then run_locked h ctx tx n f
+    else begin
+      (* Small cost jitter models real-hardware timing noise; without it,
+         deterministic costs let the backoff phase-lock contending threads
+         into conflict-free lockstep that a real machine's pipeline and
+         interrupt noise would constantly break. *)
+      Sim.tick ctx (h.cfg.tx_begin_cost + Sim.Rng.int (Sim.rng ctx) 16);
+      reset_tx tx Hw n;
+      match
+        (* Under TLE every hardware transaction monitors the lock word:
+           observing it held aborts now, and a later acquisition changes the
+           word's version, dooming us at validation. *)
+        (if h.cfg.tle <> Tle_never && read tx h.lock_addr <> 0 then
+           raise (Aborted Lock_held));
+        let v = f tx in
+        commit tx;
+        v
+      with
+      | v ->
+        h.st.s_commits <- h.st.s_commits + 1;
+        run_frees tx;
+        v
+      | exception Aborted r ->
+        count_abort h.st r;
+        Sim.tick ctx h.cfg.tx_abort_cost;
+        on_abort r;
+        backoff h ctx n;
+        attempt (n + 1)
+    end
+  in
+  attempt 0

@@ -1,0 +1,114 @@
+(** Simulated hardware transactional memory, modelled on Sun's Rock.
+
+    The properties the paper's algorithms rely on (§6) are all modelled and
+    individually switchable:
+
+    - {b bounded write sets}: a transaction aborts with [Overflow] after
+      more than [store_buffer] stores (32 on Rock). Telescoped collects
+      account their result-set stores through {!record};
+    - {b sandboxing}: a transactional load from freed or unmapped memory
+      aborts the transaction ([Illegal]) instead of faulting. With
+      [sandboxed = false], it raises {!Simmem.Fault} like a plain segfault
+      — the ablation showing why the paper's footnote 1 matters;
+    - {b strong atomicity}: non-transactional stores bump word versions, so
+      any transaction that has read the word aborts ([Conflict]);
+    - {b no progress guarantee / TLE}: by default transactions retry with
+      randomized exponential backoff. With [tle = After n], the [n]-th
+      consecutive abort falls back to a global lock, executing the block
+      non-transactionally while every hardware transaction monitors the
+      lock word (the paper's §6 TLE construction);
+    - {b opacity}: the read set is fully revalidated on every transactional
+      access, so a doomed transaction never observes an inconsistent
+      snapshot (on Rock, eager hardware conflict detection gives the same
+      effect).
+
+    Transactions execute atomically in virtual time: the commit phase
+    charges cycle costs without yielding. Aborts are modelled by re-running
+    the block, so blocks must be written to be re-executable from scratch
+    (reset any external accumulation at the top of the block — see
+    {!Sim.Ibuf.reset_to}). *)
+
+module Adapt = Adapt
+
+type abort_reason =
+  | Conflict  (** read-set validation failed *)
+  | Overflow  (** store-buffer capacity exceeded *)
+  | Illegal  (** sandboxed access to freed/unmapped memory *)
+  | Explicit  (** the block called {!abort} *)
+  | Lock_held  (** a TLE lock holder was observed *)
+
+val pp_abort_reason : Format.formatter -> abort_reason -> unit
+
+type tle_mode =
+  | Tle_never  (** pure HTM; retry with backoff forever *)
+  | Tle_after of int  (** fall back to the global lock after [n] aborts *)
+
+type config = {
+  store_buffer : int;  (** stores per transaction; Rock: 32 *)
+  tx_begin_cost : int;
+  tx_commit_cost : int;
+  tx_store_cost : int;  (** store-buffer insertion *)
+  tx_abort_cost : int;
+  backoff_base : int;  (** first retry backoff, in cycles; randomized *)
+  backoff_max : int;
+  sandboxed : bool;
+  tle : tle_mode;
+}
+
+val default_config : config
+
+type stats = {
+  commits : int;
+  aborts_conflict : int;
+  aborts_overflow : int;
+  aborts_illegal : int;
+  aborts_explicit : int;
+  aborts_lock : int;
+  lock_fallbacks : int;  (** TLE lock acquisitions *)
+}
+
+type t
+(** An HTM domain: a {!Simmem.t} plus configuration, statistics and the TLE
+    lock word. *)
+
+val create : ?config:config -> Simmem.t -> t
+val mem : t -> Simmem.t
+val config : t -> config
+val stats : t -> stats
+val reset_stats : t -> unit
+
+type tx
+(** An in-flight transaction attempt. Valid only inside the callback of
+    {!atomic} that produced it. *)
+
+val atomic : t -> Sim.tctx -> ?on_abort:(abort_reason -> unit) -> (tx -> 'a) -> 'a
+(** [atomic h ctx f] runs [f] transactionally, retrying on abort until it
+    commits (possibly via the TLE lock), and returns its result.
+    [on_abort] is called after each aborted attempt, before the backoff —
+    the adaptive step-size controller hooks in here. Transactions must not
+    nest. *)
+
+val read : tx -> int -> int
+(** Transactional load. *)
+
+val write : tx -> int -> int -> unit
+(** Transactional store, buffered until commit. *)
+
+val record : tx -> unit
+(** Consume one store-buffer slot without touching simulated memory: models
+    the store that writes a collected element into the (process-local)
+    result set, which is what bounds telescoping step sizes on Rock. *)
+
+val abort : tx -> 'a
+(** Explicitly abort this attempt; {!atomic} will retry the block. *)
+
+val defer_free : tx -> int -> unit
+(** Schedule [Simmem.free] of a block for after a successful commit (the
+    paper's algorithms never free inside a transaction); discarded if the
+    attempt aborts. *)
+
+val attempt_number : tx -> int
+(** 0 for the first attempt of this [atomic], incremented per retry. *)
+
+val in_fallback : tx -> bool
+(** Whether this attempt runs under the TLE lock (non-transactionally). *)

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Effect Ibuf Int64 Rng

@@ -1,0 +1,168 @@
+module Rng = Rng
+module Ibuf = Ibuf
+
+exception Stop_thread
+
+(* Sharer sets in Simmem are bitmasks in a 63-bit int; one bit is reserved
+   for boot contexts, so at most 61 runnable threads. *)
+let max_threads = 61
+let boot_tid = max_threads
+
+type _ Effect.t += Yield : unit Effect.t
+
+type status =
+  | Not_started of (tctx -> unit)
+  | Ready of (unit, unit) Effect.Deep.continuation
+  | Running
+  | Finished
+
+and tctx = {
+  ctx_tid : int;
+  mutable clock : int;
+  ctx_rng : Rng.t;
+  mutable sched : sched option;
+}
+
+and sched = {
+  ctxs : tctx array;
+  statuses : status array;
+  srng : Rng.t;
+  mutable live : int;
+  (* Cached lower bound on the minimal clock among all other runnable
+     threads; the running thread keeps going without yielding while its
+     clock stays below this, which removes most continuation captures. *)
+  mutable min_other : int;
+}
+
+let boot ?(seed = 0) () =
+  { ctx_tid = boot_tid; clock = 0; ctx_rng = Rng.create (seed lxor 0x6a09e667); sched = None }
+
+let tid ctx = ctx.ctx_tid
+let clock ctx = ctx.clock
+let rng ctx = ctx.ctx_rng
+
+let yield () = Effect.perform Yield
+
+let tick ctx cost =
+  ctx.clock <- ctx.clock + cost;
+  match ctx.sched with
+  | None -> ()
+  | Some s -> if ctx.clock >= s.min_other then yield ()
+
+let charge ctx cost = ctx.clock <- ctx.clock + cost
+
+let advance_to ctx t =
+  if t > ctx.clock then ctx.clock <- t;
+  match ctx.sched with
+  | None -> ()
+  | Some s -> if ctx.clock >= s.min_other then yield ()
+
+let stop () = raise Stop_thread
+
+(* Pick a runnable thread with the minimal clock; break ties with the
+   scheduler RNG so no thread is systematically favoured. *)
+let pick_min s =
+  let best = ref (-1) and best_clock = ref max_int and ties = ref 0 in
+  let n = Array.length s.ctxs in
+  for i = 0 to n - 1 do
+    match s.statuses.(i) with
+    | Finished | Running -> ()
+    | Not_started _ | Ready _ ->
+      let c = s.ctxs.(i).clock in
+      if c < !best_clock then begin
+        best_clock := c;
+        best := i;
+        ties := 1
+      end
+      else if c = !best_clock then begin
+        incr ties;
+        if Rng.int s.srng !ties = 0 then best := i
+      end
+  done;
+  !best
+
+let min_other_clock s except =
+  let m = ref max_int in
+  let n = Array.length s.ctxs in
+  for i = 0 to n - 1 do
+    if i <> except then
+      match s.statuses.(i) with
+      | Finished | Running -> ()
+      | Not_started _ | Ready _ -> if s.ctxs.(i).clock < !m then m := s.ctxs.(i).clock
+  done;
+  !m
+
+let handler s t : (unit, unit) Effect.Deep.handler =
+  {
+    retc =
+      (fun () ->
+        s.statuses.(t.ctx_tid) <- Finished;
+        s.live <- s.live - 1);
+    exnc =
+      (fun e ->
+        match e with
+        | Stop_thread ->
+          s.statuses.(t.ctx_tid) <- Finished;
+          s.live <- s.live - 1
+        | e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Yield ->
+          Some
+            (fun (k : (a, unit) Effect.Deep.continuation) ->
+              s.statuses.(t.ctx_tid) <- Ready k)
+        | _ -> None);
+  }
+
+let run ?(seed = 0) bodies =
+  let n = Array.length bodies in
+  if n = 0 || n > max_threads then
+    invalid_arg "Sim.run: need between 1 and 61 threads";
+  let root = Rng.create seed in
+  let ctxs =
+    Array.init n (fun i ->
+        { ctx_tid = i; clock = 0; ctx_rng = Rng.create (Int64.to_int (Rng.bits64 root) lxor i); sched = None })
+  in
+  let statuses = Array.init n (fun i -> Not_started bodies.(i)) in
+  let s = { ctxs; statuses; srng = Rng.split root; live = n; min_other = 0 } in
+  Array.iter (fun c -> c.sched <- Some s) ctxs;
+  let rec loop () =
+    if s.live > 0 then begin
+      let i = pick_min s in
+      assert (i >= 0);
+      let t = ctxs.(i) in
+      s.min_other <- min_other_clock s i;
+      (match statuses.(i) with
+       | Not_started f ->
+         statuses.(i) <- Running;
+         Effect.Deep.match_with (fun () -> f t) () (handler s t)
+       | Ready k ->
+         statuses.(i) <- Running;
+         Effect.Deep.continue k ()
+       | Running | Finished -> assert false);
+      (* A thread left in [Running] state yielded via an unhandled path;
+         that cannot happen because [Yield] always sets [Ready]. *)
+      (match statuses.(i) with
+       | Running -> assert false
+       | Not_started _ | Ready _ | Finished -> ());
+      loop ()
+    end
+  in
+  loop ();
+  Array.iter (fun c -> c.sched <- None) ctxs
+
+module Backoff = struct
+  type bctx = tctx
+
+  type t = { ctx : bctx; base : int; cap : int; mutable bound : int }
+
+  let create ?(base = 50) ?(cap = 4096) ctx = { ctx; base; cap; bound = base }
+
+  let once b =
+    let d = (b.bound / 2) + Rng.int b.ctx.ctx_rng (max 1 (b.bound / 2)) in
+    tick b.ctx d;
+    b.bound <- min b.cap (b.bound * 2)
+
+  let reset b = b.bound <- b.base
+end

@@ -1,0 +1,82 @@
+(** Deterministic virtual-time simulator of a small multiprocessor.
+
+    Threads are OCaml-5 effect-based cooperative fibers, each with a private
+    virtual clock measured in CPU cycles. The scheduler always resumes a
+    runnable thread with the minimal clock, so any two events on different
+    threads interleave exactly as their virtual timestamps dictate. Shared-
+    memory operations (see {!Simmem}) charge cycle costs and yield, which is
+    where interleavings — and hence races and transaction conflicts — occur.
+
+    Determinism: for a fixed seed, thread count and thread bodies, the
+    interleaving is reproducible bit-for-bit.
+
+    This substitutes for the 16-core Rock machine used in the paper: the
+    paper's axes (cycles, ops/µs) map directly onto virtual time. *)
+
+module Rng = Rng
+module Ibuf = Ibuf
+
+type tctx
+(** Per-thread context: identity, virtual clock, private RNG. A [tctx] is
+    only valid on the fiber it was handed to (or, for a boot context,
+    outside [run] entirely). *)
+
+exception Stop_thread
+(** Raise inside a thread body to terminate that thread immediately;
+    the simulation continues. *)
+
+val boot : ?seed:int -> unit -> tctx
+(** A context usable outside [run], e.g. to initialise shared structures
+    before the threads start. It charges costs to its own clock but never
+    yields. Its thread id is {!boot_tid}. *)
+
+val boot_tid : int
+(** Reserved thread id of boot contexts (larger than any runnable tid). *)
+
+val max_threads : int
+(** Maximum number of simulated threads ([61]; sharer sets are bitmasks in
+    a 63-bit int, with one bit reserved for boot contexts). *)
+
+val run : ?seed:int -> (tctx -> unit) array -> unit
+(** [run bodies] executes one fiber per body until all finish. Thread [i]
+    gets tid [i] and a fresh RNG derived from [seed] and [i].
+    @raise Invalid_argument if there are 0 bodies or more than
+    {!max_threads}. *)
+
+val tid : tctx -> int
+val clock : tctx -> int
+
+val rng : tctx -> Rng.t
+(** The thread-private RNG. *)
+
+val tick : tctx -> int -> unit
+(** [tick ctx cost] charges [cost] cycles and yields if another thread's
+    clock is now behind this one. This is the scheduling point used by every
+    shared-memory access. *)
+
+val charge : tctx -> int -> unit
+(** [charge ctx cost] advances the clock {e without} yielding. Used for the
+    commit phase of transactions, which must be atomic in virtual time. *)
+
+val advance_to : tctx -> int -> unit
+(** [advance_to ctx t] sleeps until virtual time [t] (no-op if already
+    past), then yields. Workloads use it to pace periodic operations and to
+    align threads on a common measurement start time. *)
+
+val stop : unit -> 'a
+(** Terminate the current thread ([raise Stop_thread]). *)
+
+(** Randomized exponential backoff for retry loops (CAS loops, helping
+    loops). Delays are charged to the owning thread's virtual clock. *)
+module Backoff : sig
+  type t
+
+  val create : ?base:int -> ?cap:int -> tctx -> t
+  (** Defaults: [base = 50] cycles, [cap = 4096]. *)
+
+  val once : t -> unit
+  (** Wait a randomized delay and double the bound (up to [cap]). *)
+
+  val reset : t -> unit
+  (** Restore the initial bound (call after a success). *)
+end

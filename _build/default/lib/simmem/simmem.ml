@@ -1,0 +1,320 @@
+type fault =
+  | Use_after_free of int
+  | Unallocated of int
+  | Double_free of int
+  | Invalid_free of int
+
+exception Fault of fault
+
+let pp_fault ppf = function
+  | Use_after_free a -> Format.fprintf ppf "use-after-free at %#x" a
+  | Unallocated a -> Format.fprintf ppf "access to unallocated word %#x" a
+  | Double_free a -> Format.fprintf ppf "double free of %#x" a
+  | Invalid_free a -> Format.fprintf ppf "free of non-block address %#x" a
+
+type cost_model = {
+  read_hit : int;
+  read_miss : int;
+  write_hit : int;
+  write_miss : int;
+  cas_extra : int;
+  malloc_base : int;
+  malloc_per_word : int;
+  free_cost : int;
+}
+
+let default_costs =
+  {
+    read_hit = 8;
+    read_miss = 50;
+    write_hit = 8;
+    write_miss = 60;
+    cas_extra = 15;
+    malloc_base = 80;
+    malloc_per_word = 2;
+    free_cost = 60;
+  }
+
+(* Word allocation state. [Freed] words remember that they were once live so
+   that a dangling access is reported as use-after-free, not unallocated. *)
+let st_never = 0
+let st_live = 1
+let st_freed = 2
+
+let line_shift = 3 (* 8 words per line *)
+
+type t = {
+  cost : cost_model;
+  mutable values : int array;
+  mutable versions : int array;
+  mutable state : Bytes.t;
+  mutable sharers : int array; (* per line: bitmask of caching threads *)
+  mutable line_busy : int array; (* per line: virtual time its current transfer ends *)
+  mutable extent : int; (* first never-used address (bump pointer) *)
+  blocks : (int, int) Hashtbl.t; (* base -> size, live blocks *)
+  free_lists : (int, int list ref) Hashtbl.t; (* size -> bases *)
+  mutable live_words : int;
+  mutable live_blocks : int;
+  mutable peak_live_words : int;
+  mutable peak_live_blocks : int;
+  mutable total_allocs : int;
+  mutable total_frees : int;
+  mutable n_reads : int;
+  mutable n_read_misses : int;
+  mutable n_writes : int;
+  mutable n_write_misses : int;
+  mutable n_atomics : int;
+}
+
+type stats = {
+  live_words : int;
+  live_blocks : int;
+  peak_live_words : int;
+  peak_live_blocks : int;
+  total_allocs : int;
+  total_frees : int;
+  heap_extent : int;
+  reads : int;
+  read_misses : int;
+  writes : int;
+  write_misses : int;
+  atomics : int;
+}
+
+let initial_words = 1 lsl 12
+
+let create ?(costs = default_costs) () =
+  {
+    cost = costs;
+    values = Array.make initial_words 0;
+    versions = Array.make initial_words 0;
+    state = Bytes.make initial_words (Char.chr st_never);
+    sharers = Array.make ((initial_words lsr line_shift) + 1) 0;
+    line_busy = Array.make ((initial_words lsr line_shift) + 1) 0;
+    extent = 8; (* keep address 0 (null) and the first line unusable *)
+    blocks = Hashtbl.create 256;
+    free_lists = Hashtbl.create 16;
+    live_words = 0;
+    live_blocks = 0;
+    peak_live_words = 0;
+    peak_live_blocks = 0;
+    total_allocs = 0;
+    total_frees = 0;
+    n_reads = 0;
+    n_read_misses = 0;
+    n_writes = 0;
+    n_write_misses = 0;
+    n_atomics = 0;
+  }
+
+let stats (t : t) =
+  {
+    live_words = t.live_words;
+    live_blocks = t.live_blocks;
+    peak_live_words = t.peak_live_words;
+    peak_live_blocks = t.peak_live_blocks;
+    total_allocs = t.total_allocs;
+    total_frees = t.total_frees;
+    heap_extent = t.extent;
+    reads = t.n_reads;
+    read_misses = t.n_read_misses;
+    writes = t.n_writes;
+    write_misses = t.n_write_misses;
+    atomics = t.n_atomics;
+  }
+
+let costs t = t.cost
+let null = 0
+
+let grow t needed =
+  let cur = Array.length t.values in
+  let size = ref cur in
+  while !size < needed do
+    size := !size * 2
+  done;
+  let values = Array.make !size 0 in
+  Array.blit t.values 0 values 0 cur;
+  t.values <- values;
+  let versions = Array.make !size 0 in
+  Array.blit t.versions 0 versions 0 cur;
+  t.versions <- versions;
+  let state = Bytes.make !size (Char.chr st_never) in
+  Bytes.blit t.state 0 state 0 cur;
+  t.state <- state;
+  let nlines = (!size lsr line_shift) + 1 in
+  let sharers = Array.make nlines 0 in
+  Array.blit t.sharers 0 sharers 0 (Array.length t.sharers);
+  t.sharers <- sharers;
+  let line_busy = Array.make nlines 0 in
+  Array.blit t.line_busy 0 line_busy 0 (Array.length t.line_busy);
+  t.line_busy <- line_busy
+
+let word_state t addr = Char.code (Bytes.unsafe_get t.state addr)
+
+let check_live t addr =
+  if addr <= 0 || addr >= t.extent then raise (Fault (Unallocated addr))
+  else
+    let s = word_state t addr in
+    if s <> st_live then
+      raise (Fault (if s = st_freed then Use_after_free addr else Unallocated addr))
+
+(* Coherence cost: an MSI approximation. Reading joins the sharer set;
+   writing collapses it to the writer alone. A miss occupies the line for
+   the duration of the transfer ([line_busy]), so contended lines serialize
+   their misses — the ping-pong bottleneck that caps the scalability of
+   hot-spot structures like queue head/tail words. [now] is the accessing
+   thread's clock; the returned cost includes any queuing delay. *)
+let miss_cost t line ~now ~base =
+  let start = max now t.line_busy.(line) in
+  let finish = start + base in
+  t.line_busy.(line) <- finish;
+  finish - now
+
+let read_cost t tid addr ~now =
+  let line = addr lsr line_shift in
+  let bit = 1 lsl tid in
+  let s = t.sharers.(line) in
+  t.n_reads <- t.n_reads + 1;
+  if s land bit <> 0 then t.cost.read_hit
+  else begin
+    t.sharers.(line) <- s lor bit;
+    t.n_read_misses <- t.n_read_misses + 1;
+    miss_cost t line ~now ~base:t.cost.read_miss
+  end
+
+let write_cost t tid addr ~now =
+  let line = addr lsr line_shift in
+  let bit = 1 lsl tid in
+  let s = t.sharers.(line) in
+  t.n_writes <- t.n_writes + 1;
+  if s = bit then t.cost.write_hit
+  else begin
+    t.sharers.(line) <- bit;
+    t.n_write_misses <- t.n_write_misses + 1;
+    miss_cost t line ~now ~base:t.cost.write_miss
+  end
+
+let read t ctx addr =
+  check_live t addr;
+  Sim.tick ctx (read_cost t (Sim.tid ctx) addr ~now:(Sim.clock ctx));
+  check_live t addr;
+  t.values.(addr)
+
+let write t ctx addr v =
+  check_live t addr;
+  Sim.tick ctx (write_cost t (Sim.tid ctx) addr ~now:(Sim.clock ctx));
+  check_live t addr;
+  t.values.(addr) <- v;
+  t.versions.(addr) <- t.versions.(addr) + 1
+
+let cas t ctx addr ~expected ~desired =
+  check_live t addr;
+  t.n_atomics <- t.n_atomics + 1;
+  Sim.tick ctx (write_cost t (Sim.tid ctx) addr ~now:(Sim.clock ctx) + t.cost.cas_extra);
+  check_live t addr;
+  if t.values.(addr) = expected then begin
+    t.values.(addr) <- desired;
+    t.versions.(addr) <- t.versions.(addr) + 1;
+    true
+  end
+  else false
+
+let fetch_add t ctx addr d =
+  check_live t addr;
+  t.n_atomics <- t.n_atomics + 1;
+  Sim.tick ctx (write_cost t (Sim.tid ctx) addr ~now:(Sim.clock ctx) + t.cost.cas_extra);
+  check_live t addr;
+  let old = t.values.(addr) in
+  t.values.(addr) <- old + d;
+  t.versions.(addr) <- t.versions.(addr) + 1;
+  old
+
+let version t addr = t.versions.(addr)
+
+let peek t addr =
+  if addr < 0 || addr >= t.extent then invalid_arg "Simmem.peek: out of heap";
+  t.values.(addr)
+
+let is_allocated t addr =
+  addr > 0 && addr < t.extent && word_state t addr = st_live
+
+let block_size t addr = Hashtbl.find_opt t.blocks addr
+
+let take_free t size =
+  match Hashtbl.find_opt t.free_lists size with
+  | Some ({ contents = base :: rest } as cell) ->
+    cell := rest;
+    Some base
+  | Some { contents = [] } | None -> None
+
+let malloc t ctx n =
+  if n < 1 then invalid_arg "Simmem.malloc: size must be >= 1";
+  Sim.tick ctx (t.cost.malloc_base + (n * t.cost.malloc_per_word));
+  let base =
+    match take_free t n with
+    | Some base -> base
+    | None ->
+      let base = t.extent in
+      if base + n > Array.length t.values then grow t (base + n);
+      t.extent <- base + n;
+      base
+  in
+  for a = base to base + n - 1 do
+    Bytes.unsafe_set t.state a (Char.chr st_live);
+    t.values.(a) <- 0;
+    t.versions.(a) <- t.versions.(a) + 1
+  done;
+  Hashtbl.replace t.blocks base n;
+  t.live_words <- t.live_words + n;
+  t.live_blocks <- t.live_blocks + 1;
+  if t.live_words > t.peak_live_words then t.peak_live_words <- t.live_words;
+  if t.live_blocks > t.peak_live_blocks then t.peak_live_blocks <- t.live_blocks;
+  t.total_allocs <- t.total_allocs + 1;
+  base
+
+let free t ctx base =
+  Sim.tick ctx t.cost.free_cost;
+  match Hashtbl.find_opt t.blocks base with
+  | None ->
+    if base > 0 && base < t.extent && word_state t base = st_freed then
+      raise (Fault (Double_free base))
+    else raise (Fault (Invalid_free base))
+  | Some n ->
+    Hashtbl.remove t.blocks base;
+    for a = base to base + n - 1 do
+      Bytes.unsafe_set t.state a (Char.chr st_freed);
+      t.versions.(a) <- t.versions.(a) + 1
+    done;
+    let cell =
+      match Hashtbl.find_opt t.free_lists n with
+      | Some cell -> cell
+      | None ->
+        let cell = ref [] in
+        Hashtbl.add t.free_lists n cell;
+        cell
+    in
+    cell := base :: !cell;
+    t.live_words <- t.live_words - n;
+    t.live_blocks <- t.live_blocks - 1;
+    t.total_frees <- t.total_frees + 1
+
+module Tx_plane = struct
+  let read t ctx addr =
+    if addr <= 0 || addr >= t.extent || word_state t addr <> st_live then None
+    else begin
+      Sim.tick ctx (read_cost t (Sim.tid ctx) addr ~now:(Sim.clock ctx));
+      if word_state t addr <> st_live then None
+      else Some (t.values.(addr), t.versions.(addr))
+    end
+
+  let validate t addr v = t.versions.(addr) = v
+
+  let commit_write t ctx addr v =
+    if addr <= 0 || addr >= t.extent || word_state t addr <> st_live then false
+    else begin
+      Sim.charge ctx (write_cost t (Sim.tid ctx) addr ~now:(Sim.clock ctx));
+      t.values.(addr) <- v;
+      t.versions.(addr) <- t.versions.(addr) + 1;
+      true
+    end
+end

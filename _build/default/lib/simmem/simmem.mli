@@ -1,0 +1,127 @@
+(** Simulated word-addressable shared memory with explicit allocation.
+
+    This is the substitute for the C++/libumem environment of the paper:
+    OCaml's garbage-collected heap has no [free], no use-after-free and no
+    ABA, so the memory-reclamation problem the paper studies cannot even be
+    expressed on it. Here instead:
+
+    - memory is an array of integer {e words}, addressed by integers
+      ([0] is the null address and never valid);
+    - blocks are allocated with {!malloc} and released with {!free};
+      freed blocks go to size-bucketed LIFO free lists and are eagerly
+      reused, which makes ABA hazards and use-after-free real;
+    - every access checks allocation state: non-transactional access to a
+      free word raises {!Fault} (the simulated segfault), while the
+      transactional plane reports it to {!Htm} so the transaction can abort
+      (Rock-style {e sandboxing});
+    - each word carries a version number, bumped by every committed store
+      and by [free]/[malloc], which is what transaction validation reads;
+    - accesses charge virtual-time costs from a MESI-like cache-line model
+      (8-word lines, per-line sharer bitmask): line-local hits are cheap,
+      coherence misses expensive. The paper's headline performance effects
+      (e.g. hand-over-hand refcounting losing badly because it writes every
+      node it traverses) are coherence effects, and this model reproduces
+      them.
+
+    Allocation statistics (live and peak words/blocks) support the paper's
+    space-usage claims quantitatively. *)
+
+type fault =
+  | Use_after_free of int  (** access to a freed word *)
+  | Unallocated of int  (** access to a never-allocated word or null *)
+  | Double_free of int
+  | Invalid_free of int  (** free of an address that is not a block base *)
+
+exception Fault of fault
+
+val pp_fault : Format.formatter -> fault -> unit
+
+type cost_model = {
+  read_hit : int;  (** load from a line this thread already shares *)
+  read_miss : int;  (** load requiring a coherence transfer *)
+  write_hit : int;  (** store to a line held exclusively *)
+  write_miss : int;  (** store requiring invalidation of other copies *)
+  cas_extra : int;  (** atomic-op penalty on top of the store cost *)
+  malloc_base : int;
+  malloc_per_word : int;
+  free_cost : int;
+}
+
+val default_costs : cost_model
+
+type t
+
+type stats = {
+  live_words : int;
+  live_blocks : int;
+  peak_live_words : int;
+  peak_live_blocks : int;
+  total_allocs : int;
+  total_frees : int;
+  heap_extent : int;  (** high-water mark of the bump allocator, in words *)
+  reads : int;  (** loads issued (all access planes) *)
+  read_misses : int;  (** loads that required a coherence transfer *)
+  writes : int;  (** stores issued *)
+  write_misses : int;  (** stores that invalidated other copies *)
+  atomics : int;  (** CAS and fetch-add operations *)
+}
+
+val create : ?costs:cost_model -> unit -> t
+val stats : t -> stats
+val costs : t -> cost_model
+
+val null : int
+(** The null address, [0]. *)
+
+val malloc : t -> Sim.tctx -> int -> int
+(** [malloc t ctx n] allocates a block of [n >= 1] words, zeroed, and
+    returns its base address. Reuses a freed block of the same size when one
+    exists (LIFO). *)
+
+val free : t -> Sim.tctx -> int -> unit
+(** Release a block by its base address.
+    @raise Fault on double free or non-base address. *)
+
+val block_size : t -> int -> int option
+(** [block_size t addr] is the size of the live block based at [addr]. *)
+
+val is_allocated : t -> int -> bool
+(** Whether the word at this address belongs to a live block. *)
+
+val read : t -> Sim.tctx -> int -> int
+(** Non-transactional load. @raise Fault if the word is not allocated. *)
+
+val write : t -> Sim.tctx -> int -> int -> unit
+(** Non-transactional store; bumps the word version (strong atomicity:
+    it dooms any transaction that has read the word).
+    @raise Fault if the word is not allocated. *)
+
+val cas : t -> Sim.tctx -> int -> expected:int -> desired:int -> bool
+(** Atomic compare-and-swap; bumps the version only on success. *)
+
+val fetch_add : t -> Sim.tctx -> int -> int -> int
+(** [fetch_add t ctx addr d] atomically adds [d], returning the old value. *)
+
+val version : t -> int -> int
+(** Current version of a word (no cost, no yield). *)
+
+val peek : t -> int -> int
+(** Debug/test read: no cost, no yield, no allocation check (but must be
+    within the heap extent). *)
+
+(** Access plane for the HTM implementation. Algorithms never use this
+    directly; {!Htm} does. *)
+module Tx_plane : sig
+  val read : t -> Sim.tctx -> int -> (int * int) option
+  (** [(value, version)], paying the normal load cost and yielding; [None]
+      if the word is not allocated (the transaction must abort: this is the
+      sandboxing behaviour). *)
+
+  val validate : t -> int -> int -> bool
+  (** [validate t addr v] is true iff the word's version is still [v]. *)
+
+  val commit_write : t -> Sim.tctx -> int -> int -> bool
+  (** Apply one committed store: pays the store cost {e without yielding}
+      (commit is atomic in virtual time), writes, bumps the version.
+      Returns [false] if the word is no longer allocated. *)
+end

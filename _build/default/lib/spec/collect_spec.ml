@@ -1,0 +1,162 @@
+(* Checker for the Dynamic Collect specification (paper §2.3).
+
+   Every bound value is globally unique, so a value returned by a collect
+   identifies exactly one bind event (Register or Update) on one handle
+   registration. Operations are logged with their virtual-time intervals;
+   afterwards every collect is checked against the two conditions of the
+   specification:
+
+   - validity: each returned value's bind either is the last bind of its
+     handle not superseded/deregistered before the collect began, or
+     overlaps the collect;
+   - completeness: every handle whose registration completed before the
+     collect began and whose deregistration (if any) began after the
+     collect ended must contribute at least one value.
+
+   Handles may be returned multiple times (the spec allows duplicates). *)
+
+type bind = { b_start : int; b_end : int; value : int }
+
+type instance_log = {
+  id : int;
+  mutable binds : bind list; (* newest first *)
+  mutable dereg : (int * int) option;
+}
+
+type collect_log = { c_start : int; c_end : int; returned : int list }
+
+type t = {
+  mutable next_value : int;
+  values : (int, instance_log) Hashtbl.t; (* value -> its registration *)
+  current : (int, instance_log) Hashtbl.t; (* live handle address -> registration *)
+  mutable instances : instance_log list;
+  mutable collects : collect_log list;
+  mutable next_id : int;
+}
+
+let create () =
+  {
+    next_value = 0;
+    values = Hashtbl.create 1024;
+    current = Hashtbl.create 64;
+    instances = [];
+    collects = [];
+    next_id = 0;
+  }
+
+let fresh_value t =
+  t.next_value <- t.next_value + 1;
+  t.next_value
+
+let register t (inst : Collect.Intf.instance) ctx =
+  let v = fresh_value t in
+  let s = Sim.clock ctx in
+  let h = inst.register ctx v in
+  let e = Sim.clock ctx in
+  let il = { id = t.next_id; binds = [ { b_start = s; b_end = e; value = v } ]; dereg = None } in
+  t.next_id <- t.next_id + 1;
+  t.instances <- il :: t.instances;
+  Hashtbl.replace t.values v il;
+  Hashtbl.replace t.current h il;
+  h
+
+let update t (inst : Collect.Intf.instance) ctx h =
+  let il = Hashtbl.find t.current h in
+  let v = fresh_value t in
+  let s = Sim.clock ctx in
+  inst.update ctx h v;
+  let e = Sim.clock ctx in
+  il.binds <- { b_start = s; b_end = e; value = v } :: il.binds;
+  Hashtbl.replace t.values v il
+
+let deregister t (inst : Collect.Intf.instance) ctx h =
+  let il = Hashtbl.find t.current h in
+  Hashtbl.remove t.current h;
+  let s = Sim.clock ctx in
+  inst.deregister ctx h;
+  let e = Sim.clock ctx in
+  il.dereg <- Some (s, e)
+
+let collect t (inst : Collect.Intf.instance) ctx =
+  let buf = Sim.Ibuf.create ~capacity:64 () in
+  let s = Sim.clock ctx in
+  inst.collect ctx buf;
+  let e = Sim.clock ctx in
+  t.collects <- { c_start = s; c_end = e; returned = Sim.Ibuf.to_list buf } :: t.collects
+
+(* For each value: the completion time of the *next* event (bind or
+   deregister) on the same handle, or max_int if none. *)
+let next_event_end il =
+  let tbl = Hashtbl.create 8 in
+  let dereg_end = match il.dereg with Some (_, e) -> e | None -> max_int in
+  let rec go newer = function
+    | [] -> ()
+    | b :: older ->
+      Hashtbl.replace tbl b.value newer;
+      go b.b_end older
+  in
+  (* binds are newest-first: the event after the newest bind is the dereg *)
+  go dereg_end il.binds;
+  tbl
+
+type verdict = { checked_collects : int; checked_values : int }
+
+exception Violation of string
+
+let check t =
+  let next_end = Hashtbl.create 1024 in
+  List.iter
+    (fun il ->
+      let tbl = next_event_end il in
+      Hashtbl.iter (fun v e -> Hashtbl.replace next_end v e) tbl)
+    t.instances;
+  let nvalues = ref 0 in
+  let collects = List.rev t.collects in
+  List.iter
+    (fun c ->
+      (* validity *)
+      List.iter
+        (fun v ->
+          incr nvalues;
+          match Hashtbl.find_opt t.values v with
+          | None -> raise (Violation (Printf.sprintf "collect returned unknown value %d" v))
+          | Some il ->
+            let b = List.find (fun b -> b.value = v) il.binds in
+            if b.b_start > c.c_end then
+              raise
+                (Violation
+                   (Printf.sprintf
+                      "value %d bound at [%d,%d], after collect [%d,%d] ended" v b.b_start
+                      b.b_end c.c_start c.c_end));
+            let ne = Hashtbl.find next_end v in
+            if ne < c.c_start then
+              raise
+                (Violation
+                   (Printf.sprintf
+                      "value %d superseded at %d, before collect [%d,%d] began" v ne
+                      c.c_start c.c_end)))
+        c.returned;
+      (* completeness *)
+      let present = Hashtbl.create 64 in
+      List.iter
+        (fun v ->
+          match Hashtbl.find_opt t.values v with
+          | Some il -> Hashtbl.replace present il.id ()
+          | None -> ())
+        c.returned;
+      List.iter
+        (fun il ->
+          let reg = List.nth il.binds (List.length il.binds - 1) in
+          let required =
+            reg.b_end < c.c_start
+            && (match il.dereg with None -> true | Some (ds, _) -> ds > c.c_end)
+          in
+          if required && not (Hashtbl.mem present il.id) then
+            raise
+              (Violation
+                 (Printf.sprintf
+                    "handle %d (registered at [%d,%d]) missing from collect [%d,%d]" il.id
+                    reg.b_start reg.b_end c.c_start c.c_end)))
+        t.instances)
+    collects;
+  { checked_collects = List.length collects; checked_values = !nvalues }

@@ -1,0 +1,46 @@
+(** Runtime checker for the Dynamic Collect specification (paper §2.3).
+
+    Wrap every operation on a collect instance through this module; each
+    bound value is generated here and globally unique, and every
+    operation's virtual-time interval is logged. After the run, {!check}
+    verifies every logged collect against both conditions of the
+    specification:
+
+    - {e validity}: each returned value's bind either is the handle's last
+      bind not superseded or deregistered before the collect began, or
+      overlaps the collect;
+    - {e completeness}: every handle whose registration completed before
+      the collect began, and whose deregistration (if any) began after it
+      ended, contributes at least one value.
+
+    Duplicates are allowed, as the specification permits. The checker is
+    single-process (the simulator is cooperative), so no synchronisation
+    is needed around the log.
+
+    This is the oracle behind the test suite's chaos tests; it is exported
+    as a library so downstream users can validate their own usage or new
+    algorithm implementations. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> Collect.Intf.instance -> Sim.tctx -> Collect.Intf.handle
+(** Register with a fresh unique value; logs the interval. *)
+
+val update : t -> Collect.Intf.instance -> Sim.tctx -> Collect.Intf.handle -> unit
+(** Update with a fresh unique value; logs the interval. *)
+
+val deregister : t -> Collect.Intf.instance -> Sim.tctx -> Collect.Intf.handle -> unit
+
+val collect : t -> Collect.Intf.instance -> Sim.tctx -> unit
+(** Perform and log a collect (with its returned values). *)
+
+type verdict = { checked_collects : int; checked_values : int }
+
+exception Violation of string
+(** Raised by {!check} with a human-readable description of the first
+    specification violation found. *)
+
+val check : t -> verdict
+(** Verify every logged collect. @raise Violation on the first failure. *)

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Collect_dereg Collect_dominated Collect_update Driver Latency Phased Queue_bench Report Space_bench

@@ -1,0 +1,1 @@
+lib/workload/collect_dereg.ml: Array Collect Collect_update Driver List Option Printf Queue Report Sim String

@@ -1,0 +1,1 @@
+lib/workload/collect_dereg.mli: Collect Report

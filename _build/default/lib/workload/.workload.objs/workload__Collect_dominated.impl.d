@@ -1,0 +1,1 @@
+lib/workload/collect_dominated.ml: Array Collect Driver List Option Queue Report Sim String

@@ -1,0 +1,1 @@
+lib/workload/collect_dominated.mli: Collect Report

@@ -1,0 +1,1 @@
+lib/workload/collect_update.ml: Array Collect Driver Htm List Option Printf Report Sim String

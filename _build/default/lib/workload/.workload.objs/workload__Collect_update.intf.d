@@ -1,0 +1,1 @@
+lib/workload/collect_update.mli: Collect Report

@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Htm List Sim Simmem

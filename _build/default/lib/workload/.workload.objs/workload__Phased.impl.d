@@ -1,0 +1,1 @@
+lib/workload/phased.ml: Array Collect Driver List Printf Queue Report Sim

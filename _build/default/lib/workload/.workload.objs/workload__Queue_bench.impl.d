@@ -1,0 +1,1 @@
+lib/workload/queue_bench.ml: Array Driver Hqueue List Option Report Sim String

@@ -1,0 +1,1 @@
+lib/workload/queue_bench.mli: Report

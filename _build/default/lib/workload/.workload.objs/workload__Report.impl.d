@@ -1,0 +1,1 @@
+lib/workload/report.ml: Array Bytes Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/workload/space_bench.ml: Array Collect Driver Hqueue List Report Sim Simmem

@@ -1,0 +1,1 @@
+lib/workload/space_bench.mli: Report

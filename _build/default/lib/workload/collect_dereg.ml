@@ -1,0 +1,110 @@
+(** Figure 7: Collect throughput under concurrent Register/DeRegister
+    churn. One collector; each of the other threads cycles its slots:
+    deregister one, wait [register_period] (fixed at 20 000 cycles),
+    register a replacement, wait [dereg_period] (the x-axis), repeat.
+    64 slots are registered initially, so at any time at most 64 are
+    live. *)
+
+type result = { algo : string; label : string; dereg_period : int; throughput : float }
+
+let total_handles = 64
+let register_period = 20_000
+
+let run_one (maker : Collect.Intf.maker) ~churners ~dereg_period ~duration ~step ~seed =
+  let m = Driver.machine ~seed () in
+  let threads = churners + 1 in
+  let cfg =
+    { Collect.Intf.max_slots = total_handles * 2; num_threads = threads; step; min_size = 4 }
+  in
+  let inst = maker.make m.htm m.boot cfg in
+  let deadline = Driver.warmup + duration in
+  let collects = ref 0 in
+  let measuring = ref true in
+  let quotas = Array.of_list (Driver.split_evenly total_handles churners) in
+  let collector ctx =
+    let buf = Sim.Ibuf.create ~capacity:(2 * total_handles) () in
+    collects :=
+      Driver.measured_loop ctx ~deadline (fun () ->
+          Sim.Ibuf.clear buf;
+          inst.collect ctx buf);
+    measuring := false
+  in
+  let churner i ctx =
+    let slots = Queue.create () in
+    for _ = 1 to quotas.(i) do
+      Queue.add (inst.register ctx (Driver.fresh_value ())) slots
+    done;
+    (* The threads start the experiment by first deregistering a slot. *)
+    let next = ref Driver.warmup in
+    while !next < deadline do
+      Sim.advance_to ctx !next;
+      if not (Queue.is_empty slots) then begin
+        Driver.tick_dispatch ctx;
+        inst.deregister ctx (Queue.pop slots)
+      end;
+      Sim.advance_to ctx (!next + register_period);
+      Driver.tick_dispatch ctx;
+      Queue.add (inst.register ctx (Driver.fresh_value ())) slots;
+      next := !next + register_period + dereg_period
+    done;
+    (* Hold remaining registrations until the collector finishes. *)
+    while !measuring do
+      Sim.tick ctx 2000
+    done;
+    Queue.iter (fun h -> inst.deregister ctx h) slots
+  in
+  let bodies = Array.init threads (fun i -> if i = 0 then collector else churner (i - 1)) in
+  Sim.run ~seed bodies;
+  inst.destroy m.boot;
+  {
+    algo = maker.algo_name;
+    label =
+      Printf.sprintf "%s (%s)" maker.algo_name (Collect_update.step_label step);
+    dereg_period;
+    throughput = Driver.ops_per_us ~ops:!collects ~duration;
+  }
+
+let default_periods =
+  [ 1_000_000; 500_000; 200_000; 100_000; 50_000; 20_000; 10_000; 8_000; 6_000; 4_000;
+    2_000; 1_000 ]
+
+let fig7_algos () = Collect_update.fig4_algos ()
+
+let run ?makers ?(churners = 15) ?(periods = default_periods) ?(duration = 400_000)
+    ?(seed = 71) () =
+  let makers = match makers with Some ms -> ms | None -> fig7_algos () in
+  List.concat_map
+    (fun dereg_period ->
+      List.map
+        (fun (mk : Collect.Intf.maker) ->
+          let step = if mk.uses_htm then Collect.Intf.Fixed 32 else Collect.Intf.Fixed 1 in
+          run_one mk ~churners ~dereg_period ~duration ~step ~seed)
+        makers)
+    periods
+
+let to_table results =
+  let columns =
+    List.fold_left (fun acc r -> if List.mem r.label acc then acc else acc @ [ r.label ]) []
+      results
+  in
+  let periods =
+    List.sort_uniq (fun a b -> compare b a) (List.map (fun r -> r.dereg_period) results)
+  in
+  let rows =
+    List.map
+      (fun p ->
+        ( Collect_update.period_label p,
+          List.map
+            (fun c ->
+              List.find_opt (fun r -> r.dereg_period = p && String.equal r.label c) results
+              |> Option.map (fun r -> r.throughput))
+            columns ))
+      periods
+  in
+  {
+    Report.title = "Figure 7: Collect-(De)Register";
+    xlabel = "dereg period";
+    unit = "ops/us";
+    columns;
+    rows;
+  }

@@ -1,0 +1,20 @@
+(** Figure 3: the Collect-dominated mixed workload — Collect 90 %,
+    Update 8 %, Register 1 %, DeRegister 1 % over a 64-slot budget with 32
+    slots initially registered (paper §5.2). *)
+
+type result = { algo : string; threads : int; throughput : float }
+
+val total_budget : int
+val initial_registered : int
+val default_threads : int list
+
+val run :
+  ?makers:Collect.Intf.maker list ->
+  ?threads:int list ->
+  ?duration:int ->
+  ?step:Collect.Intf.step_policy ->
+  ?seed:int ->
+  unit ->
+  result list
+
+val to_table : ?makers:Collect.Intf.maker list -> result list -> Report.table

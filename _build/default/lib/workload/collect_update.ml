@@ -1,0 +1,190 @@
+(** Figures 4–6: Collect throughput under concurrent Updates.
+
+    One thread performs Collects back to back; [updaters] others each fire
+    an Update every [period] cycles. The updaters register 64 handles total
+    before measurement but each uses only its first handle, keeping the
+    registered count independent of the thread count (paper §5.3). *)
+
+type result = {
+  algo : string;
+  label : string;  (** algorithm + step annotation, for figure legends *)
+  period : int;
+  throughput : float;  (** collects per µs *)
+  histogram : (int * int) list;  (** slots collected per step size (fig 6) *)
+  commits : int;  (** HTM commits during the whole run *)
+  aborts : int;  (** HTM aborts, all causes *)
+}
+
+let total_handles = 64
+
+let step_label = function
+  | Collect.Intf.Fixed n -> Printf.sprintf "step %d" n
+  | Collect.Intf.Fixed_instrumented n -> Printf.sprintf "step %d (instr)" n
+  | Collect.Intf.Adaptive -> "adapt"
+
+let run_one (maker : Collect.Intf.maker) ~updaters ~period ~duration ~step ~seed =
+  let m = Driver.machine ~seed () in
+  let threads = updaters + 1 in
+  let cfg =
+    { Collect.Intf.max_slots = total_handles * 2; num_threads = threads; step; min_size = 4 }
+  in
+  let inst = maker.make m.htm m.boot cfg in
+  let deadline = Driver.warmup + duration in
+  let collects = ref 0 in
+  let measuring = ref true in
+  let quotas = Array.of_list (Driver.split_evenly total_handles updaters) in
+  let collector ctx =
+    let buf = Sim.Ibuf.create ~capacity:(2 * total_handles) () in
+    Sim.advance_to ctx Driver.warmup;
+    (* Measure only the steady state: registration-phase transactions
+       (including resize helping) would pollute the abort telemetry. *)
+    Htm.reset_stats m.htm;
+    collects :=
+      Driver.measured_loop ctx ~deadline (fun () ->
+          Sim.Ibuf.clear buf;
+          inst.collect ctx buf);
+    measuring := false
+  in
+  let updater i ctx =
+    let handles =
+      Array.init quotas.(i) (fun _ -> inst.register ctx (Driver.fresh_value ()))
+    in
+    if Array.length handles > 0 then begin
+      let h = handles.(0) in
+      Driver.periodic_loop ctx ~deadline ~period (fun () ->
+          inst.update ctx h (Driver.fresh_value ()))
+    end;
+    (* Keep the handles registered until the collector's measurement ends:
+       the registered count must stay at 64 for the whole window. *)
+    while !measuring do
+      Sim.tick ctx 2000
+    done;
+    Array.iter (fun h -> inst.deregister ctx h) handles
+  in
+  let bodies =
+    Array.init threads (fun i -> if i = 0 then collector else updater (i - 1))
+  in
+  Sim.run ~seed bodies;
+  let histogram = inst.step_histogram () in
+  inst.destroy m.boot;
+  let st = Htm.stats m.htm in
+  {
+    algo = maker.algo_name;
+    label = Printf.sprintf "%s (%s)" maker.algo_name (step_label step);
+    period;
+    throughput = Driver.ops_per_us ~ops:!collects ~duration;
+    histogram;
+    commits = st.commits;
+    aborts =
+      st.aborts_conflict + st.aborts_overflow + st.aborts_illegal + st.aborts_explicit
+      + st.aborts_lock;
+  }
+
+let default_periods =
+  [ 1_000_000; 500_000; 200_000; 100_000; 50_000; 20_000; 10_000;
+    8_000; 6_000; 4_000; 2_000; 1_000; 800; 600; 400 ]
+
+(* The Figure 4 line-up: the four telescoping algorithms adaptively
+   stepped, plus the two whose collects use no transactions. *)
+let fig4_algos () =
+  List.filter_map
+    (fun name -> Collect.find_maker name)
+    [ "ArrayDynAppendDereg"; "ArrayStatAppendDereg"; "ListFastCollect";
+      "ArrayDynSearchResize"; "ArrayStatSearchNo"; "StaticBaseline" ]
+
+let run_fig4 ?(updaters = 15) ?(periods = default_periods) ?(duration = 400_000) ?(seed = 41)
+    () =
+  List.concat_map
+    (fun period ->
+      List.map
+        (fun (mk : Collect.Intf.maker) ->
+          let step =
+            if mk.uses_htm then Collect.Intf.Adaptive else Collect.Intf.Fixed 1
+          in
+          run_one mk ~updaters ~period ~duration ~step ~seed)
+        (fig4_algos ()))
+    periods
+
+(* Figure 5: fixed steps 8/16/32, the adaptive controller, and "Best
+   (adapt cost)" — the best instrumented fixed step per period. *)
+let fig5_steps = [ 8; 16; 32 ]
+let fig5_best_candidates = [ 4; 8; 16; 32 ]
+
+let run_fig5 ?(updaters = 15) ?(periods = default_periods) ?(duration = 400_000) ?(seed = 51)
+    () =
+  let maker = Option.get (Collect.find_maker "ArrayDynAppendDereg") in
+  List.concat_map
+    (fun period ->
+      let fixed =
+        List.map
+          (fun s -> run_one maker ~updaters ~period ~duration ~step:(Collect.Intf.Fixed s) ~seed)
+          fig5_steps
+      in
+      let adaptive =
+        run_one maker ~updaters ~period ~duration ~step:Collect.Intf.Adaptive ~seed
+      in
+      let best =
+        List.map
+          (fun s ->
+            run_one maker ~updaters ~period ~duration
+              ~step:(Collect.Intf.Fixed_instrumented s) ~seed)
+          fig5_best_candidates
+        |> List.fold_left (fun acc r -> if r.throughput > acc.throughput then r else acc)
+             { algo = ""; label = ""; period; throughput = neg_infinity; histogram = [];
+               commits = 0; aborts = 0 }
+      in
+      fixed @ [ { best with label = "Best (adapt cost)" }; adaptive ])
+    periods
+
+(* Figure 6: step-size usage distribution of the adaptive controller. *)
+let run_fig6 ?(updaters = 15) ?(periods = [ 8_000; 6_000; 4_000; 2_000; 1_000; 800; 600; 400 ])
+    ?(duration = 400_000) ?(seed = 61) () =
+  let maker = Option.get (Collect.find_maker "ArrayDynAppendDereg") in
+  List.map
+    (fun period -> run_one maker ~updaters ~period ~duration ~step:Collect.Intf.Adaptive ~seed)
+    periods
+
+let period_label p = if p >= 1000 then Printf.sprintf "%dk" (p / 1000) else string_of_int p
+
+let to_table ~title results =
+  let columns =
+    List.fold_left (fun acc r -> if List.mem r.label acc then acc else acc @ [ r.label ]) []
+      results
+  in
+  let periods =
+    List.sort_uniq (fun a b -> compare b a) (List.map (fun r -> r.period) results)
+  in
+  let rows =
+    List.map
+      (fun p ->
+        ( period_label p,
+          List.map
+            (fun c ->
+              List.find_opt (fun r -> r.period = p && String.equal r.label c) results
+              |> Option.map (fun r -> r.throughput))
+            columns ))
+      periods
+  in
+  { Report.title; xlabel = "period"; unit = "ops/us"; columns; rows }
+
+let fig6_table results =
+  let steps = [ 1; 2; 4; 8; 16; 32 ] in
+  let rows =
+    List.map
+      (fun r ->
+        let total = List.fold_left (fun a (_, n) -> a + n) 0 r.histogram in
+        ( period_label r.period,
+          List.map
+            (fun s ->
+              let n = Option.value ~default:0 (List.assoc_opt s r.histogram) in
+              if total = 0 then None else Some (100.0 *. float_of_int n /. float_of_int total))
+            steps ))
+      results
+  in
+  {
+    Report.title = "Figure 6: Step-size distribution (ArrayDynAppendDereg, adaptive)";
+    xlabel = "period";
+    unit = "% of slots";
+    columns = List.map (fun s -> Printf.sprintf "step%d" s) steps;
+    rows;
+  }

@@ -1,0 +1,49 @@
+(** Figures 4–6: Collect throughput under concurrent Updates — one
+    collector, periodic updaters, 64 handles registered (paper §5.3). *)
+
+type result = {
+  algo : string;
+  label : string;  (** algorithm + step annotation, for figure legends *)
+  period : int;
+  throughput : float;  (** collects per µs *)
+  histogram : (int * int) list;  (** slots collected per step size (fig 6) *)
+  commits : int;  (** HTM commits during the whole run *)
+  aborts : int;  (** HTM aborts, all causes *)
+}
+
+val total_handles : int
+val default_periods : int list
+
+val step_label : Collect.Intf.step_policy -> string
+val period_label : int -> string
+
+val run_one :
+  Collect.Intf.maker ->
+  updaters:int ->
+  period:int ->
+  duration:int ->
+  step:Collect.Intf.step_policy ->
+  seed:int ->
+  result
+
+val fig4_algos : unit -> Collect.Intf.maker list
+(** The Figure 4 line-up: the four telescoping algorithms plus the two
+    whose collects use no transactions. *)
+
+val run_fig4 :
+  ?updaters:int -> ?periods:int list -> ?duration:int -> ?seed:int -> unit -> result list
+
+val fig5_steps : int list
+val fig5_best_candidates : int list
+
+val run_fig5 :
+  ?updaters:int -> ?periods:int list -> ?duration:int -> ?seed:int -> unit -> result list
+(** Fixed steps, the adaptive controller, and "Best (adapt cost)" — the
+    best instrumented fixed step per period. *)
+
+val run_fig6 :
+  ?updaters:int -> ?periods:int list -> ?duration:int -> ?seed:int -> unit -> result list
+(** Adaptive runs whose histograms regenerate Figure 6. *)
+
+val to_table : title:string -> result list -> Report.table
+val fig6_table : result list -> Report.table

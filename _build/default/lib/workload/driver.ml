@@ -1,0 +1,62 @@
+(** Shared machinery for the paper's microbenchmarks.
+
+    Virtual time is reported at {!cycles_per_us} cycles per microsecond
+    (a 2 GHz clock, the Rock ballpark), which is how the figures' "cycles"
+    x-axes and "ops/µs" y-axes are produced. Every benchmark thread
+    executes setup, waits until the common measurement start time
+    {!warmup}, and counts the operations it completes before the deadline.
+    {!op_dispatch} models the per-operation harness cost (loop, dispatch,
+    rng) that dominates the paper's absolute latencies. *)
+
+let cycles_per_us = 2000
+let op_dispatch = 200
+let warmup = 1_000_000
+
+type machine = { mem : Simmem.t; htm : Htm.t; boot : Sim.tctx }
+
+let machine ?(htm_config = Htm.default_config) ?(seed = 1) () =
+  let mem = Simmem.create () in
+  let htm = Htm.create ~config:htm_config mem in
+  { mem; htm; boot = Sim.boot ~seed () }
+
+(* Globally unique non-zero values: the spec checker in the test suite
+   relies on every bound value identifying one Register/Update event. *)
+let value_counter = ref 0
+
+let fresh_value () =
+  incr value_counter;
+  !value_counter
+
+(* Throughput of [ops] operations completed during [duration] cycles, in
+   operations per microsecond. *)
+let ops_per_us ~ops ~duration = float_of_int ops *. float_of_int cycles_per_us /. float_of_int duration
+
+(* Dispatch cost with jitter: real benchmark loops have timing noise, and
+   a perfectly deterministic cost lets contending threads phase-lock into
+   artificial conflict-free schedules. *)
+let tick_dispatch ctx = Sim.tick ctx (op_dispatch + Sim.Rng.int (Sim.rng ctx) 32)
+
+(* Run one op repeatedly from [warmup] until the deadline; returns the
+   number of completed operations. Used by the measured thread(s). *)
+let measured_loop ctx ~deadline op =
+  let ops = ref 0 in
+  Sim.advance_to ctx warmup;
+  while Sim.clock ctx < deadline do
+    tick_dispatch ctx;
+    op ();
+    incr ops
+  done;
+  !ops
+
+(* Fire [op] every [period] cycles from [warmup] until the deadline. *)
+let periodic_loop ctx ~deadline ~period op =
+  let next = ref warmup in
+  while !next < deadline do
+    Sim.advance_to ctx !next;
+    tick_dispatch ctx;
+    op ();
+    next := !next + period
+  done
+
+(* Split [total] into [n] parts differing by at most one. *)
+let split_evenly total n = List.init n (fun i -> (total / n) + if i < total mod n then 1 else 0)

@@ -1,0 +1,41 @@
+(** Shared machinery for the paper's microbenchmarks: machine construction,
+    virtual-time accounting, measured and periodic operation loops, and the
+    globally unique value supply. *)
+
+val cycles_per_us : int
+(** 2000: the virtual clock rate used to convert cycles to the paper's
+    ops/µs and ns axes. *)
+
+val op_dispatch : int
+(** Per-operation harness cost in cycles (loop, dispatch, rng), which
+    dominates the paper's absolute latencies. *)
+
+val warmup : int
+(** Virtual time at which measurement windows begin; setup work must
+    complete before it. *)
+
+type machine = { mem : Simmem.t; htm : Htm.t; boot : Sim.tctx }
+
+val machine : ?htm_config:Htm.config -> ?seed:int -> unit -> machine
+
+val fresh_value : unit -> int
+(** Globally unique non-zero values; the spec checker relies on every
+    bound value identifying one bind event. *)
+
+val ops_per_us : ops:int -> duration:int -> float
+
+val tick_dispatch : Sim.tctx -> unit
+(** Charge the per-op dispatch cost with jitter (see the implementation
+    note on phase-locking). *)
+
+val measured_loop : Sim.tctx -> deadline:int -> (unit -> unit) -> int
+(** Run the operation back-to-back from {!warmup} until [deadline];
+    returns the number of completed operations. *)
+
+val periodic_loop : Sim.tctx -> deadline:int -> period:int -> (unit -> unit) -> unit
+(** Fire the operation every [period] cycles from {!warmup} until
+    [deadline]. *)
+
+val split_evenly : int -> int -> int list
+(** [split_evenly total n] is [n] parts of [total] differing by at most
+    one. *)

@@ -1,0 +1,55 @@
+(** Figure 1: throughput of a mixed enqueue/dequeue workload on the three
+    queues, as the thread count grows. Each thread flips a fair coin per
+    operation; the queue is pre-filled so dequeues mostly succeed. *)
+
+type result = { queue : string; threads : int; throughput : float }
+
+let run_one (maker : Hqueue.Intf.maker) ~threads ~duration ~prefill ~seed =
+  let m = Driver.machine ~seed () in
+  let q = maker.make m.htm m.boot ~num_threads:threads in
+  for _ = 1 to prefill do
+    q.enqueue m.boot (Driver.fresh_value ())
+  done;
+  let deadline = Driver.warmup + duration in
+  let ops = Array.make threads 0 in
+  let bodies =
+    Array.init threads (fun i ->
+        fun ctx ->
+          ops.(i) <-
+            Driver.measured_loop ctx ~deadline (fun () ->
+                if Sim.Rng.bool (Sim.rng ctx) then q.enqueue ctx (Driver.fresh_value ())
+                else ignore (q.dequeue ctx)))
+  in
+  Sim.run ~seed bodies;
+  q.destroy m.boot;
+  let total = Array.fold_left ( + ) 0 ops in
+  { queue = maker.queue_name; threads; throughput = Driver.ops_per_us ~ops:total ~duration }
+
+let default_threads = [ 2; 4; 6; 8; 10; 12; 14; 16 ]
+
+let run ?(threads = default_threads) ?(duration = 400_000) ?(prefill = 64) ?(seed = 11) () =
+  List.concat_map
+    (fun n -> List.map (fun mk -> run_one mk ~threads:n ~duration ~prefill ~seed) Hqueue.all)
+    threads
+
+let to_table results =
+  let columns = List.map (fun (m : Hqueue.Intf.maker) -> m.queue_name) Hqueue.all in
+  let threads = List.sort_uniq compare (List.map (fun r -> r.threads) results) in
+  let rows =
+    List.map
+      (fun n ->
+        ( string_of_int n,
+          List.map
+            (fun q ->
+              List.find_opt (fun r -> r.threads = n && String.equal r.queue q) results
+              |> Option.map (fun r -> r.throughput))
+            columns ))
+      threads
+  in
+  {
+    Report.title = "Figure 1: Queue throughput vs threads";
+    xlabel = "threads";
+    unit = "ops/us";
+    columns;
+    rows;
+  }

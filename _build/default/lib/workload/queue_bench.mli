@@ -1,0 +1,14 @@
+(** Figure 1: mixed enqueue/dequeue throughput of the three queues as the
+    thread count grows. *)
+
+type result = { queue : string; threads : int; throughput : float }
+
+val run :
+  ?threads:int list ->
+  ?duration:int ->
+  ?prefill:int ->
+  ?seed:int ->
+  unit ->
+  result list
+
+val to_table : result list -> Report.table

@@ -1,0 +1,23 @@
+(** Plain-text and CSV rendering of benchmark results: one row per x-axis
+    value, one column per algorithm, mirroring the series in the paper's
+    figures. *)
+
+type table = {
+  title : string;
+  xlabel : string;
+  unit : string;  (** of the cell values, e.g. "ops/us" *)
+  columns : string list;
+  rows : (string * float option list) list;
+      (** x-axis label, one value per column; [None] prints as "-" *)
+}
+
+val print : Format.formatter -> table -> unit
+(** Aligned human-readable table. *)
+
+val print_csv : Format.formatter -> table -> unit
+(** Same data as CSV (one header comment line, then header + rows). *)
+
+val plot : ?height:int -> Format.formatter -> table -> unit
+(** ASCII line chart of the table: one glyph-coded series per column over
+    the row order, with a y-scale and a legend — the closest a terminal
+    gets to regenerating the paper's figures. *)

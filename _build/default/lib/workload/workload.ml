@@ -1,0 +1,14 @@
+(** Benchmark drivers reproducing every table and figure of the paper's
+    evaluation (§5), plus the space measurements backing the §1 claims.
+    Each module runs a workload on the simulated machine and renders a
+    {!Report.table}; [bench/main.ml] is the command-line front end. *)
+
+module Report = Report
+module Driver = Driver
+module Queue_bench = Queue_bench
+module Latency = Latency
+module Collect_dominated = Collect_dominated
+module Collect_update = Collect_update
+module Collect_dereg = Collect_dereg
+module Phased = Phased
+module Space_bench = Space_bench

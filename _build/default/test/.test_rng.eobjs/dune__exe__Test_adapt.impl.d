@@ -1,0 +1,1 @@
+test/test_adapt.ml: Alcotest Htm List Printf QCheck QCheck_alcotest

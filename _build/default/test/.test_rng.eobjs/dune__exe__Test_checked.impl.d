@@ -1,0 +1,1 @@
+test/test_checked.ml: Alcotest Collect Htm Option Sim Simmem

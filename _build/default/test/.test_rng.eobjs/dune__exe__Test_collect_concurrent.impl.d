@@ -1,0 +1,1 @@
+test/test_collect_concurrent.ml: Alcotest Array Collect Htm List Option Queue Sim Simmem Workload

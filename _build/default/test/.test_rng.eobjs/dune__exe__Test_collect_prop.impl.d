@@ -1,0 +1,1 @@
+test/test_collect_prop.ml: Alcotest Array Collect Htm List Printf QCheck QCheck_alcotest Sim Simmem String

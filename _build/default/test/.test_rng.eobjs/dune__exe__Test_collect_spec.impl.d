@@ -1,0 +1,1 @@
+test/test_collect_spec.ml: Alcotest Chaos Collect Collect_spec Htm List Printf

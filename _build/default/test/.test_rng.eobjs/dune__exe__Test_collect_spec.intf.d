@@ -1,0 +1,1 @@
+test/test_collect_spec.mli:

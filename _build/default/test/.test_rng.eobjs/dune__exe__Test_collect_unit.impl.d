@@ -1,0 +1,1 @@
+test/test_collect_unit.ml: Alcotest Array Collect Htm List Printf Queue Sim Simmem

@@ -1,0 +1,1 @@
+test/test_htm.ml: Alcotest Array Htm List QCheck QCheck_alcotest Sim Simmem

@@ -1,0 +1,1 @@
+test/test_ibuf.ml: Alcotest List QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_queue.ml: Alcotest Array Hashtbl Hqueue Htm List Option Printf Sim Simmem

@@ -1,0 +1,1 @@
+test/test_queue_prop.ml: Alcotest Array Hashtbl Hqueue Htm List QCheck QCheck_alcotest Queue Sim Simmem

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Astring Buffer Format List String Workload

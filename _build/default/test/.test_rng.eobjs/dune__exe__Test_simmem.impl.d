@@ -1,0 +1,1 @@
+test/test_simmem.ml: Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest Sim Simmem

@@ -1,0 +1,84 @@
+(* Randomized concurrent workload generator used by the specification
+   tests: every operation goes through the Spec_checker wrappers, and the
+   trace is verified afterwards. *)
+
+type mix = {
+  collect_pct : int;
+  update_pct : int;
+  register_pct : int;  (* remainder is deregister *)
+}
+
+let balanced = { collect_pct = 40; update_pct = 30; register_pct = 15 }
+let churn = { collect_pct = 20; update_pct = 10; register_pct = 35 }
+let collect_heavy = { collect_pct = 80; update_pct = 10; register_pct = 5 }
+
+type config = {
+  threads : int;
+  budget : int;  (* total handle budget, split across threads *)
+  duration : int;  (* virtual cycles *)
+  mix : mix;
+  min_size : int;
+  step : Collect.Intf.step_policy;
+  seed : int;
+  htm : Htm.config;  (* correctness must hold under §6's HTM variations *)
+}
+
+let default =
+  {
+    threads = 6;
+    budget = 48;
+    duration = 60_000;
+    mix = balanced;
+    min_size = 4;
+    step = Collect.Intf.Fixed 8;
+    seed = 1;
+    htm = Htm.default_config;
+  }
+
+(* Runs the workload on a fresh machine; returns the checker verdict and
+   the number of leaked blocks after deregister-all and destroy. *)
+let run (maker : Collect.Intf.maker) cfg =
+  let mem = Simmem.create () in
+  let htm = Htm.create ~config:cfg.htm mem in
+  let boot = Sim.boot ~seed:cfg.seed () in
+  let base_blocks = (Simmem.stats mem).live_blocks in
+  let ccfg =
+    {
+      Collect.Intf.max_slots = cfg.budget;
+      num_threads = cfg.threads;
+      step = cfg.step;
+      min_size = cfg.min_size;
+    }
+  in
+  let inst = maker.make htm boot ccfg in
+  let checker = Collect_spec.create () in
+  let quota = max 1 (cfg.budget / cfg.threads) in
+  let body _i ctx =
+    let mine = Queue.create () in
+    let rng = Sim.rng ctx in
+    while Sim.clock ctx < cfg.duration do
+      let dice = Sim.Rng.int rng 100 in
+      let m = cfg.mix in
+      if dice < m.collect_pct then Collect_spec.collect checker inst ctx
+      else if dice < m.collect_pct + m.update_pct then begin
+        if not (Queue.is_empty mine) then begin
+          let h = Queue.pop mine in
+          Collect_spec.update checker inst ctx h;
+          Queue.add h mine
+        end
+      end
+      else if dice < m.collect_pct + m.update_pct + m.register_pct then begin
+        if Queue.length mine < quota then
+          Queue.add (Collect_spec.register checker inst ctx) mine
+      end
+      else if not (Queue.is_empty mine) then
+        Collect_spec.deregister checker inst ctx (Queue.pop mine);
+      Sim.tick ctx (20 + Sim.Rng.int rng 50)
+    done;
+    Queue.iter (fun h -> Collect_spec.deregister checker inst ctx h) mine
+  in
+  Sim.run ~seed:cfg.seed (Array.init cfg.threads (fun i -> body i));
+  let verdict = Collect_spec.check checker in
+  inst.destroy boot;
+  let leaked = (Simmem.stats mem).live_blocks - base_blocks in
+  (verdict, leaked)

@@ -1,0 +1,155 @@
+(* Tests for the adaptive step-size controller (paper §3.4): 8-outcome
+   window, double when counter > 6 after a commit, halve when counter < -2
+   after an abort, window reset on resize. *)
+
+let test_initial () =
+  let a = Htm.Adapt.create ~initial:4 () in
+  Alcotest.(check int) "initial step" 4 (Htm.Adapt.step a);
+  Alcotest.(check int) "empty window" 0 (Htm.Adapt.window_length a)
+
+let test_double_after_7_commits () =
+  let a = Htm.Adapt.create ~initial:1 () in
+  for i = 1 to 6 do
+    Htm.Adapt.on_commit a;
+    Alcotest.(check int) (Printf.sprintf "no doubling at %d commits" i) 1 (Htm.Adapt.step a)
+  done;
+  (* 7th consecutive commit: counter reaches 7 > 6. *)
+  Htm.Adapt.on_commit a;
+  Alcotest.(check int) "doubled at counter 7" 2 (Htm.Adapt.step a);
+  Alcotest.(check int) "window reset after resize" 0 (Htm.Adapt.window_length a)
+
+let test_halve_threshold () =
+  let a = Htm.Adapt.create ~initial:8 () in
+  (* counter -1, -2 do not trigger; -3 does. *)
+  Htm.Adapt.on_abort a;
+  Alcotest.(check int) "counter -1 keeps step" 8 (Htm.Adapt.step a);
+  Htm.Adapt.on_abort a;
+  Alcotest.(check int) "counter -2 keeps step" 8 (Htm.Adapt.step a);
+  Htm.Adapt.on_abort a;
+  Alcotest.(check int) "counter -3 halves" 4 (Htm.Adapt.step a);
+  Alcotest.(check int) "window reset" 0 (Htm.Adapt.window_length a)
+
+let test_bounds () =
+  let a = Htm.Adapt.create ~min_step:2 ~max_step:8 ~initial:8 () in
+  for _ = 1 to 20 do
+    Htm.Adapt.on_commit a
+  done;
+  Alcotest.(check int) "capped at max" 8 (Htm.Adapt.step a);
+  let b = Htm.Adapt.create ~min_step:2 ~max_step:8 ~initial:2 () in
+  for _ = 1 to 20 do
+    Htm.Adapt.on_abort b
+  done;
+  Alcotest.(check int) "floored at min" 2 (Htm.Adapt.step b)
+
+let test_aging_out () =
+  let a = Htm.Adapt.create ~initial:1 () in
+  (* 4 aborts then 8 commits: the window holds only the last 8 outcomes, so
+     after 8 commits the aborts have aged out and counter = 8 > 6. But the
+     doubling already happens once the aborts age out far enough. *)
+  for _ = 1 to 4 do
+    Htm.Adapt.on_abort a
+  done;
+  Alcotest.(check int) "still at 1" 1 (Htm.Adapt.step a);
+  let doubled = ref false in
+  for _ = 1 to 12 do
+    Htm.Adapt.on_commit a;
+    if Htm.Adapt.step a > 1 then doubled := true
+  done;
+  Alcotest.(check bool) "aging out enables doubling" true !doubled
+
+let test_mixed_stays () =
+  (* Alternating outcomes keep the counter near 0: never resize. *)
+  let a = Htm.Adapt.create ~initial:4 () in
+  for _ = 1 to 50 do
+    Htm.Adapt.on_commit a;
+    Htm.Adapt.on_abort a
+  done;
+  Alcotest.(check int) "alternating outcomes keep step" 4 (Htm.Adapt.step a)
+
+let test_histogram () =
+  let a = Htm.Adapt.create ~initial:1 () in
+  Htm.Adapt.record_collected a 10;
+  for _ = 1 to 8 do
+    Htm.Adapt.on_commit a
+  done;
+  Htm.Adapt.record_collected a 5;
+  Alcotest.(check (list (pair int int))) "histogram by step" [ (1, 10); (2, 5) ]
+    (Htm.Adapt.histogram a)
+
+let test_invalid_args () =
+  Alcotest.check_raises "bad bounds" (Invalid_argument "Adapt.create: bad bounds")
+    (fun () -> ignore (Htm.Adapt.create ~min_step:0 ~initial:1 ()));
+  Alcotest.check_raises "bad initial" (Invalid_argument "Adapt.create: bad initial")
+    (fun () -> ignore (Htm.Adapt.create ~min_step:2 ~max_step:8 ~initial:16 ()))
+
+(* Model-based property: replay a random outcome script against a direct
+   model of the specification. *)
+let model_step script =
+  let window = ref [] (* newest first, length <= 8 *) in
+  let step = ref 4 in
+  let counter () =
+    List.fold_left (fun acc b -> acc + if b then 1 else -1) 0 !window
+  in
+  List.iter
+    (fun commit ->
+      window := commit :: (if List.length !window = 8 then List.filteri (fun i _ -> i < 7) !window else !window);
+      if commit && counter () > 6 && !step < 32 then begin
+        step := !step * 2;
+        window := []
+      end
+      else if (not commit) && counter () < -2 && !step > 1 then begin
+        step := !step / 2;
+        window := []
+      end)
+    script;
+  !step
+
+let prop_model =
+  QCheck.Test.make ~name:"controller matches specification model" ~count:500
+    QCheck.(list bool)
+    (fun script ->
+      let a = Htm.Adapt.create ~initial:4 () in
+      List.iter (fun c -> if c then Htm.Adapt.on_commit a else Htm.Adapt.on_abort a) script;
+      Htm.Adapt.step a = model_step script)
+
+let prop_counter_bounded =
+  QCheck.Test.make ~name:"counter stays within window bounds" ~count:500
+    QCheck.(list bool)
+    (fun script ->
+      let a = Htm.Adapt.create ~initial:4 () in
+      List.for_all
+        (fun c ->
+          if c then Htm.Adapt.on_commit a else Htm.Adapt.on_abort a;
+          abs (Htm.Adapt.counter a) <= 8 && Htm.Adapt.window_length a <= 8)
+        script)
+
+let prop_step_power_of_two =
+  QCheck.Test.make ~name:"step stays a power of two within bounds" ~count:500
+    QCheck.(list bool)
+    (fun script ->
+      let a = Htm.Adapt.create ~initial:4 () in
+      List.for_all
+        (fun c ->
+          if c then Htm.Adapt.on_commit a else Htm.Adapt.on_abort a;
+          let s = Htm.Adapt.step a in
+          s >= 1 && s <= 32 && s land (s - 1) = 0)
+        script)
+
+let () =
+  Alcotest.run "adapt"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "initial" `Quick test_initial;
+          Alcotest.test_case "double after 7 commits" `Quick test_double_after_7_commits;
+          Alcotest.test_case "halve threshold" `Quick test_halve_threshold;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "aging out" `Quick test_aging_out;
+          Alcotest.test_case "mixed stays" `Quick test_mixed_stays;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "invalid args" `Quick test_invalid_args;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_model; prop_counter_bounded; prop_step_power_of_two ] );
+    ]

@@ -1,0 +1,78 @@
+(* Tests for the well-formedness decorator: legal usage passes through
+   unchanged; each class of violation is caught with a clear message. *)
+
+let make () =
+  let mem = Simmem.create () in
+  let htm = Htm.create mem in
+  let boot = Sim.boot () in
+  let mk = Option.get (Collect.find_maker "ArrayDynAppendDereg") in
+  let cfg =
+    { Collect.Intf.max_slots = 64; num_threads = 4; step = Collect.Intf.Fixed 8;
+      min_size = 4 }
+  in
+  (boot, Collect.Checked.wrap (mk.make htm boot cfg))
+
+let expect_violation name f =
+  match f () with
+  | () -> Alcotest.failf "%s: expected a well-formedness violation" name
+  | exception Collect.Checked.Violation _ -> ()
+
+let test_legal_passthrough () =
+  let _, inst = make () in
+  Sim.run ~seed:1
+    [|
+      (fun ctx ->
+        let h = inst.register ctx 7 in
+        inst.update ctx h 8;
+        let buf = Sim.Ibuf.create () in
+        inst.collect ctx buf;
+        Alcotest.(check (list int)) "behaviour unchanged" [ 8 ] (Sim.Ibuf.to_list buf);
+        inst.deregister ctx h);
+    |]
+
+let test_null_value () =
+  let _, inst = make () in
+  Sim.run ~seed:2
+    [| (fun ctx -> expect_violation "register 0" (fun () -> ignore (inst.register ctx 0))) |]
+
+let test_foreign_update () =
+  let _, inst = make () in
+  let handle = ref 0 in
+  Sim.run ~seed:3
+    [|
+      (fun ctx ->
+        handle := inst.register ctx 5;
+        Sim.advance_to ctx 10_000);
+      (fun ctx ->
+        Sim.advance_to ctx 5_000;
+        expect_violation "foreign update" (fun () -> inst.update ctx !handle 6));
+    |]
+
+let test_double_deregister () =
+  let _, inst = make () in
+  Sim.run ~seed:4
+    [|
+      (fun ctx ->
+        let h = inst.register ctx 5 in
+        inst.deregister ctx h;
+        expect_violation "double deregister" (fun () -> inst.deregister ctx h);
+        expect_violation "update after deregister" (fun () -> inst.update ctx h 6));
+    |]
+
+let test_destroy_with_live_handles () =
+  let boot, inst = make () in
+  Sim.run ~seed:5 [| (fun ctx -> ignore (inst.register ctx 5)) |];
+  expect_violation "destroy with live handle" (fun () -> inst.destroy boot)
+
+let () =
+  Alcotest.run "checked"
+    [
+      ( "decorator",
+        [
+          Alcotest.test_case "legal passthrough" `Quick test_legal_passthrough;
+          Alcotest.test_case "null value" `Quick test_null_value;
+          Alcotest.test_case "foreign update" `Quick test_foreign_update;
+          Alcotest.test_case "double deregister" `Quick test_double_deregister;
+          Alcotest.test_case "destroy with live handles" `Quick test_destroy_with_live_handles;
+        ] );
+    ]

@@ -1,0 +1,75 @@
+(* Concurrent specification tests: randomized workloads over every
+   algorithm, with every collect checked offline against the paper's §2.3
+   conditions (validity and completeness), plus leak accounting. *)
+
+let run_cfg name (cfg : Chaos.config) () =
+  List.iter
+    (fun (mk : Collect.Intf.maker) ->
+      match Chaos.run mk cfg with
+      | verdict, leaked ->
+        if verdict.checked_collects = 0 then
+          Alcotest.failf "%s/%s: workload produced no collects" name mk.algo_name;
+        Alcotest.(check int) (Printf.sprintf "%s/%s: leaks" name mk.algo_name) 0 leaked
+      | exception Collect_spec.Violation msg ->
+        Alcotest.failf "%s/%s: specification violated: %s" name mk.algo_name msg)
+    Collect.all_with_extensions
+
+let cfgs =
+  let open Chaos in
+  [
+    ("balanced s1", { default with seed = 101 });
+    ("balanced s2", { default with seed = 202; threads = 8; budget = 64 });
+    ("balanced small steps", { default with seed = 303; step = Collect.Intf.Fixed 2 });
+    ("balanced adaptive", { default with seed = 404; step = Collect.Intf.Adaptive });
+    ( "churn s1",
+      { default with seed = 505; mix = churn; budget = 32; threads = 8; min_size = 1 } );
+    ( "churn s2",
+      { default with seed = 606; mix = churn; budget = 24; threads = 5; min_size = 2 } );
+    ( "churn big steps",
+      { default with seed = 707; mix = churn; step = Collect.Intf.Fixed 32; min_size = 1 } );
+    ("collect-heavy s1", { default with seed = 808; mix = collect_heavy; threads = 4 });
+    ( "collect-heavy s2",
+      { default with seed = 909; mix = collect_heavy; threads = 10; budget = 60 } );
+    (* §6 HTM variations: correctness must survive a TLE fallback path and
+       a small store buffer (more overflow aborts and lock serialization). *)
+    ( "tle fallback",
+      { default with
+        seed = 1001;
+        mix = churn;
+        htm = { Htm.default_config with tle = Htm.Tle_after 2 } } );
+    ( "small store buffer",
+      { default with
+        seed = 1102;
+        step = Collect.Intf.Adaptive;
+        htm = { Htm.default_config with store_buffer = 8 } } );
+    ( "tle + tiny buffer",
+      { default with
+        seed = 1203;
+        threads = 8;
+        htm = { Htm.default_config with store_buffer = 8; tle = Htm.Tle_after 3 } } );
+  ]
+
+(* Broad seed sweep: the same three mixes over many independent seeds. *)
+let sweep_cfgs =
+  List.concat_map
+    (fun seed ->
+      let open Chaos in
+      [
+        (Printf.sprintf "sweep balanced %d" seed, { default with seed });
+        ( Printf.sprintf "sweep churn %d" seed,
+          { default with seed = seed + 1; mix = churn; budget = 32; min_size = 2 } );
+        ( Printf.sprintf "sweep heavy %d" seed,
+          { default with seed = seed + 2; mix = collect_heavy; threads = 8 } );
+      ])
+    [ 3001; 3101; 3201; 3301 ]
+
+let () =
+  Alcotest.run "collect-spec"
+    [
+      ( "chaos",
+        List.map (fun (name, cfg) -> Alcotest.test_case name `Quick (run_cfg name cfg)) cfgs );
+      ( "seed-sweep",
+        List.map
+          (fun (name, cfg) -> Alcotest.test_case name `Slow (run_cfg name cfg))
+          sweep_cfgs );
+    ]

@@ -1,0 +1,130 @@
+(* Property-based tests for the queues: equivalence with a functional
+   model under random single-threaded scripts, and exactly-once delivery
+   under randomized concurrent schedules. *)
+
+(* A script is a list of operations: true = enqueue (next value),
+   false = dequeue. *)
+let run_script (mk : Hqueue.Intf.maker) script =
+  let mem = Simmem.create () in
+  let htm = Htm.create mem in
+  let boot = Sim.boot () in
+  let q = mk.make htm boot ~num_threads:2 in
+  let results = ref [] in
+  Sim.run ~seed:1
+    [|
+      (fun ctx ->
+        let next = ref 0 in
+        List.iter
+          (fun enq ->
+            if enq then begin
+              incr next;
+              q.enqueue ctx !next
+            end
+            else results := q.dequeue ctx :: !results)
+          script);
+    |];
+  let r = List.rev !results in
+  q.destroy boot;
+  r
+
+let model_script script =
+  let q = Queue.create () in
+  let next = ref 0 in
+  let results = ref [] in
+  List.iter
+    (fun enq ->
+      if enq then begin
+        incr next;
+        Queue.add !next q
+      end
+      else results := (if Queue.is_empty q then None else Some (Queue.pop q)) :: !results)
+    script;
+  List.rev !results
+
+let prop_sequential_model (mk : Hqueue.Intf.maker) =
+  QCheck.Test.make
+    ~name:(mk.queue_name ^ " matches the functional queue model")
+    ~count:100
+    QCheck.(list bool)
+    (fun script -> run_script mk script = model_script script)
+
+let prop_concurrent_exactly_once (mk : Hqueue.Intf.maker) =
+  QCheck.Test.make
+    ~name:(mk.queue_name ^ " delivers exactly once under any schedule")
+    ~count:25 QCheck.small_int
+    (fun seed ->
+      let mem = Simmem.create () in
+      let htm = Htm.create mem in
+      let boot = Sim.boot () in
+      let q = mk.make htm boot ~num_threads:6 in
+      let got = ref [] in
+      Sim.run ~seed
+        (Array.init 6 (fun i ->
+             fun ctx ->
+               let rng = Sim.rng ctx in
+               for k = 1 to 60 do
+                 if Sim.Rng.bool rng then q.enqueue ctx ((i * 1000) + k)
+                 else
+                   match q.dequeue ctx with
+                   | Some v -> got := v :: !got
+                   | None -> ()
+               done));
+      let rec drain acc = match q.dequeue boot with Some v -> drain (v :: acc) | None -> acc in
+      let all = drain [] @ !got in
+      let ok = List.length all = List.length (List.sort_uniq compare all) in
+      q.destroy boot;
+      ok)
+
+(* Sequential consistency of the value payload: dequeue order of one
+   producer's values is its enqueue order, for every queue and seed. *)
+let prop_per_producer_fifo (mk : Hqueue.Intf.maker) =
+  QCheck.Test.make
+    ~name:(mk.queue_name ^ " preserves per-producer order")
+    ~count:25 QCheck.small_int
+    (fun seed ->
+      let mem = Simmem.create () in
+      let htm = Htm.create mem in
+      let boot = Sim.boot () in
+      let q = mk.make htm boot ~num_threads:4 in
+      let seen = Array.make 4 [] in
+      Sim.run ~seed
+        (Array.init 4 (fun i ->
+             fun ctx ->
+               if i < 2 then
+                 for k = 1 to 80 do
+                   q.enqueue ctx ((i * 1000) + k)
+                 done
+               else
+                 for _ = 1 to 90 do
+                   match q.dequeue ctx with
+                   | Some v -> seen.(i) <- v :: seen.(i)
+                   | None -> Sim.tick ctx 100
+                 done));
+      q.destroy boot;
+      Array.for_all
+        (fun lst ->
+          let in_order = List.rev lst in
+          let last = Hashtbl.create 4 in
+          List.for_all
+            (fun v ->
+              let p = v / 1000 and k = v mod 1000 in
+              let ok = match Hashtbl.find_opt last p with Some prev -> prev < k | None -> true in
+              Hashtbl.replace last p k;
+              ok)
+            in_order)
+        seen)
+
+let () =
+  Alcotest.run "queue-prop"
+    [
+      ( "properties",
+        List.concat_map
+          (fun mk ->
+            List.map QCheck_alcotest.to_alcotest
+              [
+                prop_sequential_model mk;
+                prop_concurrent_exactly_once mk;
+                prop_per_producer_fifo mk;
+              ])
+          Hqueue.all_with_extensions );
+    ]

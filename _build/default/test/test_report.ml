@@ -1,0 +1,82 @@
+(* Golden tests for the table/CSV/chart renderers. *)
+
+let table =
+  {
+    Workload.Report.title = "T";
+    xlabel = "x";
+    unit = "u";
+    columns = [ "one"; "two" ];
+    rows = [ ("a", [ Some 1.0; Some 2.0 ]); ("b", [ Some 1.5; None ]) ];
+  }
+
+let render f t =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf t;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let test_print () =
+  let s = render Workload.Report.print table in
+  Alcotest.(check bool) "has title" true (String.length s > 0);
+  List.iter
+    (fun needle ->
+      if not (Astring.String.is_infix ~affix:needle s) then
+        Alcotest.failf "missing %S in:\n%s" needle s)
+    [ "== T [u] =="; "one"; "two"; "1.000"; "2.000"; "1.500"; "-" ]
+
+let test_csv () =
+  let s = render Workload.Report.print_csv table in
+  List.iter
+    (fun needle ->
+      if not (Astring.String.is_infix ~affix:needle s) then
+        Alcotest.failf "missing %S in:\n%s" needle s)
+    [ "x,one,two"; "a,1.000000,2.000000"; "b,1.500000," ]
+
+let test_plot () =
+  let s = render (Workload.Report.plot ?height:None) table in
+  List.iter
+    (fun needle ->
+      if not (Astring.String.is_infix ~affix:needle s) then
+        Alcotest.failf "missing %S in:\n%s" needle s)
+    [ "-- T [u] --"; "A = one"; "B = two"; "2.00" ];
+  (* the glyph for the max value must sit on the top canvas row *)
+  (match String.split_on_char '\n' s with
+   | _title :: top :: _ ->
+     Alcotest.(check bool) "B at the top" true (String.contains top 'B')
+   | _ -> Alcotest.fail "unexpected plot shape")
+
+let test_plot_empty () =
+  let s =
+    render (Workload.Report.plot ?height:None)
+      { table with rows = []; columns = [] }
+  in
+  Alcotest.(check bool) "degrades gracefully" true
+    (Astring.String.is_infix ~affix:"empty" s)
+
+let test_cell_formats () =
+  let wide =
+    {
+      table with
+      rows = [ ("big", [ Some 12345.0; Some 42.5 ]); ("small", [ Some 0.001; None ]) ];
+    }
+  in
+  let s = render Workload.Report.print wide in
+  List.iter
+    (fun needle ->
+      if not (Astring.String.is_infix ~affix:needle s) then
+        Alcotest.failf "missing %S in:\n%s" needle s)
+    [ "12345"; "42.5"; "0.001" ]
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "render",
+        [
+          Alcotest.test_case "table" `Quick test_print;
+          Alcotest.test_case "csv" `Quick test_csv;
+          Alcotest.test_case "plot" `Quick test_plot;
+          Alcotest.test_case "plot empty" `Quick test_plot_empty;
+          Alcotest.test_case "cell formats" `Quick test_cell_formats;
+        ] );
+    ]

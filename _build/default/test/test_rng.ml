@@ -1,0 +1,101 @@
+(* Unit and property tests for the SplitMix64 generator. *)
+
+let test_determinism () =
+  let a = Sim.Rng.create 42 and b = Sim.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Rng.bits64 a) (Sim.Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Sim.Rng.create 1 and b = Sim.Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Sim.Rng.bits64 a <> Sim.Rng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_bounds () =
+  let r = Sim.Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Sim.Rng.int r 13 in
+    if v < 0 || v >= 13 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_bound_one () =
+  let r = Sim.Rng.create 9 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "bound 1 gives 0" 0 (Sim.Rng.int r 1)
+  done
+
+let test_invalid_bound () =
+  let r = Sim.Rng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Sim.Rng.int r 0))
+
+let test_split_independence () =
+  let parent = Sim.Rng.create 5 in
+  let child = Sim.Rng.split parent in
+  (* The child stream must not simply replay the parent stream. *)
+  let equal = ref 0 in
+  for _ = 1 to 20 do
+    if Sim.Rng.bits64 parent = Sim.Rng.bits64 child then incr equal
+  done;
+  Alcotest.(check bool) "streams diverge" true (!equal < 3)
+
+let test_float_bounds () =
+  let r = Sim.Rng.create 11 in
+  for _ = 1 to 1000 do
+    let f = Sim.Rng.float r 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.failf "float out of bounds: %f" f
+  done
+
+let test_uniformity () =
+  (* Coarse chi-square-free check: each of 8 buckets gets 8-17 % of draws. *)
+  let r = Sim.Rng.create 13 in
+  let buckets = Array.make 8 0 in
+  let n = 80_000 in
+  for _ = 1 to n do
+    let v = Sim.Rng.int r 8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let frac = float_of_int c /. float_of_int n in
+      if frac < 0.08 || frac > 0.17 then Alcotest.failf "bucket %d skewed: %f" i frac)
+    buckets
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int always within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let r = Sim.Rng.create seed in
+      let v = Sim.Rng.int r bound in
+      v >= 0 && v < bound)
+
+let prop_bool_balanced =
+  QCheck.Test.make ~name:"Rng.bool is roughly balanced" ~count:50 QCheck.small_int
+    (fun seed ->
+      let r = Sim.Rng.create seed in
+      let trues = ref 0 in
+      for _ = 1 to 1000 do
+        if Sim.Rng.bool r then incr trues
+      done;
+      !trues > 350 && !trues < 650)
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_bounds;
+          Alcotest.test_case "bound one" `Quick test_bound_one;
+          Alcotest.test_case "invalid bound" `Quick test_invalid_bound;
+          Alcotest.test_case "split independence" `Quick test_split_independence;
+          Alcotest.test_case "float bounds" `Quick test_float_bounds;
+          Alcotest.test_case "uniformity" `Quick test_uniformity;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest [ prop_int_in_bounds; prop_bool_balanced ] );
+    ]

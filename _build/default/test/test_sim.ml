@@ -1,0 +1,189 @@
+(* Tests for the virtual-time cooperative scheduler. *)
+
+let test_all_threads_finish () =
+  let done_ = Array.make 8 false in
+  Sim.run ~seed:1
+    (Array.init 8 (fun i ->
+         fun ctx ->
+           Sim.tick ctx (10 * (i + 1));
+           done_.(i) <- true));
+  Array.iteri (fun i d -> Alcotest.(check bool) (Printf.sprintf "thread %d" i) true d) done_
+
+let test_tids_and_clocks () =
+  let tids = Array.make 4 (-1) in
+  let clocks = Array.make 4 (-1) in
+  Sim.run ~seed:2
+    (Array.init 4 (fun i ->
+         fun ctx ->
+           tids.(i) <- Sim.tid ctx;
+           Sim.tick ctx 100;
+           clocks.(i) <- Sim.clock ctx));
+  Array.iteri (fun i t -> Alcotest.(check int) "tid" i t) tids;
+  Array.iter (fun c -> Alcotest.(check int) "clock advanced" 100 c) clocks
+
+(* Events must execute in virtual-time order: with each access a yield
+   point, a thread that ticks large costs cannot overtake one that ticks
+   small costs. *)
+let test_timestamp_order () =
+  let log = ref [] in
+  let worker cost ctx =
+    for _ = 1 to 50 do
+      Sim.tick ctx cost;
+      log := (Sim.clock ctx, Sim.tid ctx) :: !log
+    done
+  in
+  Sim.run ~seed:3 [| worker 3; worker 7; worker 11 |];
+  let times = List.rev_map fst !log in
+  let sorted = List.sort compare times in
+  Alcotest.(check (list int)) "events logged in timestamp order" sorted times
+
+let test_determinism () =
+  let trace seed =
+    let log = Buffer.create 256 in
+    let worker ctx =
+      for _ = 1 to 30 do
+        Sim.tick ctx (1 + Sim.Rng.int (Sim.rng ctx) 10);
+        Buffer.add_string log (Printf.sprintf "%d@%d;" (Sim.tid ctx) (Sim.clock ctx))
+      done
+    in
+    Sim.run ~seed (Array.make 5 worker);
+    Buffer.contents log
+  in
+  Alcotest.(check string) "same seed, same trace" (trace 42) (trace 42);
+  Alcotest.(check bool) "different seed, different trace" true (trace 42 <> trace 43)
+
+let test_advance_to () =
+  let c = ref 0 in
+  Sim.run ~seed:4
+    [|
+      (fun ctx ->
+        Sim.advance_to ctx 5000;
+        c := Sim.clock ctx;
+        Sim.advance_to ctx 100 (* no-op going backwards *));
+    |];
+  Alcotest.(check int) "advanced" 5000 !c
+
+let test_stop_thread () =
+  let after = ref false in
+  let other = ref false in
+  Sim.run ~seed:5
+    [|
+      (fun ctx ->
+        Sim.tick ctx 1;
+        ignore (Sim.stop ());
+        after := true);
+      (fun ctx ->
+        Sim.tick ctx 1000;
+        other := true);
+    |];
+  Alcotest.(check bool) "code after stop not run" false !after;
+  Alcotest.(check bool) "other thread unaffected" true !other
+
+let test_exception_propagates () =
+  Alcotest.check_raises "thread exception reaches run" (Failure "boom") (fun () ->
+      Sim.run ~seed:6 [| (fun ctx -> Sim.tick ctx 1; failwith "boom") |])
+
+let test_boot_ctx () =
+  let ctx = Sim.boot () in
+  Alcotest.(check int) "boot tid" Sim.boot_tid (Sim.tid ctx);
+  Sim.tick ctx 500;
+  Alcotest.(check int) "boot clock advances" 500 (Sim.clock ctx)
+
+let test_thread_count_limits () =
+  Alcotest.check_raises "zero threads" (Invalid_argument "Sim.run: need between 1 and 61 threads")
+    (fun () -> Sim.run [||]);
+  Alcotest.check_raises "too many threads"
+    (Invalid_argument "Sim.run: need between 1 and 61 threads") (fun () ->
+      Sim.run (Array.make 62 (fun _ -> ())))
+
+let test_charge_no_yield () =
+  (* charge advances the clock without a scheduling point: another thread
+     cannot observe intermediate state even if its clock is earlier. *)
+  let flag = ref 0 in
+  let observed = ref (-1) in
+  Sim.run ~seed:7
+    [|
+      (fun ctx ->
+        Sim.tick ctx 100;
+        flag := 1;
+        Sim.charge ctx 1000;
+        flag := 2;
+        Sim.tick ctx 0);
+      (fun ctx ->
+        Sim.advance_to ctx 500;
+        observed := !flag);
+    |];
+  Alcotest.(check bool) "atomic section not split" true (!observed = 0 || !observed = 2)
+
+let test_backoff_grows_and_resets () =
+  Sim.run ~seed:8
+    [|
+      (fun ctx ->
+        let b = Sim.Backoff.create ~base:10 ~cap:100 ctx in
+        let t0 = Sim.clock ctx in
+        Sim.Backoff.once b;
+        let d1 = Sim.clock ctx - t0 in
+        Alcotest.(check bool) "first delay within base" true (d1 >= 5 && d1 <= 10);
+        for _ = 1 to 10 do
+          Sim.Backoff.once b
+        done;
+        let t1 = Sim.clock ctx in
+        Sim.Backoff.once b;
+        let dcap = Sim.clock ctx - t1 in
+        Alcotest.(check bool) "capped" true (dcap <= 100);
+        Sim.Backoff.reset b;
+        let t2 = Sim.clock ctx in
+        Sim.Backoff.once b;
+        let d2 = Sim.clock ctx - t2 in
+        Alcotest.(check bool) "reset restores base" true (d2 >= 5 && d2 <= 10));
+    |]
+
+(* Fairness: threads doing equal work end with similar clocks and none is
+   starved. *)
+let test_fairness () =
+  let finish = Array.make 6 0 in
+  Sim.run ~seed:9
+    (Array.init 6 (fun i ->
+         fun ctx ->
+           for _ = 1 to 1000 do
+             Sim.tick ctx 5
+           done;
+           finish.(i) <- Sim.clock ctx));
+  Array.iter (fun c -> Alcotest.(check int) "equal work, equal clock" 5000 c) finish
+
+let prop_deterministic_final_clocks =
+  QCheck.Test.make ~name:"run is deterministic for any seed" ~count:50 QCheck.small_int
+    (fun seed ->
+      let final () =
+        let acc = Array.make 3 0 in
+        Sim.run ~seed
+          (Array.init 3 (fun i ->
+               fun ctx ->
+                 for _ = 1 to 20 do
+                   Sim.tick ctx (1 + Sim.Rng.int (Sim.rng ctx) 5)
+                 done;
+                 acc.(i) <- Sim.clock ctx));
+        Array.to_list acc
+      in
+      final () = final ())
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "all threads finish" `Quick test_all_threads_finish;
+          Alcotest.test_case "tids and clocks" `Quick test_tids_and_clocks;
+          Alcotest.test_case "timestamp order" `Quick test_timestamp_order;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "advance_to" `Quick test_advance_to;
+          Alcotest.test_case "stop thread" `Quick test_stop_thread;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "boot context" `Quick test_boot_ctx;
+          Alcotest.test_case "thread count limits" `Quick test_thread_count_limits;
+          Alcotest.test_case "charge is atomic" `Quick test_charge_no_yield;
+          Alcotest.test_case "fairness" `Quick test_fairness;
+        ] );
+      ("backoff", [ Alcotest.test_case "grow and reset" `Quick test_backoff_grows_and_resets ]);
+      ("property", [ QCheck_alcotest.to_alcotest prop_deterministic_final_clocks ]);
+    ]

@@ -1,0 +1,254 @@
+(* Tests for the simulated memory: allocator, fault detection, versions,
+   coherence costs. *)
+
+let make () = (Simmem.create (), Sim.boot ())
+
+let test_malloc_zeroed () =
+  let mem, ctx = make () in
+  let b = Simmem.malloc mem ctx 8 in
+  for i = 0 to 7 do
+    Alcotest.(check int) "zeroed" 0 (Simmem.read mem ctx (b + i))
+  done
+
+let test_read_write () =
+  let mem, ctx = make () in
+  let b = Simmem.malloc mem ctx 4 in
+  Simmem.write mem ctx (b + 2) 777;
+  Alcotest.(check int) "read back" 777 (Simmem.read mem ctx (b + 2));
+  Alcotest.(check int) "neighbour untouched" 0 (Simmem.read mem ctx (b + 1))
+
+let test_null_fault () =
+  let mem, ctx = make () in
+  Alcotest.check_raises "null read" (Simmem.Fault (Simmem.Unallocated 0)) (fun () ->
+      ignore (Simmem.read mem ctx Simmem.null))
+
+let test_use_after_free () =
+  let mem, ctx = make () in
+  let b = Simmem.malloc mem ctx 4 in
+  Simmem.free mem ctx b;
+  Alcotest.check_raises "dangling read" (Simmem.Fault (Simmem.Use_after_free (b + 1)))
+    (fun () -> ignore (Simmem.read mem ctx (b + 1)));
+  Alcotest.check_raises "dangling write" (Simmem.Fault (Simmem.Use_after_free b)) (fun () ->
+      Simmem.write mem ctx b 1)
+
+let test_double_free () =
+  let mem, ctx = make () in
+  let b = Simmem.malloc mem ctx 4 in
+  Simmem.free mem ctx b;
+  Alcotest.check_raises "double free" (Simmem.Fault (Simmem.Double_free b)) (fun () ->
+      Simmem.free mem ctx b)
+
+let test_invalid_free () =
+  let mem, ctx = make () in
+  let b = Simmem.malloc mem ctx 4 in
+  Alcotest.check_raises "interior free" (Simmem.Fault (Simmem.Invalid_free (b + 1)))
+    (fun () -> Simmem.free mem ctx (b + 1))
+
+let test_reuse_same_size () =
+  let mem, ctx = make () in
+  let a = Simmem.malloc mem ctx 4 in
+  Simmem.free mem ctx a;
+  let b = Simmem.malloc mem ctx 4 in
+  Alcotest.(check int) "LIFO reuse of equal-size block" a b;
+  let c = Simmem.malloc mem ctx 5 in
+  Alcotest.(check bool) "different size not reused" true (c <> a)
+
+let test_reuse_zeroes () =
+  let mem, ctx = make () in
+  let a = Simmem.malloc mem ctx 2 in
+  Simmem.write mem ctx a 123;
+  Simmem.free mem ctx a;
+  let b = Simmem.malloc mem ctx 2 in
+  Alcotest.(check int) "recycled block zeroed" 0 (Simmem.read mem ctx b)
+
+let test_stats () =
+  let mem, ctx = make () in
+  let s0 = Simmem.stats mem in
+  let a = Simmem.malloc mem ctx 10 in
+  let b = Simmem.malloc mem ctx 6 in
+  let s1 = Simmem.stats mem in
+  Alcotest.(check int) "live words" (s0.live_words + 16) s1.live_words;
+  Alcotest.(check int) "live blocks" (s0.live_blocks + 2) s1.live_blocks;
+  Simmem.free mem ctx a;
+  Simmem.free mem ctx b;
+  let s2 = Simmem.stats mem in
+  Alcotest.(check int) "back to baseline words" s0.live_words s2.live_words;
+  Alcotest.(check int) "peak retained" s1.live_words s2.peak_live_words;
+  Alcotest.(check int) "alloc count" (s0.total_allocs + 2) s2.total_allocs;
+  Alcotest.(check int) "free count" (s0.total_frees + 2) s2.total_frees
+
+let test_block_size () =
+  let mem, ctx = make () in
+  let a = Simmem.malloc mem ctx 7 in
+  Alcotest.(check (option int)) "size" (Some 7) (Simmem.block_size mem a);
+  Alcotest.(check (option int)) "interior is not a block" None (Simmem.block_size mem (a + 1));
+  Simmem.free mem ctx a;
+  Alcotest.(check (option int)) "freed block gone" None (Simmem.block_size mem a)
+
+let test_versions () =
+  let mem, ctx = make () in
+  let a = Simmem.malloc mem ctx 2 in
+  let v0 = Simmem.version mem a in
+  Simmem.write mem ctx a 1;
+  Alcotest.(check int) "write bumps" (v0 + 1) (Simmem.version mem a);
+  let (_ : bool) = Simmem.cas mem ctx a ~expected:1 ~desired:2 in
+  Alcotest.(check int) "successful cas bumps" (v0 + 2) (Simmem.version mem a);
+  let (_ : bool) = Simmem.cas mem ctx a ~expected:99 ~desired:3 in
+  Alcotest.(check int) "failed cas does not bump" (v0 + 2) (Simmem.version mem a);
+  Simmem.free mem ctx a;
+  Alcotest.(check bool) "free bumps" true (Simmem.version mem a > v0 + 2)
+
+let test_cas_semantics () =
+  let mem, ctx = make () in
+  let a = Simmem.malloc mem ctx 1 in
+  Alcotest.(check bool) "cas succeeds" true (Simmem.cas mem ctx a ~expected:0 ~desired:5);
+  Alcotest.(check bool) "cas fails" false (Simmem.cas mem ctx a ~expected:0 ~desired:9);
+  Alcotest.(check int) "value after failed cas" 5 (Simmem.read mem ctx a)
+
+let test_fetch_add () =
+  let mem, ctx = make () in
+  let a = Simmem.malloc mem ctx 1 in
+  Alcotest.(check int) "returns old" 0 (Simmem.fetch_add mem ctx a 3);
+  Alcotest.(check int) "returns old again" 3 (Simmem.fetch_add mem ctx a (-1));
+  Alcotest.(check int) "net value" 2 (Simmem.read mem ctx a)
+
+let test_coherence_costs () =
+  let mem, ctx = make () in
+  let a = Simmem.malloc mem ctx 1 in
+  Simmem.write mem ctx a 1;
+  let t0 = Sim.clock ctx in
+  ignore (Simmem.read mem ctx a);
+  let hit = Sim.clock ctx - t0 in
+  (* A second thread's first read misses. *)
+  let miss = ref 0 in
+  Sim.run ~seed:1
+    [|
+      (fun tctx ->
+        let t = Sim.clock tctx in
+        ignore (Simmem.read mem tctx a);
+        miss := Sim.clock tctx - t);
+    |];
+  Alcotest.(check bool)
+    (Printf.sprintf "miss (%d) dearer than hit (%d)" !miss hit)
+    true
+    (!miss > hit)
+
+let test_line_serialization () =
+  (* Misses on one line queue behind each other; misses on distinct lines
+     proceed in parallel. *)
+  let mem = Simmem.create () in
+  let boot = Sim.boot () in
+  let shared = Simmem.malloc mem boot 1 in
+  (* 17-word blocks with the target at +8 guarantee each target word lives
+     on a line no other target shares, whatever the block alignment. *)
+  let privs = Array.init 8 (fun _ -> Simmem.malloc mem boot 17 + 8) in
+  let finish_shared = Array.make 8 0 and finish_priv = Array.make 8 0 in
+  Sim.run ~seed:2
+    (Array.init 8 (fun i ->
+         fun ctx ->
+           Simmem.write mem ctx shared i;
+           finish_shared.(i) <- Sim.clock ctx));
+  Sim.run ~seed:2
+    (Array.init 8 (fun i ->
+         fun ctx ->
+           Simmem.write mem ctx privs.(i) i;
+           finish_priv.(i) <- Sim.clock ctx));
+  let m a = Array.fold_left max 0 a in
+  Alcotest.(check bool)
+    (Printf.sprintf "hot line serializes (%d) vs private lines (%d)" (m finish_shared)
+       (m finish_priv))
+    true
+    (m finish_shared > 3 * m finish_priv)
+
+let test_access_counters () =
+  let mem, ctx = make () in
+  let a = Simmem.malloc mem ctx 1 in
+  let s0 = Simmem.stats mem in
+  ignore (Simmem.read mem ctx a);
+  ignore (Simmem.read mem ctx a);
+  Simmem.write mem ctx a 5;
+  ignore (Simmem.cas mem ctx a ~expected:5 ~desired:6);
+  let s1 = Simmem.stats mem in
+  Alcotest.(check int) "reads counted" (s0.reads + 2) s1.reads;
+  Alcotest.(check int) "first read missed" (s0.read_misses + 1) s1.read_misses;
+  (* write + cas both count as stores; cas also counts as an atomic *)
+  Alcotest.(check int) "writes counted" (s0.writes + 2) s1.writes;
+  Alcotest.(check int) "atomics counted" (s0.atomics + 1) s1.atomics
+
+let test_tx_plane () =
+  let mem, ctx = make () in
+  let a = Simmem.malloc mem ctx 1 in
+  Simmem.write mem ctx a 42;
+  (match Simmem.Tx_plane.read mem ctx a with
+   | None -> Alcotest.fail "live read must succeed"
+   | Some (v, ver) ->
+     Alcotest.(check int) "value" 42 v;
+     Alcotest.(check bool) "validates" true (Simmem.Tx_plane.validate mem a ver);
+     Simmem.write mem ctx a 43;
+     Alcotest.(check bool) "stale after write" false (Simmem.Tx_plane.validate mem a ver));
+  Simmem.free mem ctx a;
+  Alcotest.(check bool) "freed read reports None" true (Simmem.Tx_plane.read mem ctx a = None);
+  Alcotest.(check bool) "commit_write to freed fails" false
+    (Simmem.Tx_plane.commit_write mem ctx a 1)
+
+(* Property: the allocator agrees with a simple model of live blocks. *)
+let prop_allocator_model =
+  let gen = QCheck.(list (pair bool (int_range 1 16))) in
+  QCheck.Test.make ~name:"allocator matches model" ~count:200 gen (fun script ->
+      let mem, ctx = make () in
+      let live = Hashtbl.create 16 in
+      let next_id = ref 0 in
+      List.iter
+        (fun (is_alloc, size) ->
+          if is_alloc || Hashtbl.length live = 0 then begin
+            let b = Simmem.malloc mem ctx size in
+            Hashtbl.replace live b size;
+            incr next_id
+          end
+          else begin
+            (* free an arbitrary live block *)
+            let b, _ = Hashtbl.fold (fun k v _ -> (k, v)) live (0, 0) in
+            Simmem.free mem ctx b;
+            Hashtbl.remove live b
+          end)
+        script;
+      let expected_words = Hashtbl.fold (fun _ s acc -> acc + s) live 0 in
+      let st = Simmem.stats mem in
+      st.live_words = expected_words
+      && st.live_blocks = Hashtbl.length live
+      && Hashtbl.fold (fun b _ acc -> acc && Simmem.is_allocated mem b) live true)
+
+let () =
+  Alcotest.run "simmem"
+    [
+      ( "allocator",
+        [
+          Alcotest.test_case "malloc zeroed" `Quick test_malloc_zeroed;
+          Alcotest.test_case "read/write" `Quick test_read_write;
+          Alcotest.test_case "reuse same size" `Quick test_reuse_same_size;
+          Alcotest.test_case "reuse zeroes" `Quick test_reuse_zeroes;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "block size" `Quick test_block_size;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "null" `Quick test_null_fault;
+          Alcotest.test_case "use after free" `Quick test_use_after_free;
+          Alcotest.test_case "double free" `Quick test_double_free;
+          Alcotest.test_case "invalid free" `Quick test_invalid_free;
+        ] );
+      ( "atomics",
+        [
+          Alcotest.test_case "versions" `Quick test_versions;
+          Alcotest.test_case "cas" `Quick test_cas_semantics;
+          Alcotest.test_case "fetch_add" `Quick test_fetch_add;
+        ] );
+      ( "coherence",
+        [
+          Alcotest.test_case "hit vs miss" `Quick test_coherence_costs;
+          Alcotest.test_case "line serialization" `Quick test_line_serialization;
+        ] );
+      ("counters", [ Alcotest.test_case "access counters" `Quick test_access_counters ]);
+      ("tx plane", [ Alcotest.test_case "read/validate/commit" `Quick test_tx_plane ]);
+      ("property", [ QCheck_alcotest.to_alcotest prop_allocator_model ]);
+    ]
