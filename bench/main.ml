@@ -101,6 +101,14 @@ let run_aborts ~duration ~seed ~csv =
       rows;
     }
 
+(* The robustness experiment: deterministic thread kills, stalls and
+   spurious aborts against every algorithm, with the section 2.3 checker as
+   the oracle. Duration is fixed by the fault schedule, so --duration is
+   ignored; --seed reproduces the exact run. *)
+let run_chaos ~duration:_ ~seed ~csv:_ =
+  let summary = Workload.Chaos_bench.run_all ~seed () in
+  Workload.Chaos_bench.report Format.std_formatter summary
+
 let run_space ~duration:_ ~seed ~csv =
   emit ~csv
     (Workload.Space_bench.to_table ~title:"Space: queues at peak vs drained"
@@ -491,6 +499,8 @@ let figures =
       frun = run_fig8 };
     { fname = "space"; doc = "space usage at quiescence"; default_duration = 0;
       frun = run_space };
+    { fname = "chaos"; doc = "fault injection: crashes, stalls, spurious aborts"; default_duration = 0;
+      frun = run_chaos };
     { fname = "aborts"; doc = "abort-rate telemetry behind figs 4/5"; default_duration = 300_000;
       frun = run_aborts };
     { fname = "ablate"; doc = "section 6 ablations"; default_duration = 200_000;

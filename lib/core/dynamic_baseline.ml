@@ -118,12 +118,18 @@ let collect t ctx buf =
     unpin t ctx (Sim.Ibuf.get visited i)
   done
 
+(* Destroy frees only nodes whose traversal count is zero: a nonzero count
+   means some traverser still holds a pin (a crashed thread's pin is never
+   released), so the node may be dereferenced at any moment and cannot be
+   returned to the allocator. The resulting permanent leak is the paper's
+   argument against counter-based recycling, made measurable via
+   [Simmem.live_words]. *)
 let destroy t ctx =
   let mem = Htm.mem t.htm in
   let rec free_from node =
     if node <> 0 then begin
       let next = Simmem.read mem ctx (node + off_next) in
-      Simmem.free mem ctx node;
+      if Simmem.read mem ctx (node + off_count) = 0 then Simmem.free mem ctx node;
       free_from next
     end
   in

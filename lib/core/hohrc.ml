@@ -109,12 +109,19 @@ let collect t ctx buf =
     if continue_from = 0 then finished := true else cur := continue_from
   done
 
+(* Destroy frees only nodes with refcount zero: a node still pinned by a
+   traverser (e.g. one that crashed mid-collect and will never unpin) has a
+   reader that may dereference it at any moment, so it can never legally be
+   returned to the allocator. This is exactly the leak mode the paper
+   ascribes to reference-counting schemes — a crashed thread's pins live
+   forever — and leaving such nodes allocated makes the leak measurable via
+   [Simmem.live_words]. *)
 let destroy t ctx =
   let mem = Htm.mem t.htm in
   let rec free_from node =
     if node <> 0 then begin
       let next = Simmem.read mem ctx (node + off_next) in
-      Simmem.free mem ctx node;
+      if Simmem.read mem ctx (node + off_refc) = 0 then Simmem.free mem ctx node;
       free_from next
     end
   in

@@ -1,6 +1,6 @@
 module Adapt = Adapt
 
-type abort_reason = Conflict | Overflow | Illegal | Explicit | Lock_held
+type abort_reason = Conflict | Overflow | Illegal | Explicit | Lock_held | Spurious
 
 let pp_abort_reason ppf r =
   Format.pp_print_string ppf
@@ -9,7 +9,8 @@ let pp_abort_reason ppf r =
      | Overflow -> "overflow"
      | Illegal -> "illegal"
      | Explicit -> "explicit"
-     | Lock_held -> "lock-held")
+     | Lock_held -> "lock-held"
+     | Spurious -> "spurious")
 
 type tle_mode = Tle_never | Tle_after of int
 
@@ -23,6 +24,7 @@ type config = {
   backoff_max : int;
   sandboxed : bool;
   tle : tle_mode;
+  max_attempts : int;
 }
 
 let default_config =
@@ -39,6 +41,7 @@ let default_config =
     backoff_max = 16384;
     sandboxed = true;
     tle = Tle_never;
+    max_attempts = 0;
   }
 
 type stats = {
@@ -48,7 +51,9 @@ type stats = {
   aborts_illegal : int;
   aborts_explicit : int;
   aborts_lock : int;
+  aborts_spurious : int;
   lock_fallbacks : int;
+  max_consecutive_aborts : int;
 }
 
 type mutable_stats = {
@@ -58,17 +63,26 @@ type mutable_stats = {
   mutable s_illegal : int;
   mutable s_explicit : int;
   mutable s_lock : int;
+  mutable s_spurious : int;
   mutable s_fallbacks : int;
+  mutable s_max_consec : int;
 }
+
+(* Cycles-to-commit histogram: bucket i counts atomics whose total latency
+   (first attempt begin to final commit, retries included) was in
+   [2^i, 2^(i+1)). 62 buckets cover every positive OCaml int. *)
+let hist_buckets = 62
 
 type t = {
   hmem : Simmem.t;
   cfg : config;
   st : mutable_stats;
+  commit_hist : int array;
   lock_addr : int;
 }
 
 exception Aborted of abort_reason
+exception Retry_exhausted of abort_reason
 
 let create ?(config = default_config) mem =
   (* The TLE lock gets its own cache line so lock traffic does not
@@ -86,8 +100,11 @@ let create ?(config = default_config) mem =
         s_illegal = 0;
         s_explicit = 0;
         s_lock = 0;
+        s_spurious = 0;
         s_fallbacks = 0;
+        s_max_consec = 0;
       };
+    commit_hist = Array.make hist_buckets 0;
     lock_addr;
   }
 
@@ -102,7 +119,9 @@ let stats t =
     aborts_illegal = t.st.s_illegal;
     aborts_explicit = t.st.s_explicit;
     aborts_lock = t.st.s_lock;
+    aborts_spurious = t.st.s_spurious;
     lock_fallbacks = t.st.s_fallbacks;
+    max_consecutive_aborts = t.st.s_max_consec;
   }
 
 let reset_stats t =
@@ -112,7 +131,23 @@ let reset_stats t =
   t.st.s_illegal <- 0;
   t.st.s_explicit <- 0;
   t.st.s_lock <- 0;
-  t.st.s_fallbacks <- 0
+  t.st.s_spurious <- 0;
+  t.st.s_fallbacks <- 0;
+  t.st.s_max_consec <- 0;
+  Array.fill t.commit_hist 0 hist_buckets 0
+
+let bucket_of d =
+  let rec go i d = if d <= 1 || i = hist_buckets - 1 then i else go (i + 1) (d lsr 1) in
+  go 0 (max d 0)
+
+let record_commit_cycles t d = t.commit_hist.(bucket_of d) <- t.commit_hist.(bucket_of d) + 1
+
+let commit_cycles_histogram t =
+  let acc = ref [] in
+  for i = hist_buckets - 1 downto 0 do
+    if t.commit_hist.(i) > 0 then acc := (1 lsl i, t.commit_hist.(i)) :: !acc
+  done;
+  !acc
 
 type mode = Hw | Locked
 
@@ -265,6 +300,7 @@ let count_abort st = function
   | Illegal -> st.s_illegal <- st.s_illegal + 1
   | Explicit -> st.s_explicit <- st.s_explicit + 1
   | Lock_held -> st.s_lock <- st.s_lock + 1
+  | Spurious -> st.s_spurious <- st.s_spurious + 1
 
 let backoff h ctx n =
   let shift = min n 9 in
@@ -287,20 +323,42 @@ let run_locked h ctx tx attempt f =
   acquire_lock h ctx;
   h.st.s_fallbacks <- h.st.s_fallbacks + 1;
   reset_tx tx Locked attempt;
-  match f tx with
-  | v ->
-    release_lock h ctx;
-    run_frees tx;
-    v
-  | exception e ->
-    release_lock h ctx;
-    raise e
+  (* Crash safety: the lock must be released on every exit path — including
+     an injected kill raising [Stop_thread] out of the block — and the
+     release itself must not be interruptible, or one dead thread wedges
+     every future transaction. [Sim.shield] models a robust-futex-style
+     release whose completion the OS guarantees. *)
+  let released = ref false in
+  let release () =
+    if not !released then begin
+      released := true;
+      Sim.shield ctx (fun () -> release_lock h ctx)
+    end
+  in
+  Fun.protect ~finally:release (fun () ->
+      let v = f tx in
+      release ();
+      run_frees tx;
+      v)
 
 let atomic h ctx ?(on_abort = fun (_ : abort_reason) -> ()) f =
   let tx = fresh_tx h ctx in
-  let rec attempt n =
+  let t0 = Sim.clock ctx in
+  (* Success bookkeeping, shared by the hardware-commit and locked paths:
+     escalation stats, cycles-to-commit, and a liveness-watchdog note. *)
+  let finish n v =
+    if n > h.st.s_max_consec then h.st.s_max_consec <- n;
+    record_commit_cycles h (Sim.clock ctx - t0);
+    Sim.note_progress ctx;
+    v
+  in
+  let rec attempt n last =
     let use_lock = match h.cfg.tle with Tle_never -> false | Tle_after k -> n >= k in
-    if use_lock then run_locked h ctx tx n f
+    if use_lock then finish n (run_locked h ctx tx n f)
+    else if h.cfg.max_attempts > 0 && n >= h.cfg.max_attempts then
+      (* Retry budget exhausted with no TLE escalation left to rescue us:
+         fail fast with the last abort reason instead of spinning. *)
+      raise (Retry_exhausted last)
     else begin
       (* Small cost jitter models real-hardware timing noise; without it,
          deterministic costs let the backoff phase-lock contending threads
@@ -309,6 +367,9 @@ let atomic h ctx ?(on_abort = fun (_ : abort_reason) -> ()) f =
       Sim.tick ctx (h.cfg.tx_begin_cost + Sim.Rng.int (Sim.rng ctx) 16);
       reset_tx tx Hw n;
       match
+        (* An environmental abort (interrupt, TLB miss, register-window
+           spill — Rock's whole catalogue) can strike any attempt. *)
+        (if Sim.spurious_fires ctx then raise (Aborted Spurious));
         (* Under TLE every hardware transaction monitors the lock word:
            observing it held aborts now, and a later acquisition changes the
            word's version, dooming us at validation. *)
@@ -321,13 +382,13 @@ let atomic h ctx ?(on_abort = fun (_ : abort_reason) -> ()) f =
       | v ->
         h.st.s_commits <- h.st.s_commits + 1;
         run_frees tx;
-        v
+        finish n v
       | exception Aborted r ->
         count_abort h.st r;
         Sim.tick ctx h.cfg.tx_abort_cost;
         on_abort r;
         backoff h ctx n;
-        attempt (n + 1)
+        attempt (n + 1) r
     end
   in
-  attempt 0
+  attempt 0 Conflict

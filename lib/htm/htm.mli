@@ -36,6 +36,10 @@ type abort_reason =
   | Illegal  (** sandboxed access to freed/unmapped memory *)
   | Explicit  (** the block called {!abort} *)
   | Lock_held  (** a TLE lock holder was observed *)
+  | Spurious
+      (** environmental abort injected by the fault plan — interrupts, TLB
+          misses, register-window spills: Rock's catalogue of aborts that
+          have nothing to do with the data accessed ({!Sim.Fault}) *)
 
 val pp_abort_reason : Format.formatter -> abort_reason -> unit
 
@@ -53,6 +57,11 @@ type config = {
   backoff_max : int;
   sandboxed : bool;
   tle : tle_mode;
+  max_attempts : int;
+      (** retry budget: abandon the operation with {!Retry_exhausted} after
+          this many consecutive aborted hardware attempts, unless TLE
+          escalates to the lock first ([Tle_after k] with [k <= budget]
+          guarantees completion). [0] = unlimited (the default). *)
 }
 
 val default_config : config
@@ -64,7 +73,10 @@ type stats = {
   aborts_illegal : int;
   aborts_explicit : int;
   aborts_lock : int;
+  aborts_spurious : int;
   lock_fallbacks : int;  (** TLE lock acquisitions *)
+  max_consecutive_aborts : int;
+      (** worst retry chain any single {!atomic} needed before committing *)
 }
 
 type t
@@ -76,6 +88,19 @@ val mem : t -> Simmem.t
 val config : t -> config
 val stats : t -> stats
 val reset_stats : t -> unit
+
+val commit_cycles_histogram : t -> (int * int) list
+(** Log-2 histogram of cycles-to-commit: [(2{^i}, count)] pairs, where a
+    completed {!atomic} whose total latency (first attempt through final
+    commit, retries and backoff included) was in [\[2{^i}, 2{^i+1})] counts
+    toward bucket [2{^i}]. Empty buckets are omitted; counts sum to
+    [commits + lock_fallbacks] (minus any operations crash-interrupted
+    after their commit point). The escalation tail under faults lives
+    here. *)
+
+exception Retry_exhausted of abort_reason
+(** Raised by {!atomic} when [max_attempts] consecutive hardware attempts
+    aborted and TLE did not escalate; carries the last abort reason. *)
 
 type tx
 (** An in-flight transaction attempt. Valid only inside the callback of

@@ -1,7 +1,9 @@
 module Rng = Rng
 module Ibuf = Ibuf
+module Fault = Fault
 
 exception Stop_thread
+exception Watchdog of string
 
 (* Sharer sets in Simmem are bitmasks in a 63-bit int; one bit is reserved
    for boot contexts, so at most 61 runnable threads. *)
@@ -21,6 +23,9 @@ and tctx = {
   mutable clock : int;
   ctx_rng : Rng.t;
   mutable sched : sched option;
+  mutable faults : Fault.t option;
+  mutable shield_depth : int;
+  mutable last_progress : int;
 }
 
 and sched = {
@@ -32,10 +37,23 @@ and sched = {
      threads; the running thread keeps going without yielding while its
      clock stays below this, which removes most continuation captures. *)
   mutable min_other : int;
+  wd_budget : int option;
+  wd_diag : (unit -> string) option;
+  (* Clock of the most recent progress note; the watchdog fires when the
+     schedule's frontier runs more than wd_budget past it. *)
+  mutable wd_last : int;
 }
 
 let boot ?(seed = 0) () =
-  { ctx_tid = boot_tid; clock = 0; ctx_rng = Rng.create (seed lxor 0x6a09e667); sched = None }
+  {
+    ctx_tid = boot_tid;
+    clock = 0;
+    ctx_rng = Rng.create (seed lxor 0x6a09e667);
+    sched = None;
+    faults = None;
+    shield_depth = 0;
+    last_progress = 0;
+  }
 
 let tid ctx = ctx.ctx_tid
 let clock ctx = ctx.clock
@@ -43,8 +61,25 @@ let rng ctx = ctx.ctx_rng
 
 let yield () = Effect.perform Yield
 
+(* Fault injection happens at scheduling points only (tick/advance_to,
+   never charge): a stall models preemption by jumping the thread's clock
+   past the interval other threads get to run in, and a kill terminates
+   the thread exactly as [stop] would — mid-operation, with whatever
+   partial non-transactional effects it had already applied. *)
+let inject ctx =
+  match ctx.faults with
+  | None -> ()
+  | Some f ->
+    if ctx.shield_depth = 0 then begin
+      match Fault.decide f ~tid:ctx.ctx_tid ~clock:ctx.clock with
+      | Fault.Nothing -> ()
+      | Fault.Stall d -> ctx.clock <- ctx.clock + d
+      | Fault.Kill -> raise Stop_thread
+    end
+
 let tick ctx cost =
   ctx.clock <- ctx.clock + cost;
+  inject ctx;
   match ctx.sched with
   | None -> ()
   | Some s -> if ctx.clock >= s.min_other then yield ()
@@ -53,11 +88,28 @@ let charge ctx cost = ctx.clock <- ctx.clock + cost
 
 let advance_to ctx t =
   if t > ctx.clock then ctx.clock <- t;
+  inject ctx;
   match ctx.sched with
   | None -> ()
   | Some s -> if ctx.clock >= s.min_other then yield ()
 
 let stop () = raise Stop_thread
+
+let shield ctx f =
+  ctx.shield_depth <- ctx.shield_depth + 1;
+  Fun.protect ~finally:(fun () -> ctx.shield_depth <- ctx.shield_depth - 1) f
+
+let spurious_fires ctx =
+  match ctx.faults with
+  | None -> false
+  | Some f ->
+    ctx.shield_depth = 0 && Fault.spurious f ~tid:ctx.ctx_tid ~clock:ctx.clock
+
+let note_progress ctx =
+  ctx.last_progress <- ctx.clock;
+  match ctx.sched with
+  | None -> ()
+  | Some s -> if ctx.clock > s.wd_last then s.wd_last <- ctx.clock
 
 (* Pick a runnable thread with the minimal clock; break ties with the
    scheduler RNG so no thread is systematically favoured. *)
@@ -115,23 +167,64 @@ let handler s t : (unit, unit) Effect.Deep.handler =
         | _ -> None);
   }
 
-let run ?(seed = 0) bodies =
+(* Watchdog diagnostic: the full machine state a livelock post-mortem
+   needs — per-thread clocks, run states, and progress recency. *)
+let diagnose s frontier =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "no progress committed while the schedule advanced to cycle %d" frontier);
+  Buffer.add_string b (Printf.sprintf " (last progress at %d)\n" s.wd_last);
+  Array.iteri
+    (fun i t ->
+      let st =
+        match s.statuses.(i) with
+        | Not_started _ -> "not-started"
+        | Ready _ -> "ready"
+        | Running -> "running"
+        | Finished -> "finished"
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  thread %d: %-11s clock=%-10d last_progress=%d\n" i st t.clock
+           t.last_progress))
+    s.ctxs;
+  (match s.wd_diag with
+   | None -> ()
+   | Some f -> Buffer.add_string b (f ()));
+  Buffer.contents b
+
+let run ?(seed = 0) ?faults ?watchdog ?diag bodies =
   let n = Array.length bodies in
   if n = 0 || n > max_threads then
     invalid_arg "Sim.run: need between 1 and 61 threads";
   let root = Rng.create seed in
   let ctxs =
     Array.init n (fun i ->
-        { ctx_tid = i; clock = 0; ctx_rng = Rng.create (Int64.to_int (Rng.bits64 root) lxor i); sched = None })
+        {
+          ctx_tid = i;
+          clock = 0;
+          ctx_rng = Rng.create (Int64.to_int (Rng.bits64 root) lxor i);
+          sched = None;
+          faults;
+          shield_depth = 0;
+          last_progress = 0;
+        })
   in
   let statuses = Array.init n (fun i -> Not_started bodies.(i)) in
-  let s = { ctxs; statuses; srng = Rng.split root; live = n; min_other = 0 } in
+  let s =
+    { ctxs; statuses; srng = Rng.split root; live = n; min_other = 0;
+      wd_budget = watchdog; wd_diag = diag; wd_last = 0 }
+  in
   Array.iter (fun c -> c.sched <- Some s) ctxs;
   let rec loop () =
     if s.live > 0 then begin
       let i = pick_min s in
       assert (i >= 0);
       let t = ctxs.(i) in
+      (match s.wd_budget with
+       | Some budget when t.clock - s.wd_last > budget ->
+         Array.iter (fun c -> c.sched <- None) ctxs;
+         raise (Watchdog (diagnose s t.clock))
+       | _ -> ());
       s.min_other <- min_other_clock s i;
       (match statuses.(i) with
        | Not_started f ->

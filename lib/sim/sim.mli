@@ -15,6 +15,7 @@
 
 module Rng = Rng
 module Ibuf = Ibuf
+module Fault = Fault
 
 type tctx
 (** Per-thread context: identity, virtual clock, private RNG. A [tctx] is
@@ -23,7 +24,15 @@ type tctx
 
 exception Stop_thread
 (** Raise inside a thread body to terminate that thread immediately;
-    the simulation continues. *)
+    the simulation continues. Injected kills ({!Fault}) use the same
+    exception, so structures that must survive crashes need only be
+    exception-safe against it. *)
+
+exception Watchdog of string
+(** Raised by {!run} when a liveness watchdog was armed and the schedule
+    advanced more than the budget past the last {!note_progress}. The
+    payload is a full diagnostic: per-thread clocks, run states and
+    progress recency, plus the caller's [diag] section. *)
 
 val boot : ?seed:int -> unit -> tctx
 (** A context usable outside [run], e.g. to initialise shared structures
@@ -37,11 +46,49 @@ val max_threads : int
 (** Maximum number of simulated threads ([61]; sharer sets are bitmasks in
     a 63-bit int, with one bit reserved for boot contexts). *)
 
-val run : ?seed:int -> (tctx -> unit) array -> unit
+val run :
+  ?seed:int ->
+  ?faults:Fault.t ->
+  ?watchdog:int ->
+  ?diag:(unit -> string) ->
+  (tctx -> unit) array ->
+  unit
 (** [run bodies] executes one fiber per body until all finish. Thread [i]
     gets tid [i] and a fresh RNG derived from [seed] and [i].
+
+    [faults] installs a fault plan: it is consulted at every {!tick} /
+    {!advance_to} scheduling point and may stall the thread (preemption)
+    or kill it ({!Stop_thread}); the HTM layer additionally consults its
+    spurious-abort stream. Inspect the plan with {!Fault.events} after
+    the run.
+
+    [watchdog] arms a liveness check with the given cycle budget: if no
+    thread calls {!note_progress} while the schedule's frontier advances
+    by more than the budget, the run fails fast with {!Watchdog} instead
+    of spinning forever. Size the budget above any legitimately silent
+    phase (e.g. a measurement warmup). [diag] contributes an extra
+    section (e.g. HTM abort counters) to the watchdog diagnostic.
+
     @raise Invalid_argument if there are 0 bodies or more than
     {!max_threads}. *)
+
+val note_progress : tctx -> unit
+(** Feed the liveness watchdog: record that this thread just completed
+    useful work (an operation, a transaction commit). {!Htm} calls this
+    on every commit; workloads call it per completed operation. *)
+
+val shield : tctx -> (unit -> unit) -> unit
+(** [shield ctx f] runs [f] with fault injection suspended on this thread:
+    no stalls, kills or spurious events fire inside. Models cleanup code
+    that is crash-safe by construction (a robust lock release, an
+    OS-level teardown path); costs are still charged and scheduling still
+    happens. Nestable. *)
+
+val spurious_fires : tctx -> bool
+(** Consult the installed fault plan's per-thread spurious-event stream
+    (one draw per call). False when no plan is installed, the rate is
+    zero, or the thread is {!shield}ed. {!Htm} calls this once per
+    hardware transaction attempt. *)
 
 val tid : tctx -> int
 val clock : tctx -> int

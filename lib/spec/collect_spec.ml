@@ -48,41 +48,71 @@ let fresh_value t =
   t.next_value <- t.next_value + 1;
   t.next_value
 
+(* Kill-awareness: an operation interrupted by a crash (Sim.Stop_thread or
+   any other exception escaping the instance call) is logged as if it never
+   completed — its interval is [s, max_int], so a bind the crashed thread
+   may or may not have installed stays "allowed forever but never required",
+   exactly the §2.3 reading of an operation that overlaps everything after
+   it. The exception is re-raised so the thread still dies. *)
+
 let register t (inst : Collect.Intf.instance) ctx =
   let v = fresh_value t in
   let s = Sim.clock ctx in
-  let h = inst.register ctx v in
-  let e = Sim.clock ctx in
-  let il = { id = t.next_id; binds = [ { b_start = s; b_end = e; value = v } ]; dereg = None } in
-  t.next_id <- t.next_id + 1;
-  t.instances <- il :: t.instances;
-  Hashtbl.replace t.values v il;
-  Hashtbl.replace t.current h il;
-  h
+  match inst.register ctx v with
+  | h ->
+    let e = Sim.clock ctx in
+    let il = { id = t.next_id; binds = [ { b_start = s; b_end = e; value = v } ]; dereg = None } in
+    t.next_id <- t.next_id + 1;
+    t.instances <- il :: t.instances;
+    Hashtbl.replace t.values v il;
+    Hashtbl.replace t.current h il;
+    h
+  | exception ex ->
+    (* No handle was returned, so the registration can never become
+       "required" — but its value may already be visible to collects. *)
+    let il = { id = t.next_id; binds = [ { b_start = s; b_end = max_int; value = v } ]; dereg = None } in
+    t.next_id <- t.next_id + 1;
+    t.instances <- il :: t.instances;
+    Hashtbl.replace t.values v il;
+    raise ex
 
 let update t (inst : Collect.Intf.instance) ctx h =
   let il = Hashtbl.find t.current h in
   let v = fresh_value t in
   let s = Sim.clock ctx in
-  inst.update ctx h v;
-  let e = Sim.clock ctx in
-  il.binds <- { b_start = s; b_end = e; value = v } :: il.binds;
-  Hashtbl.replace t.values v il
+  match inst.update ctx h v with
+  | () ->
+    let e = Sim.clock ctx in
+    il.binds <- { b_start = s; b_end = e; value = v } :: il.binds;
+    Hashtbl.replace t.values v il
+  | exception ex ->
+    il.binds <- { b_start = s; b_end = max_int; value = v } :: il.binds;
+    Hashtbl.replace t.values v il;
+    raise ex
 
 let deregister t (inst : Collect.Intf.instance) ctx h =
   let il = Hashtbl.find t.current h in
   Hashtbl.remove t.current h;
   let s = Sim.clock ctx in
-  inst.deregister ctx h;
-  let e = Sim.clock ctx in
-  il.dereg <- Some (s, e)
+  match inst.deregister ctx h with
+  | () ->
+    let e = Sim.clock ctx in
+    il.dereg <- Some (s, e)
+  | exception ex ->
+    il.dereg <- Some (s, max_int);
+    raise ex
 
 let collect t (inst : Collect.Intf.instance) ctx =
   let buf = Sim.Ibuf.create ~capacity:64 () in
   let s = Sim.clock ctx in
-  inst.collect ctx buf;
-  let e = Sim.clock ctx in
-  t.collects <- { c_start = s; c_end = e; returned = Sim.Ibuf.to_list buf } :: t.collects
+  match inst.collect ctx buf with
+  | () ->
+    let e = Sim.clock ctx in
+    t.collects <- { c_start = s; c_end = e; returned = Sim.Ibuf.to_list buf } :: t.collects
+  | exception ex ->
+    (* A collect that never returned made no claim: discard the partial
+       result set rather than checking half an answer. *)
+    raise ex
 
 (* For each value: the completion time of the *next* event (bind or
    deregister) on the same handle, or max_int if none. *)

@@ -17,6 +17,15 @@
     single-process (the simulator is cooperative), so no synchronisation
     is needed around the log.
 
+    {b Crash-awareness}: if an operation raises (e.g. an injected
+    [Sim.Stop_thread] kill), the wrapper logs it as never-completed — the
+    interval is extended to [max_int], so any bind the crashed thread may
+    or may not have installed is {e allowed} by every later collect but
+    {e required} by none, and a crashed deregistration permanently excuses
+    the handle from completeness. A crashed collect's partial result set is
+    discarded. The exception is re-raised, so the thread still dies; the
+    surviving threads' operations are checked at full strength.
+
     This is the oracle behind the test suite's chaos tests; it is exported
     as a library so downstream users can validate their own usage or new
     algorithm implementations. *)

@@ -77,7 +77,7 @@ let run_one (maker : Collect.Intf.maker) ~updaters ~period ~duration ~step ~seed
     commits = st.commits;
     aborts =
       st.aborts_conflict + st.aborts_overflow + st.aborts_illegal + st.aborts_explicit
-      + st.aborts_lock;
+      + st.aborts_lock + st.aborts_spurious;
   }
 
 let default_periods =

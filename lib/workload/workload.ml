@@ -12,3 +12,4 @@ module Collect_update = Collect_update
 module Collect_dereg = Collect_dereg
 module Phased = Phased
 module Space_bench = Space_bench
+module Chaos_bench = Chaos_bench

@@ -167,6 +167,39 @@ let prop_deterministic_final_clocks =
       in
       final () = final ())
 
+(* Backoff obeys its contract for arbitrary base/cap: each delay lands in
+   [bound/2, bound] where the bound doubles per call up to cap, and reset
+   restores the initial bound. *)
+let prop_backoff_bounds =
+  QCheck.Test.make ~name:"backoff: delays track the doubling bound up to cap" ~count:200
+    QCheck.(triple small_int small_int small_int)
+    (fun (b0, c0, s) ->
+      let base = 1 + (abs b0 mod 200) in
+      let cap = base + (abs c0 mod 5_000) in
+      let ok = ref true in
+      let expect cond = if not cond then ok := false in
+      Sim.run ~seed:s
+        [|
+          (fun ctx ->
+            let b = Sim.Backoff.create ~base ~cap ctx in
+            let bound = ref base in
+            for _ = 1 to 14 do
+              let t0 = Sim.clock ctx in
+              Sim.Backoff.once b;
+              let d = Sim.clock ctx - t0 in
+              expect (d >= !bound / 2);
+              expect (d <= !bound);
+              expect (d <= cap);
+              bound := min cap (!bound * 2)
+            done;
+            Sim.Backoff.reset b;
+            let t0 = Sim.clock ctx in
+            Sim.Backoff.once b;
+            let d = Sim.clock ctx - t0 in
+            expect (d >= base / 2 && d <= base));
+        |];
+      !ok)
+
 let () =
   Alcotest.run "sim"
     [
@@ -185,5 +218,9 @@ let () =
           Alcotest.test_case "fairness" `Quick test_fairness;
         ] );
       ("backoff", [ Alcotest.test_case "grow and reset" `Quick test_backoff_grows_and_resets ]);
-      ("property", [ QCheck_alcotest.to_alcotest prop_deterministic_final_clocks ]);
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest prop_deterministic_final_clocks;
+          QCheck_alcotest.to_alcotest prop_backoff_bounds;
+        ] );
     ]
