@@ -1,11 +1,107 @@
-(* Interactive explorer: run one Dynamic Collect algorithm under a custom
-   workload and report throughput, transaction statistics, memory
-   behaviour and the telescoping histogram.
+(* Schedule-exploration CLI.
 
-     dune exec bin/explore.exe -- --list
-     dune exec bin/explore.exe -- -a ArrayDynAppendDereg -t 8 -m 80,10,5,5
-     dune exec bin/explore.exe -- -a ListFastCollect --step adaptive -d 1000000
-*)
+     dune exec bin/explore.exe -- search --budget 2000
+     dune exec bin/explore.exe -- search --scenarios broken-rop --out _explore
+     dune exec bin/explore.exe -- replay _explore/broken-rop-1.trace
+     dune exec bin/explore.exe -- workload -a ArrayDynAppendDereg -t 8
+     dune exec bin/explore.exe -- list
+
+   [search] runs the systematic explorer (lib/explore) over a scenario
+   set and exits nonzero iff a violation was found, writing each shrunken
+   failure as a replayable artifact file. [replay] re-executes such a
+   file deterministically. [workload] is the interactive single-algorithm
+   throughput explorer. *)
+
+let err fmt = Printf.ksprintf (fun s -> prerr_endline s) fmt
+
+(* ------------------------------------------------------------------ *)
+(* search                                                             *)
+
+let sanitize key =
+  String.map (fun c -> match c with ':' | '+' | '/' | ' ' -> '-' | c -> c) key
+
+let resolve_scenarios spec ~threads ~ops =
+  match spec with
+  | "queues" -> Ok (Explore.Scenario.queues ~threads ~ops)
+  | "collects" -> Ok (Explore.Scenario.collects ~threads ~ops)
+  | "all" ->
+    Ok (Explore.Scenario.queues ~threads ~ops @ Explore.Scenario.collects ~threads ~ops)
+  | keys ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | key :: tl -> (
+        match Explore.Scenario.build ~key ~threads ~ops with
+        | Ok scn -> go (scn :: acc) tl
+        | Error e -> Error e)
+    in
+    go [] (String.split_on_char ',' keys)
+
+let run_search budget scenarios threads ops seed with_faults max_violations out =
+  match resolve_scenarios scenarios ~threads ~ops with
+  | Error e ->
+    err "explore search: %s" e;
+    1
+  | Ok scns ->
+    Printf.printf "searching %d schedules over %d scenario(s), base seed %d%s\n%!"
+      budget (List.length scns) seed
+      (if with_faults then ", fault rounds on" else "");
+    let summary =
+      Explore.Search.search ~base_seed:seed ~with_faults ~max_violations
+        ~log:print_endline ~budget scns
+    in
+    Printf.printf "ran %d schedules: %d passed, %d violation(s)\n%!"
+      summary.res_runs summary.res_passed
+      (List.length summary.res_violations);
+    if summary.res_violations = [] then 0
+    else begin
+      if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+      List.iter
+        (fun (v : Explore.Search.violation) ->
+          let a = v.vio_artifact in
+          let path =
+            Filename.concat out
+              (Printf.sprintf "%s-%d.trace" (sanitize a.art_scenario) a.art_seed)
+          in
+          Explore.Artifact.save path a;
+          Printf.printf "  %s: %s\n    %d deviation(s), artifact %s\n%!" a.art_scenario
+            a.art_message
+            (List.length a.art_deviations)
+            path)
+        summary.res_violations;
+      1
+    end
+
+(* ------------------------------------------------------------------ *)
+(* replay                                                             *)
+
+let run_replay file show_trace =
+  match Explore.Artifact.load file with
+  | Error e ->
+    err "explore replay: %s" e;
+    1
+  | Ok a -> (
+    Printf.printf "replaying %s: %d threads x %d ops, seed %d, %d deviation(s)\n%!"
+      a.art_scenario a.art_threads a.art_ops a.art_seed
+      (List.length a.art_deviations);
+    let tr = if show_trace then Some (Explore.Trace.create ()) else None in
+    match Explore.Search.replay_artifact ?trace:tr a with
+    | Error e ->
+      err "explore replay: %s" e;
+      1
+    | Ok outcome ->
+      (match tr with
+      | Some tr -> List.iter print_endline (Explore.Trace.lines tr)
+      | None -> ());
+      (match outcome with
+      | Explore.Scenario.Fail msg ->
+        Printf.printf "reproduced: %s\n" msg;
+        0
+      | Explore.Scenario.Pass ->
+        Printf.printf "did NOT reproduce: scenario passed\n";
+        2))
+
+(* ------------------------------------------------------------------ *)
+(* workload (the original interactive explorer)                       *)
 
 let list_algorithms () =
   Format.printf "%-24s %-8s %-7s %s@." "algorithm" "dynamic" "htm" "update class";
@@ -13,7 +109,19 @@ let list_algorithms () =
     (fun (m : Collect.Intf.maker) ->
       Format.printf "%-24s %-8b %-7b %s@." m.algo_name m.solves_dynamic m.uses_htm
         (if m.direct_update then "direct (naked store)" else "indirect (transaction)"))
-    Collect.all_with_extensions
+    Collect.all_with_extensions;
+  Format.printf "@.%-28s %s@." "scenario key" "oracle";
+  List.iter
+    (fun (key, oracle) -> Format.printf "%-28s %s@." key oracle)
+    ([ ("racy", "final counter value (seeded known-bad)");
+       ("broken-rop", "linearizability (seeded known-bad queue)") ]
+    @ List.map
+        (fun (m : Hqueue.Intf.maker) -> ("queue:" ^ m.queue_name, "linearizability"))
+        Hqueue.all_with_extensions
+    @ List.map
+        (fun (m : Collect.Intf.maker) ->
+          ("collect:" ^ m.algo_name, "Dynamic Collect specification"))
+        Collect.all_with_extensions)
 
 type op = Op_collect | Op_update | Op_register | Op_deregister
 
@@ -37,13 +145,13 @@ let parse_step = function
      | Some n when n >= 1 -> Collect.Intf.Fixed n
      | Some _ | None -> failwith "step must be a positive integer or 'adaptive'")
 
-let run algo threads mix step duration budget seed =
+let run_workload algo threads mix step duration budget seed =
   let collect_pct, update_pct, register_pct, _ = parse_mix mix in
   let maker =
     match Collect.find_maker algo with
     | Some m -> m
     | None ->
-      Format.eprintf "unknown algorithm %S; try --list@." algo;
+      Format.eprintf "unknown algorithm %S; try the list subcommand@." algo;
       exit 1
   in
   let mem = Simmem.create () in
@@ -132,38 +240,85 @@ let run algo threads mix step duration budget seed =
     (100.0 *. float_of_int ms.write_misses /. float_of_int (max 1 ms.writes))
     ms.atomics;
   inst.destroy boot;
-  Format.printf "after destroy: %d words live@." (Simmem.stats mem).live_words
+  Format.printf "after destroy: %d words live@." (Simmem.stats mem).live_words;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner wiring                                                    *)
 
 open Cmdliner
 
-let algo =
-  Arg.(value & opt string "ArrayDynAppendDereg"
-       & info [ "a"; "algo" ] ~doc:"Algorithm name (see --list).")
+let search_cmd =
+  let budget =
+    Arg.(value & opt int 2000 & info [ "budget" ] ~doc:"Schedules to run in total.")
+  in
+  let scenarios =
+    Arg.(value & opt string "queues"
+         & info [ "scenarios" ]
+             ~doc:"$(b,queues), $(b,collects), $(b,all), or comma-separated scenario \
+                   keys (see the list subcommand).")
+  in
+  let threads = Arg.(value & opt int 3 & info [ "t"; "threads" ] ~doc:"Simulated threads.") in
+  let ops = Arg.(value & opt int 5 & info [ "ops" ] ~doc:"Operations per thread.") in
+  let seed = Arg.(value & opt int 1 & info [ "s"; "seed" ] ~doc:"Base seed.") in
+  let faults =
+    Arg.(value & flag & info [ "faults" ] ~doc:"Add stall/spurious-abort fault rounds.")
+  in
+  let max_violations =
+    Arg.(value & opt int 3 & info [ "max-violations" ] ~doc:"Stop after this many.")
+  in
+  let out =
+    Arg.(value & opt string "_explore" & info [ "out" ] ~doc:"Artifact output directory.")
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:"Systematically explore schedules; exit 1 iff a violation was found")
+    Term.(const run_search $ budget $ scenarios $ threads $ ops $ seed $ faults
+          $ max_violations $ out)
 
-let threads = Arg.(value & opt int 8 & info [ "t"; "threads" ] ~doc:"Simulated threads.")
+let replay_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"ARTIFACT" ~doc:"Artifact file.")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the captured interleaving.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Deterministically re-run a failure artifact; exit 0 iff it reproduces")
+    Term.(const run_replay $ file $ trace)
 
-let mix =
-  Arg.(value & opt string "80,10,5,5"
-       & info [ "m"; "mix" ] ~doc:"collect,update,register,deregister percentages.")
+let workload_cmd =
+  let algo =
+    Arg.(value & opt string "ArrayDynAppendDereg"
+         & info [ "a"; "algo" ] ~doc:"Algorithm name (see the list subcommand).")
+  in
+  let threads = Arg.(value & opt int 8 & info [ "t"; "threads" ] ~doc:"Simulated threads.") in
+  let mix =
+    Arg.(value & opt string "80,10,5,5"
+         & info [ "m"; "mix" ] ~doc:"collect,update,register,deregister percentages.")
+  in
+  let step =
+    Arg.(value & opt string "32" & info [ "step" ] ~doc:"Telescoping step: N or 'adaptive'.")
+  in
+  let duration =
+    Arg.(value & opt int 400_000 & info [ "d"; "duration" ] ~doc:"Virtual cycles to run.")
+  in
+  let budget = Arg.(value & opt int 64 & info [ "budget" ] ~doc:"Total handle budget.") in
+  let seed = Arg.(value & opt int 1 & info [ "s"; "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:"Run one Dynamic Collect algorithm under a custom workload and report stats")
+    Term.(const run_workload $ algo $ threads $ mix $ step $ duration $ budget $ seed)
 
-let step =
-  Arg.(value & opt string "32" & info [ "step" ] ~doc:"Telescoping step: N or 'adaptive'.")
-
-let duration =
-  Arg.(value & opt int 400_000 & info [ "d"; "duration" ] ~doc:"Virtual cycles to run.")
-
-let budget = Arg.(value & opt int 64 & info [ "budget" ] ~doc:"Total handle budget.")
-let seed = Arg.(value & opt int 1 & info [ "s"; "seed" ] ~doc:"Random seed.")
-let list_flag = Arg.(value & flag & info [ "list" ] ~doc:"List algorithms and exit.")
+let list_cmd =
+  Cmd.v
+    (Cmd.info "list" ~doc:"List collect algorithms and explorable scenario keys")
+    Term.(const (fun () -> list_algorithms (); 0) $ const ())
 
 let () =
-  let action list algo threads mix step duration budget seed =
-    if list then list_algorithms () else run algo threads mix step duration budget seed
-  in
-  let term =
-    Term.(const action $ list_flag $ algo $ threads $ mix $ step $ duration $ budget $ seed)
-  in
   let info =
-    Cmd.info "explore" ~doc:"Explore a Dynamic Collect algorithm under a custom workload"
+    Cmd.info "explore"
+      ~doc:"Schedule exploration and workload probing over the simulated machine"
   in
-  exit (Cmd.eval (Cmd.v info term))
+  exit (Cmd.eval' (Cmd.group info [ search_cmd; replay_cmd; workload_cmd; list_cmd ]))

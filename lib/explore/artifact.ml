@@ -1,0 +1,201 @@
+type t = {
+  art_scenario : string;
+  art_threads : int;
+  art_ops : int;
+  art_seed : int;
+  art_deviations : (int * int) list;
+  art_faults : Sim.Fault.spec option;
+  art_message : string;
+  art_trace : string list;
+}
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let unescape s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+       | 'n' -> Buffer.add_char b '\n'
+       | c -> Buffer.add_char b c);
+       incr i
+     end
+     else Buffer.add_char b s.[!i]);
+    incr i
+  done;
+  Buffer.contents b
+
+(* Floats as hex literals: exact round-trip through float_of_string. *)
+let faults_to_string = function
+  | None -> "none"
+  | Some (f : Sim.Fault.spec) ->
+    let kills_at =
+      String.concat "," (List.map (fun (tid, t) -> Printf.sprintf "%d@%d" tid t) f.kills_at)
+    in
+    Printf.sprintf "seed=%d;stall=%h,%d;kill=%h,%d;kills_at=%s;spurious=%h" f.fault_seed
+      f.stall_rate f.stall_cycles f.kill_rate f.max_random_kills kills_at
+      f.spurious_abort_rate
+
+let faults_of_string s =
+  if s = "none" then Ok None
+  else
+    try
+      let field name part =
+        match String.split_on_char '=' part with
+        | [ k; v ] when k = name -> v
+        | _ -> failwith ("expected " ^ name ^ "=...")
+      in
+      match String.split_on_char ';' s with
+      | [ seed; stall; kill; kills_at; spurious ] ->
+        let fault_seed = int_of_string (field "seed" seed) in
+        let stall_rate, stall_cycles =
+          match String.split_on_char ',' (field "stall" stall) with
+          | [ r; c ] -> (float_of_string r, int_of_string c)
+          | _ -> failwith "stall"
+        in
+        let kill_rate, max_random_kills =
+          match String.split_on_char ',' (field "kill" kill) with
+          | [ r; m ] -> (float_of_string r, int_of_string m)
+          | _ -> failwith "kill"
+        in
+        let kills_at =
+          match field "kills_at" kills_at with
+          | "" -> []
+          | v ->
+            List.map
+              (fun part ->
+                match String.split_on_char '@' part with
+                | [ tid; t ] -> (int_of_string tid, int_of_string t)
+                | _ -> failwith "kills_at")
+              (String.split_on_char ',' v)
+        in
+        let spurious_abort_rate = float_of_string (field "spurious" spurious) in
+        Ok
+          (Some
+             {
+               Sim.Fault.fault_seed;
+               stall_rate;
+               stall_cycles;
+               kill_rate;
+               max_random_kills;
+               kills_at;
+               spurious_abort_rate;
+             })
+      | _ -> failwith "expected 5 ;-separated fields"
+    with Failure msg -> Error ("bad fault plan: " ^ msg)
+
+let deviations_to_string devs =
+  String.concat " " (List.map (fun (k, tid) -> Printf.sprintf "%d:%d" k tid) devs)
+
+let deviations_of_string s =
+  try
+    Ok
+      (List.filter_map
+         (fun part ->
+           if part = "" then None
+           else
+             match String.split_on_char ':' part with
+             | [ k; tid ] -> Some (int_of_string k, int_of_string tid)
+             | _ -> failwith part)
+         (String.split_on_char ' ' s))
+  with Failure msg -> Error ("bad deviation " ^ msg)
+
+let trace_marker = "-- trace --"
+
+let to_string a =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "# explore artifact v1\n";
+  Buffer.add_string b
+    (Printf.sprintf "# replay with: explore replay <this-file>  (deterministic)\n");
+  Buffer.add_string b (Printf.sprintf "scenario=%s\n" a.art_scenario);
+  Buffer.add_string b (Printf.sprintf "threads=%d\n" a.art_threads);
+  Buffer.add_string b (Printf.sprintf "ops=%d\n" a.art_ops);
+  Buffer.add_string b (Printf.sprintf "seed=%d\n" a.art_seed);
+  Buffer.add_string b (Printf.sprintf "deviations=%s\n" (deviations_to_string a.art_deviations));
+  Buffer.add_string b (Printf.sprintf "faults=%s\n" (faults_to_string a.art_faults));
+  Buffer.add_string b (Printf.sprintf "message=%s\n" (escape a.art_message));
+  Buffer.add_string b trace_marker;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun line ->
+      Buffer.add_string b line;
+      Buffer.add_char b '\n')
+    a.art_trace;
+  Buffer.contents b
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let header, trace =
+    let rec go acc = function
+      | [] -> (List.rev acc, [])
+      | l :: tl when l = trace_marker ->
+        (List.rev acc, match List.rev tl with "" :: r -> List.rev r | _ -> tl)
+      | l :: tl -> go (l :: acc) tl
+    in
+    go [] lines
+  in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun line ->
+      if line <> "" && line.[0] <> '#' then
+        match String.index_opt line '=' with
+        | Some i ->
+          Hashtbl.replace tbl
+            (String.sub line 0 i)
+            (String.sub line (i + 1) (String.length line - i - 1))
+        | None -> ())
+    header;
+  let ( let* ) = Result.bind in
+  let get k =
+    match Hashtbl.find_opt tbl k with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %S" k)
+  in
+  let int k =
+    let* v = get k in
+    match int_of_string_opt v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "field %S: not an integer" k)
+  in
+  let* art_scenario = get "scenario" in
+  let* art_threads = int "threads" in
+  let* art_ops = int "ops" in
+  let* art_seed = int "seed" in
+  let* devs = get "deviations" in
+  let* art_deviations = deviations_of_string devs in
+  let* flts = get "faults" in
+  let* art_faults = faults_of_string flts in
+  let* msg = get "message" in
+  Ok
+    {
+      art_scenario;
+      art_threads;
+      art_ops;
+      art_seed;
+      art_deviations;
+      art_faults;
+      art_message = unescape msg;
+      art_trace = trace;
+    }
+
+let save path a =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string a))
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> of_string s
+  | exception Sys_error msg -> Error msg

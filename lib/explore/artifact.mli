@@ -1,0 +1,28 @@
+(** Replayable failure artifacts.
+
+    Everything needed to reproduce a violation deterministically: the
+    scenario key and its parameters, the base seed, the (shrunken)
+    deviation list, the (possibly dropped) fault plan, the failure
+    message, and the pretty-printed interleaving of the final replay. The
+    on-disk format is a line-oriented [key=value] header followed by a
+    [-- trace --] section; floats are written as hex literals so the fault
+    plan round-trips exactly. *)
+
+type t = {
+  art_scenario : string;
+  art_threads : int;
+  art_ops : int;
+  art_seed : int;
+  art_deviations : (int * int) list;
+  art_faults : Sim.Fault.spec option;
+  art_message : string;
+  art_trace : string list;
+}
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string} (the trace section and comments round-trip). *)
+
+val save : string -> t -> unit
+val load : string -> (t, string) result

@@ -1,0 +1,147 @@
+(* Deliberately broken Michael-Scott + ROP queue: identical to
+   [Hqueue.Ms_rop_queue] except that a dequeued node is freed immediately
+   instead of being retired until no announcement covers it — the "wait"
+   of announcement-based reclamation removed. With the simulator's eager
+   LIFO block reuse this is a real use-after-free/ABA bug, reachable only
+   when a reader holding the old head is preempted across the dequeuer's
+   free, so it doubles as the known-bad specimen the explorer must be able
+   to find, shrink and replay. Test-only: not registered in [Hqueue]. *)
+
+let off_val = 0
+let off_next = 1
+let node_words = 2
+let hdr_head = 0
+let hdr_tail = 8
+let hdr_words = 16
+let hazards_per_thread = 2
+
+type t = { htm : Htm.t; hdr : int; hz : int; num_threads : int }
+
+let slot_index t ctx =
+  let tid = Sim.tid ctx in
+  if tid = Sim.boot_tid then t.num_threads
+  else if tid < t.num_threads then tid
+  else invalid_arg "Mutant: thread id outside the declared range"
+
+let hazard_addr t ctx i = t.hz + (hazards_per_thread * slot_index t ctx) + i
+
+let fence_cost = 60
+
+let announce t ctx i node =
+  Simmem.write (Htm.mem t.htm) ctx (hazard_addr t ctx i) node;
+  Sim.tick ctx fence_cost
+
+let clear_announcements t ctx =
+  announce t ctx 0 0;
+  announce t ctx 1 0
+
+let create htm ctx ~num_threads =
+  let mem = Htm.mem htm in
+  let hdr = Simmem.malloc mem ctx hdr_words in
+  let hz = Simmem.malloc mem ctx (hazards_per_thread * (num_threads + 1)) in
+  let sentinel = Simmem.malloc mem ctx node_words in
+  Simmem.write mem ctx (hdr + hdr_head) sentinel;
+  Simmem.write mem ctx (hdr + hdr_tail) sentinel;
+  { htm; hdr; hz; num_threads }
+
+let enqueue t ctx v =
+  let mem = Htm.mem t.htm in
+  let node = Simmem.malloc mem ctx node_words in
+  Simmem.write mem ctx (node + off_val) v;
+  let b = Sim.Backoff.create ctx in
+  let retry loop =
+    Sim.Backoff.once b;
+    loop ()
+  in
+  let rec loop () =
+    let tail = Simmem.read mem ctx (t.hdr + hdr_tail) in
+    announce t ctx 0 tail;
+    if Simmem.read mem ctx (t.hdr + hdr_tail) <> tail then retry loop
+    else begin
+      let next = Simmem.read mem ctx (tail + off_next) in
+      if Simmem.read mem ctx (t.hdr + hdr_tail) <> tail then retry loop
+      else if next <> 0 then begin
+        let (_ : bool) =
+          Simmem.cas mem ctx (t.hdr + hdr_tail) ~expected:tail ~desired:next
+        in
+        retry loop
+      end
+      else if Simmem.cas mem ctx (tail + off_next) ~expected:0 ~desired:node then begin
+        let (_ : bool) =
+          Simmem.cas mem ctx (t.hdr + hdr_tail) ~expected:tail ~desired:node
+        in
+        ()
+      end
+      else retry loop
+    end
+  in
+  loop ();
+  announce t ctx 0 0
+
+let dequeue t ctx =
+  let mem = Htm.mem t.htm in
+  let b = Sim.Backoff.create ctx in
+  let retry loop =
+    Sim.Backoff.once b;
+    loop ()
+  in
+  let rec loop () =
+    let head = Simmem.read mem ctx (t.hdr + hdr_head) in
+    announce t ctx 0 head;
+    if Simmem.read mem ctx (t.hdr + hdr_head) <> head then retry loop
+    else begin
+      let tail = Simmem.read mem ctx (t.hdr + hdr_tail) in
+      let next = Simmem.read mem ctx (head + off_next) in
+      announce t ctx 1 next;
+      if Simmem.read mem ctx (t.hdr + hdr_head) <> head then retry loop
+      else if head = tail then begin
+        if next = 0 then None
+        else begin
+          let (_ : bool) =
+            Simmem.cas mem ctx (t.hdr + hdr_tail) ~expected:tail ~desired:next
+          in
+          retry loop
+        end
+      end
+      else begin
+        let v = Simmem.read mem ctx (next + off_val) in
+        if Simmem.cas mem ctx (t.hdr + hdr_head) ~expected:head ~desired:next then begin
+          (* the bug: no retirement, no scan of announcements *)
+          Simmem.free mem ctx head;
+          Some v
+        end
+        else retry loop
+      end
+    end
+  in
+  let r = loop () in
+  clear_announcements t ctx;
+  r
+
+let destroy t ctx =
+  let mem = Htm.mem t.htm in
+  let rec free_from node =
+    if node <> 0 then begin
+      let next = Simmem.read mem ctx (node + off_next) in
+      Simmem.free mem ctx node;
+      free_from next
+    end
+  in
+  free_from (Simmem.read mem ctx (t.hdr + hdr_head));
+  Simmem.free mem ctx t.hz;
+  Simmem.free mem ctx t.hdr
+
+let maker : Hqueue.Intf.maker =
+  {
+    queue_name = "BrokenROP";
+    reclaims = true;
+    make =
+      (fun htm ctx ~num_threads ->
+        let t = create htm ctx ~num_threads in
+        {
+          Hqueue.Intf.name = "BrokenROP";
+          enqueue = enqueue t;
+          dequeue = dequeue t;
+          destroy = destroy t;
+        });
+  }

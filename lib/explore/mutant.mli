@@ -1,0 +1,8 @@
+(** The known-bad queue the explorer is validated against: Michael-Scott +
+    ROP with the reclamation {e wait} removed — dequeued nodes are freed
+    immediately instead of being retired until no announcement covers
+    them. Failures manifest as [Simmem.Fault] (use-after-free on a node a
+    preempted reader still holds) or as a non-linearizable history (ABA
+    through eager block reuse). Test-only: not in the [Hqueue] registry. *)
+
+val maker : Hqueue.Intf.maker

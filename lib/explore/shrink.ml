@@ -1,0 +1,66 @@
+type result = {
+  shr_deviations : (int * int) list;
+  shr_faults : Sim.Fault.spec option;
+  shr_tests : int;
+}
+
+(* Split [l] into [n] contiguous chunks of near-equal length. *)
+let split l n =
+  let len = List.length l in
+  let base = len / n and extra = len mod n in
+  let rec take k acc rest =
+    if k = 0 then (List.rev acc, rest)
+    else match rest with [] -> (List.rev acc, []) | x :: tl -> take (k - 1) (x :: acc) tl
+  in
+  let rec go i rest acc =
+    if i = n then List.rev acc
+    else begin
+      let k = base + if i < extra then 1 else 0 in
+      let chunk, rest = take k [] rest in
+      go (i + 1) rest (chunk :: acc)
+    end
+  in
+  go 0 l []
+
+let minimize ?(max_tests = 1200) ~replay deviations faults =
+  let tests = ref 0 in
+  let still_fails devs flts =
+    if !tests >= max_tests then false
+    else begin
+      incr tests;
+      replay ~deviations:devs ~faults:flts
+    end
+  in
+  (* cheapest wins first: does it fail with no deviations / no faults? *)
+  let faults = if faults <> None && still_fails deviations None then None else faults in
+  let deviations = if deviations <> [] && still_fails [] faults then [] else deviations in
+  (* ddmin (Zeller & Hildebrandt) over the deviation list *)
+  let rec ddmin devs n =
+    let len = List.length devs in
+    if len <= 1 || !tests >= max_tests then devs
+    else begin
+      let chunks = split devs n in
+      let rec complements i =
+        if i >= List.length chunks then None
+        else begin
+          let comp = List.concat (List.filteri (fun j _ -> j <> i) chunks) in
+          if still_fails comp faults then Some comp else complements (i + 1)
+        end
+      in
+      match complements 0 with
+      | Some comp -> ddmin comp (max 2 (n - 1))
+      | None -> if n >= len then devs else ddmin devs (min len (2 * n))
+    end
+  in
+  let deviations = ddmin deviations 2 in
+  (* one-at-a-time elimination pass: ddmin can stall at a non-1-minimal
+     set when removing any chunk realigns the schedule, yet individual
+     deviations are still redundant *)
+  let rec sweep kept = function
+    | [] -> List.rev kept
+    | d :: rest ->
+      let without = List.rev_append kept rest in
+      if still_fails without faults then sweep kept rest else sweep (d :: kept) rest
+  in
+  let deviations = if List.length deviations > 1 then sweep [] deviations else deviations in
+  { shr_deviations = deviations; shr_faults = faults; shr_tests = !tests }

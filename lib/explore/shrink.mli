@@ -1,0 +1,25 @@
+(** Failing-schedule minimisation.
+
+    A recorded failure is a deviation list (see [Sim.Deviate]) plus an
+    optional fault plan. {!minimize} first tries dropping the fault plan
+    and the whole deviation list, then runs ddmin (delta debugging) over
+    the deviations, re-replaying the scenario at every step. The result is
+    a 1-minimal-ish still-failing trace — typically a handful of forced
+    scheduling decisions, which is what makes artifacts readable. *)
+
+type result = {
+  shr_deviations : (int * int) list;
+  shr_faults : Sim.Fault.spec option;
+  shr_tests : int;  (** replays spent *)
+}
+
+val minimize :
+  ?max_tests:int ->
+  replay:(deviations:(int * int) list -> faults:Sim.Fault.spec option -> bool) ->
+  (int * int) list ->
+  Sim.Fault.spec option ->
+  result
+(** [minimize ~replay devs faults] shrinks a failing configuration.
+    [replay] must return [true] iff the scenario {e still fails} with the
+    given deviations and faults; it is called at most [max_tests]
+    (default 1200) times. *)

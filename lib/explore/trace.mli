@@ -1,0 +1,29 @@
+(** Pretty-printed interleaving capture.
+
+    A trace is a bounded line buffer fed by the {!Simmem} access tap and
+    the {!Htm} transaction tap: one line per completed memory access or
+    transaction event, prefixed with the issuing thread and its virtual
+    clock. Attach both taps to the run that replays a shrunken failure and
+    the resulting lines are the per-thread timeline that goes into the
+    artifact file. *)
+
+type t
+
+val create : ?limit:int -> unit -> t
+(** Line buffer capped at [limit] (default 4000); further events are
+    counted, not stored. *)
+
+val note : t -> string -> unit
+(** Append one line (scenario-level annotations, e.g. operation brackets). *)
+
+val attach_mem : t -> Simmem.t -> unit
+(** Install this trace as the memory's access tap. *)
+
+val attach_htm : t -> Htm.t -> unit
+(** Install this trace as the HTM domain's transaction tap. *)
+
+val lines : t -> string list
+(** Captured lines in event order, with a final summary line when events
+    were dropped. *)
+
+val to_string : t -> string

@@ -73,12 +73,24 @@ type mutable_stats = {
    [2^i, 2^(i+1)). 62 buckets cover every positive OCaml int. *)
 let hist_buckets = 62
 
+type tx_event =
+  | Tx_commit of { tx_reads : int; tx_writes : int }
+  | Tx_abort of abort_reason
+  | Tx_fallback
+
+let pp_tx_event ppf = function
+  | Tx_commit { tx_reads; tx_writes } ->
+    Format.fprintf ppf "commit (%d reads, %d writes)" tx_reads tx_writes
+  | Tx_abort r -> Format.fprintf ppf "abort: %a" pp_abort_reason r
+  | Tx_fallback -> Format.pp_print_string ppf "TLE lock fallback"
+
 type t = {
   hmem : Simmem.t;
   cfg : config;
   st : mutable_stats;
   commit_hist : int array;
   lock_addr : int;
+  mutable tap : (tid:int -> clock:int -> tx_event -> unit) option;
 }
 
 exception Aborted of abort_reason
@@ -106,10 +118,17 @@ let create ?(config = default_config) mem =
       };
     commit_hist = Array.make hist_buckets 0;
     lock_addr;
+    tap = None;
   }
 
 let mem t = t.hmem
 let config t = t.cfg
+let set_tap t f = t.tap <- f
+
+let emit t ctx ev =
+  match t.tap with
+  | None -> ()
+  | Some f -> f ~tid:(Sim.tid ctx) ~clock:(Sim.clock ctx) ev
 
 let stats t =
   {
@@ -322,6 +341,7 @@ let release_lock h ctx = Simmem.write h.hmem ctx h.lock_addr 0
 let run_locked h ctx tx attempt f =
   acquire_lock h ctx;
   h.st.s_fallbacks <- h.st.s_fallbacks + 1;
+  emit h ctx Tx_fallback;
   reset_tx tx Locked attempt;
   (* Crash safety: the lock must be released on every exit path — including
      an injected kill raising [Stop_thread] out of the block — and the
@@ -381,10 +401,12 @@ let atomic h ctx ?(on_abort = fun (_ : abort_reason) -> ()) f =
       with
       | v ->
         h.st.s_commits <- h.st.s_commits + 1;
+        emit h ctx (Tx_commit { tx_reads = tx.nreads; tx_writes = tx.nwrites });
         run_frees tx;
         finish n v
       | exception Aborted r ->
         count_abort h.st r;
+        emit h ctx (Tx_abort r);
         Sim.tick ctx h.cfg.tx_abort_cost;
         on_abort r;
         backoff h ctx n;

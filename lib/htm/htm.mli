@@ -89,6 +89,20 @@ val config : t -> config
 val stats : t -> stats
 val reset_stats : t -> unit
 
+(** Transaction-event tap, for trace capture by the schedule explorer
+    ([lib/explore]): commits (with read/write-set sizes), aborts (with
+    reason) and TLE lock fallbacks, stamped with the issuing thread and
+    clock. Costs nothing when unset. *)
+
+type tx_event =
+  | Tx_commit of { tx_reads : int; tx_writes : int }
+  | Tx_abort of abort_reason
+  | Tx_fallback
+
+val pp_tx_event : Format.formatter -> tx_event -> unit
+
+val set_tap : t -> (tid:int -> clock:int -> tx_event -> unit) option -> unit
+
 val commit_cycles_histogram : t -> (int * int) list
 (** Log-2 histogram of cycles-to-commit: [(2{^i}, count)] pairs, where a
     completed {!atomic} whose total latency (first attempt through final

@@ -42,6 +42,31 @@ and sched = {
   (* Clock of the most recent progress note; the watchdog fires when the
      schedule's frontier runs more than wd_budget past it. *)
   mutable wd_last : int;
+  strat : strat_state;
+  (* Exploring mode (any non-min-clock strategy, or a recorder installed)
+     disables the min_other fast path so that every tick is a scheduling
+     decision. That makes choice-point numbering identical between a
+     recorded run and its deviation replay. *)
+  explore : bool;
+  recd : recorder option;
+  mutable choice_idx : int;
+}
+
+and strat_state =
+  | S_min
+  | S_random of Rng.t
+  | S_pct of pct_state
+  | S_dev of (int, int) Hashtbl.t
+
+and pct_state = {
+  prio : int array; (* per-tid priority; higher runs first *)
+  mutable changes : int list; (* ascending change points, in choice indices *)
+  mutable demote_next : int; (* next (ever lower) priority handed out *)
+}
+
+and recorder = {
+  mutable rev_picks : int list;
+  mutable rev_devs : (int * int) list;
 }
 
 let boot ?(seed = 0) () =
@@ -111,6 +136,39 @@ let note_progress ctx =
   | None -> ()
   | Some s -> if ctx.clock > s.wd_last then s.wd_last <- ctx.clock
 
+(* Scheduling strategies (lib/explore drives these): [Min_clock] is the
+   virtual-time-faithful default; the others deliberately break the
+   clock/execution-order correspondence to explore interleavings that the
+   default schedule can never produce. *)
+type strategy =
+  | Min_clock
+  | Random_walk of { rw_seed : int }
+  | Pct of { pct_seed : int; pct_depth : int; pct_length : int }
+  | Deviate of (int * int) list
+
+let pp_strategy ppf = function
+  | Min_clock -> Format.pp_print_string ppf "min-clock"
+  | Random_walk { rw_seed } -> Format.fprintf ppf "random-walk(seed=%d)" rw_seed
+  | Pct { pct_seed; pct_depth; pct_length } ->
+    Format.fprintf ppf "pct(seed=%d,d=%d,len=%d)" pct_seed pct_depth pct_length
+  | Deviate devs -> Format.fprintf ppf "deviate(%d points)" (List.length devs)
+
+(* The PCT change points: [depth - 1] priority-change positions drawn
+   uniformly from [0, length) in choice-index space, sorted. Exposed as a
+   pure function so its placement properties are testable in isolation;
+   [run] derives the exact same list for a [Pct] strategy. *)
+let pct_change_points ~seed ~depth ~length =
+  let rng = Rng.create (seed lxor 0x3c6ef372) in
+  let n = max 0 (depth - 1) in
+  let l = max 1 length in
+  let rec gen acc k = if k = 0 then acc else gen (Rng.int rng l :: acc) (k - 1) in
+  List.sort compare (gen [] n)
+
+let recorder () = { rev_picks = []; rev_devs = [] }
+let picks r = List.rev r.rev_picks
+let deviations r = List.rev r.rev_devs
+let decision_string r = String.concat ";" (List.rev_map string_of_int r.rev_picks)
+
 (* Pick a runnable thread with the minimal clock; break ties with the
    scheduler RNG so no thread is systematically favoured. *)
 let pick_min s =
@@ -143,6 +201,80 @@ let min_other_clock s except =
       | Not_started _ | Ready _ -> if s.ctxs.(i).clock < !m then m := s.ctxs.(i).clock
   done;
   !m
+
+let is_runnable s i =
+  match s.statuses.(i) with Not_started _ | Ready _ -> true | Running | Finished -> false
+
+let count_runnable s =
+  let c = ref 0 in
+  for i = 0 to Array.length s.ctxs - 1 do
+    if is_runnable s i then incr c
+  done;
+  !c
+
+let nth_runnable s k =
+  let seen = ref 0 and found = ref (-1) in
+  (try
+     for i = 0 to Array.length s.ctxs - 1 do
+       if is_runnable s i then begin
+         if !seen = k then begin
+           found := i;
+           raise Exit
+         end;
+         incr seen
+       end
+     done
+   with Exit -> ());
+  !found
+
+(* One scheduling decision. In exploring mode the min-clock pick (and its
+   tie-break RNG draws) is computed at every decision even when another
+   strategy overrides it: the replay of a recorded schedule as deviations
+   from min-clock depends on both runs consuming the scheduler RNG
+   identically. *)
+let pick s =
+  let d = pick_min s in
+  if not s.explore then d
+  else begin
+    let nr = count_runnable s in
+    let chosen =
+      match s.strat with
+      | S_min -> d
+      | S_dev tbl ->
+        (match Hashtbl.find_opt tbl s.choice_idx with
+         | Some tid when tid >= 0 && tid < Array.length s.ctxs && is_runnable s tid -> tid
+         | Some _ | None -> d)
+      | S_random rng -> if nr <= 1 then d else nth_runnable s (Rng.int rng nr)
+      | S_pct p ->
+        let best = ref (-1) in
+        for i = 0 to Array.length s.ctxs - 1 do
+          if is_runnable s i && (!best < 0 || p.prio.(i) > p.prio.(!best)) then best := i
+        done;
+        !best
+    in
+    (match s.strat with
+     | S_pct p ->
+       (* A change point demotes the thread chosen at that point below
+          every priority handed out so far, PCT-style. *)
+       let rec demote () =
+         match p.changes with
+         | c :: rest when c <= s.choice_idx ->
+           p.changes <- rest;
+           p.demote_next <- p.demote_next - 1;
+           p.prio.(chosen) <- p.demote_next;
+           demote ()
+         | _ -> ()
+       in
+       demote ()
+     | S_min | S_random _ | S_dev _ -> ());
+    (match s.recd with
+     | Some r ->
+       r.rev_picks <- chosen :: r.rev_picks;
+       if nr >= 2 && chosen <> d then r.rev_devs <- (s.choice_idx, chosen) :: r.rev_devs
+     | None -> ());
+    if nr >= 2 then s.choice_idx <- s.choice_idx + 1;
+    chosen
+  end
 
 let handler s t : (unit, unit) Effect.Deep.handler =
   {
@@ -192,7 +324,7 @@ let diagnose s frontier =
    | Some f -> Buffer.add_string b (f ()));
   Buffer.contents b
 
-let run ?(seed = 0) ?faults ?watchdog ?diag bodies =
+let run ?(seed = 0) ?(strategy = Min_clock) ?record ?faults ?watchdog ?diag bodies =
   let n = Array.length bodies in
   if n = 0 || n > max_threads then
     invalid_arg "Sim.run: need between 1 and 61 threads";
@@ -210,14 +342,38 @@ let run ?(seed = 0) ?faults ?watchdog ?diag bodies =
         })
   in
   let statuses = Array.init n (fun i -> Not_started bodies.(i)) in
+  let strat =
+    match strategy with
+    | Min_clock -> S_min
+    | Random_walk { rw_seed } -> S_random (Rng.create (rw_seed lxor 0x1f83d9ab))
+    | Pct { pct_seed; pct_depth; pct_length } ->
+      let prng = Rng.create (pct_seed lxor 0x5be0cd19) in
+      let prio = Array.init n (fun i -> i + 1) in
+      for i = n - 1 downto 1 do
+        let j = Rng.int prng (i + 1) in
+        let tmp = prio.(i) in
+        prio.(i) <- prio.(j);
+        prio.(j) <- tmp
+      done;
+      S_pct
+        { prio;
+          changes = pct_change_points ~seed:pct_seed ~depth:pct_depth ~length:pct_length;
+          demote_next = 0 }
+    | Deviate devs ->
+      let tbl = Hashtbl.create (List.length devs * 2) in
+      List.iter (fun (k, tid) -> if not (Hashtbl.mem tbl k) then Hashtbl.add tbl k tid) devs;
+      S_dev tbl
+  in
+  let explore = (match strat with S_min -> false | _ -> true) || Option.is_some record in
   let s =
     { ctxs; statuses; srng = Rng.split root; live = n; min_other = 0;
-      wd_budget = watchdog; wd_diag = diag; wd_last = 0 }
+      wd_budget = watchdog; wd_diag = diag; wd_last = 0;
+      strat; explore; recd = record; choice_idx = 0 }
   in
   Array.iter (fun c -> c.sched <- Some s) ctxs;
   let rec loop () =
     if s.live > 0 then begin
-      let i = pick_min s in
+      let i = pick s in
       assert (i >= 0);
       let t = ctxs.(i) in
       (match s.wd_budget with
@@ -225,7 +381,7 @@ let run ?(seed = 0) ?faults ?watchdog ?diag bodies =
          Array.iter (fun c -> c.sched <- None) ctxs;
          raise (Watchdog (diagnose s t.clock))
        | _ -> ());
-      s.min_other <- min_other_clock s i;
+      s.min_other <- (if s.explore then min_int else min_other_clock s i);
       (match statuses.(i) with
        | Not_started f ->
          statuses.(i) <- Running;

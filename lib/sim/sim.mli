@@ -46,8 +46,71 @@ val max_threads : int
 (** Maximum number of simulated threads ([61]; sharer sets are bitmasks in
     a 63-bit int, with one bit reserved for boot contexts). *)
 
+(** Scheduling strategies for systematic schedule exploration (see
+    {!Explore} in [lib/explore]). The default, {!Min_clock}, always resumes
+    the runnable thread with the smallest virtual clock — the
+    virtual-time-faithful schedule used by every benchmark. The other
+    strategies deliberately decouple execution order from virtual time to
+    drive one program through many distinct interleavings:
+
+    - {!Random_walk}: at every scheduling point, pick a runnable thread
+      uniformly at random from a stream seeded by [rw_seed].
+    - {!Pct}: probabilistic concurrency testing (Burckhardt et al.): each
+      thread gets a random priority, the highest-priority runnable thread
+      always runs, and at [pct_depth - 1] random change points the running
+      thread is demoted below everyone else. Finds any bug of depth [d]
+      with probability >= 1/(n·k^(d-1)) per schedule.
+    - {!Deviate}: replay mode. Runs min-clock except at the listed choice
+      points (indices of scheduling decisions where >= 2 threads were
+      runnable), where the named thread is forced instead. A schedule
+      recorded by a {!recorder} is reproduced exactly by replaying its
+      {!deviations}; shrinking a failure means shrinking that list.
+
+    Under any non-default strategy virtual clocks are no longer globally
+    ordered, so treat cycle counts as per-thread costs only, and judge
+    correctness oracles by execution order (e.g. logical stamps), never by
+    comparing clocks across threads. *)
+type strategy =
+  | Min_clock
+  | Random_walk of { rw_seed : int }
+  | Pct of { pct_seed : int; pct_depth : int; pct_length : int }
+  | Deviate of (int * int) list
+
+val pp_strategy : Format.formatter -> strategy -> unit
+
+val pct_change_points : seed:int -> depth:int -> length:int -> int list
+(** The exact priority-change points a [Pct { pct_seed = seed; pct_depth =
+    depth; pct_length = length }] strategy will use: [max 0 (depth - 1)]
+    positions drawn uniformly from [0, max 1 length), sorted ascending.
+    Pure and deterministic in its arguments. *)
+
+type recorder
+(** Accumulates the scheduling decisions of one {!run}: the full pick
+    sequence and the sparse list of deviations from the min-clock default.
+    Installing a recorder forces exploring mode (every tick is a
+    scheduling decision), so a recorded [Min_clock] run may break clock
+    ties differently from an unrecorded one. *)
+
+val recorder : unit -> recorder
+
+val picks : recorder -> int list
+(** The chosen thread id of every scheduling decision, in order. *)
+
+val deviations : recorder -> (int * int) list
+(** [(choice_index, tid)] for every decision where >= 2 threads were
+    runnable and the strategy chose differently from min-clock. Replaying
+    [Deviate (deviations r)] with the same seed, bodies and faults
+    reproduces the recorded schedule exactly. *)
+
+val decision_string : recorder -> string
+(** The pick sequence as [";"]-separated decimal tids — a compact
+    fingerprint for determinism assertions (same seed and strategy implies
+    byte-identical strings). *)
+
 val run :
   ?seed:int ->
+  ?strategy:strategy ->
+  ?record:recorder ->
   ?faults:Fault.t ->
   ?watchdog:int ->
   ?diag:(unit -> string) ->
@@ -55,6 +118,9 @@ val run :
   unit
 (** [run bodies] executes one fiber per body until all finish. Thread [i]
     gets tid [i] and a fresh RNG derived from [seed] and [i].
+
+    [strategy] selects the scheduling strategy (default {!Min_clock});
+    [record] logs every scheduling decision into the given {!recorder}.
 
     [faults] installs a fault plan: it is consulted at every {!tick} /
     {!advance_to} scheduling point and may stall the thread (preemption)

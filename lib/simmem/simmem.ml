@@ -43,8 +43,29 @@ let st_freed = 2
 
 let line_shift = 3 (* 8 words per line *)
 
+type access =
+  | Read of { addr : int; value : int }
+  | Write of { addr : int; value : int }
+  | Cas of { addr : int; expected : int; desired : int; success : bool }
+  | Fetch_add of { addr : int; delta : int; old : int }
+  | Malloc of { base : int; words : int }
+  | Free of { base : int; words : int }
+
+type access_event = { acc_tid : int; acc_clock : int; acc : access }
+
+let pp_access ppf = function
+  | Read { addr; value } -> Format.fprintf ppf "read   %#x -> %d" addr value
+  | Write { addr; value } -> Format.fprintf ppf "write  %#x <- %d" addr value
+  | Cas { addr; expected; desired; success } ->
+    Format.fprintf ppf "cas    %#x %d->%d %s" addr expected desired
+      (if success then "ok" else "failed")
+  | Fetch_add { addr; delta; old } -> Format.fprintf ppf "fadd   %#x +%d (was %d)" addr delta old
+  | Malloc { base; words } -> Format.fprintf ppf "malloc %#x (%d words)" base words
+  | Free { base; words } -> Format.fprintf ppf "free   %#x (%d words)" base words
+
 type t = {
   cost : cost_model;
+  mutable tap : (access_event -> unit) option;
   mutable values : int array;
   mutable versions : int array;
   mutable state : Bytes.t;
@@ -86,6 +107,7 @@ let initial_words = 1 lsl 12
 let create ?(costs = default_costs) () =
   {
     cost = costs;
+    tap = None;
     values = Array.make initial_words 0;
     versions = Array.make initial_words 0;
     state = Bytes.make initial_words (Char.chr st_never);
@@ -125,6 +147,15 @@ let stats (t : t) =
 
 let costs t = t.cost
 let null = 0
+
+let set_tap t f = t.tap <- f
+
+(* Taps fire after the access completes, so the stamped clock includes the
+   access cost and the value reflects the post-access state. *)
+let emit t ctx acc =
+  match t.tap with
+  | None -> ()
+  | Some f -> f { acc_tid = Sim.tid ctx; acc_clock = Sim.clock ctx; acc }
 
 let grow t needed =
   let cur = Array.length t.values in
@@ -198,26 +229,30 @@ let read t ctx addr =
   check_live t addr;
   Sim.tick ctx (read_cost t (Sim.tid ctx) addr ~now:(Sim.clock ctx));
   check_live t addr;
-  t.values.(addr)
+  let v = t.values.(addr) in
+  emit t ctx (Read { addr; value = v });
+  v
 
 let write t ctx addr v =
   check_live t addr;
   Sim.tick ctx (write_cost t (Sim.tid ctx) addr ~now:(Sim.clock ctx));
   check_live t addr;
   t.values.(addr) <- v;
-  t.versions.(addr) <- t.versions.(addr) + 1
+  t.versions.(addr) <- t.versions.(addr) + 1;
+  emit t ctx (Write { addr; value = v })
 
 let cas t ctx addr ~expected ~desired =
   check_live t addr;
   t.n_atomics <- t.n_atomics + 1;
   Sim.tick ctx (write_cost t (Sim.tid ctx) addr ~now:(Sim.clock ctx) + t.cost.cas_extra);
   check_live t addr;
-  if t.values.(addr) = expected then begin
+  let success = t.values.(addr) = expected in
+  if success then begin
     t.values.(addr) <- desired;
-    t.versions.(addr) <- t.versions.(addr) + 1;
-    true
-  end
-  else false
+    t.versions.(addr) <- t.versions.(addr) + 1
+  end;
+  emit t ctx (Cas { addr; expected; desired; success });
+  success
 
 let fetch_add t ctx addr d =
   check_live t addr;
@@ -227,6 +262,7 @@ let fetch_add t ctx addr d =
   let old = t.values.(addr) in
   t.values.(addr) <- old + d;
   t.versions.(addr) <- t.versions.(addr) + 1;
+  emit t ctx (Fetch_add { addr; delta = d; old });
   old
 
 let version t addr = t.versions.(addr)
@@ -270,6 +306,7 @@ let malloc t ctx n =
   if t.live_words > t.peak_live_words then t.peak_live_words <- t.live_words;
   if t.live_blocks > t.peak_live_blocks then t.peak_live_blocks <- t.live_blocks;
   t.total_allocs <- t.total_allocs + 1;
+  emit t ctx (Malloc { base; words = n });
   base
 
 let free t ctx base =
@@ -296,7 +333,8 @@ let free t ctx base =
     cell := base :: !cell;
     t.live_words <- t.live_words - n;
     t.live_blocks <- t.live_blocks - 1;
-    t.total_frees <- t.total_frees + 1
+    t.total_frees <- t.total_frees + 1;
+    emit t ctx (Free { base; words = n })
 
 module Tx_plane = struct
   let read t ctx addr =
@@ -304,7 +342,11 @@ module Tx_plane = struct
     else begin
       Sim.tick ctx (read_cost t (Sim.tid ctx) addr ~now:(Sim.clock ctx));
       if word_state t addr <> st_live then None
-      else Some (t.values.(addr), t.versions.(addr))
+      else begin
+        let v = t.values.(addr) in
+        emit t ctx (Read { addr; value = v });
+        Some (v, t.versions.(addr))
+      end
     end
 
   let validate t addr v = t.versions.(addr) = v
@@ -315,6 +357,7 @@ module Tx_plane = struct
       Sim.charge ctx (write_cost t (Sim.tid ctx) addr ~now:(Sim.clock ctx));
       t.values.(addr) <- v;
       t.versions.(addr) <- t.versions.(addr) + 1;
+      emit t ctx (Write { addr; value = v });
       true
     end
 end

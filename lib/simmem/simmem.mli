@@ -70,6 +70,27 @@ val create : ?costs:cost_model -> unit -> t
 val stats : t -> stats
 val costs : t -> cost_model
 
+(** Access-event tap, for trace capture by the schedule explorer
+    ([lib/explore]): every completed access — including the transactional
+    plane's reads and committed stores — is reported with the issuing
+    thread and its clock after the access. Costs nothing when unset. *)
+
+type access =
+  | Read of { addr : int; value : int }
+  | Write of { addr : int; value : int }
+  | Cas of { addr : int; expected : int; desired : int; success : bool }
+  | Fetch_add of { addr : int; delta : int; old : int }
+  | Malloc of { base : int; words : int }
+  | Free of { base : int; words : int }
+
+type access_event = { acc_tid : int; acc_clock : int; acc : access }
+
+val pp_access : Format.formatter -> access -> unit
+
+val set_tap : t -> (access_event -> unit) option -> unit
+(** Install (or with [None] remove) the access tap. The tap must not
+    access [t] reentrantly. *)
+
 val null : int
 (** The null address, [0]. *)
 

@@ -2,8 +2,14 @@
 
    Every bound value is globally unique, so a value returned by a collect
    identifies exactly one bind event (Register or Update) on one handle
-   registration. Operations are logged with their virtual-time intervals;
-   afterwards every collect is checked against the two conditions of the
+   registration. Operations are logged with logical-time intervals —
+   stamps drawn from a counter bumped at every wrapper event, so an
+   interval endpoint records *execution order*, which in the cooperative
+   simulator is the real-time order of the §2.3 specification. (Virtual
+   clocks would serve equally well under the min-clock scheduler, but the
+   exploration strategies of [Sim.strategy] deliberately run threads out
+   of virtual-time order, and there only execution order is meaningful.)
+   Afterwards every collect is checked against the two conditions of the
    specification:
 
    - validity: each returned value's bind either is the last bind of its
@@ -32,6 +38,7 @@ type t = {
   mutable instances : instance_log list;
   mutable collects : collect_log list;
   mutable next_id : int;
+  mutable now : int; (* logical clock: one tick per wrapper event *)
 }
 
 let create () =
@@ -42,11 +49,16 @@ let create () =
     instances = [];
     collects = [];
     next_id = 0;
+    now = 0;
   }
 
 let fresh_value t =
   t.next_value <- t.next_value + 1;
   t.next_value
+
+let stamp t =
+  t.now <- t.now + 1;
+  t.now
 
 (* Kill-awareness: an operation interrupted by a crash (Sim.Stop_thread or
    any other exception escaping the instance call) is logged as if it never
@@ -57,10 +69,10 @@ let fresh_value t =
 
 let register t (inst : Collect.Intf.instance) ctx =
   let v = fresh_value t in
-  let s = Sim.clock ctx in
+  let s = stamp t in
   match inst.register ctx v with
   | h ->
-    let e = Sim.clock ctx in
+    let e = stamp t in
     let il = { id = t.next_id; binds = [ { b_start = s; b_end = e; value = v } ]; dereg = None } in
     t.next_id <- t.next_id + 1;
     t.instances <- il :: t.instances;
@@ -79,10 +91,10 @@ let register t (inst : Collect.Intf.instance) ctx =
 let update t (inst : Collect.Intf.instance) ctx h =
   let il = Hashtbl.find t.current h in
   let v = fresh_value t in
-  let s = Sim.clock ctx in
+  let s = stamp t in
   match inst.update ctx h v with
   | () ->
-    let e = Sim.clock ctx in
+    let e = stamp t in
     il.binds <- { b_start = s; b_end = e; value = v } :: il.binds;
     Hashtbl.replace t.values v il
   | exception ex ->
@@ -93,10 +105,10 @@ let update t (inst : Collect.Intf.instance) ctx h =
 let deregister t (inst : Collect.Intf.instance) ctx h =
   let il = Hashtbl.find t.current h in
   Hashtbl.remove t.current h;
-  let s = Sim.clock ctx in
+  let s = stamp t in
   match inst.deregister ctx h with
   | () ->
-    let e = Sim.clock ctx in
+    let e = stamp t in
     il.dereg <- Some (s, e)
   | exception ex ->
     il.dereg <- Some (s, max_int);
@@ -104,10 +116,10 @@ let deregister t (inst : Collect.Intf.instance) ctx h =
 
 let collect t (inst : Collect.Intf.instance) ctx =
   let buf = Sim.Ibuf.create ~capacity:64 () in
-  let s = Sim.clock ctx in
+  let s = stamp t in
   match inst.collect ctx buf with
   | () ->
-    let e = Sim.clock ctx in
+    let e = stamp t in
     t.collects <- { c_start = s; c_end = e; returned = Sim.Ibuf.to_list buf } :: t.collects
   | exception ex ->
     (* A collect that never returned made no claim: discard the partial

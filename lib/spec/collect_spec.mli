@@ -2,9 +2,14 @@
 
     Wrap every operation on a collect instance through this module; each
     bound value is generated here and globally unique, and every
-    operation's virtual-time interval is logged. After the run, {!check}
-    verifies every logged collect against both conditions of the
-    specification:
+    operation's interval is logged in {e logical time} — a counter bumped
+    at each wrapper entry and exit, recording execution order. In the
+    cooperative simulator execution order {e is} the specification's
+    real-time order, whatever scheduling strategy drives the run; virtual
+    clocks, by contrast, stop reflecting execution order under the
+    exploration strategies ([Sim.Random_walk], [Sim.Pct]), which is why
+    they are not used here. After the run, {!check} verifies every logged
+    collect against both conditions of the specification:
 
     - {e validity}: each returned value's bind either is the handle's last
       bind not superseded or deregistered before the collect began, or

@@ -102,6 +102,30 @@ let prop_of mk =
     ~count:150 arbitrary_script
     (fun script -> run_real mk script = run_model script)
 
+(* Concurrent runs checked against the §2.3 specification itself
+   (Collect_spec via the explorer's scenario wrapper), under the default
+   schedule and the two adversarial strategies. *)
+let prop_concurrent_spec (mk : Collect.Intf.maker) (sname, count, strat) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s meets the collect spec (%s)" mk.Collect.Intf.algo_name sname)
+    ~count QCheck.small_int
+    (fun seed ->
+      let scn = Explore.Scenario.collect_spec mk ~threads:3 ~ops:4 in
+      match
+        scn.scn_run ~strategy:(strat seed) ~seed ~faults:None ~record:None ~trace:None
+      with
+      | Explore.Scenario.Pass -> true
+      | Explore.Scenario.Fail msg -> QCheck.Test.fail_report msg)
+
+let strategies =
+  [
+    ("min-clock", 6, fun _seed -> Sim.Min_clock);
+    ("random-walk", 5, fun seed -> Sim.Random_walk { rw_seed = seed });
+    ( "pct",
+      5,
+      fun seed -> Sim.Pct { pct_seed = seed; pct_depth = 3; pct_length = 1000 } );
+  ]
+
 (* StaticBaseline partitions slots by thread, so a single thread only owns
    a share of the budget; bound the live-handle count accordingly by
    filtering scripts is overkill — with max_slots 128 and one thread quota
@@ -111,5 +135,12 @@ let () =
     [
       ( "sequential",
         List.map (fun mk -> QCheck_alcotest.to_alcotest (prop_of mk))
+          Collect.all_with_extensions );
+      ( "concurrent-spec",
+        List.concat_map
+          (fun mk ->
+            List.map
+              (fun s -> QCheck_alcotest.to_alcotest (prop_concurrent_spec mk s))
+              strategies)
           Collect.all_with_extensions );
     ]

@@ -1,6 +1,21 @@
 (* Property-based tests for the queues: equivalence with a functional
    model under random single-threaded scripts, and exactly-once delivery
-   under randomized concurrent schedules. *)
+   under randomized concurrent schedules.
+
+   The concurrent properties run under three scheduling strategies: the
+   default min-clock schedule and two adversarial ones (random walk, PCT)
+   that decouple execution order from virtual time. The adversarial
+   strategies get smaller qcheck counts to keep the suite's runtime in
+   check; each trial seeds its strategy from the qcheck seed. *)
+
+let strategies =
+  [
+    ("min-clock", 25, fun _seed -> Sim.Min_clock);
+    ("random-walk", 10, fun seed -> Sim.Random_walk { rw_seed = seed });
+    ( "pct",
+      10,
+      fun seed -> Sim.Pct { pct_seed = seed; pct_depth = 3; pct_length = 5000 } );
+  ]
 
 (* A script is a list of operations: true = enqueue (next value),
    false = dequeue. *)
@@ -48,17 +63,17 @@ let prop_sequential_model (mk : Hqueue.Intf.maker) =
     QCheck.(list bool)
     (fun script -> run_script mk script = model_script script)
 
-let prop_concurrent_exactly_once (mk : Hqueue.Intf.maker) =
+let prop_concurrent_exactly_once (mk : Hqueue.Intf.maker) (sname, count, strat) =
   QCheck.Test.make
-    ~name:(mk.queue_name ^ " delivers exactly once under any schedule")
-    ~count:25 QCheck.small_int
+    ~name:(Printf.sprintf "%s delivers exactly once (%s)" mk.queue_name sname)
+    ~count QCheck.small_int
     (fun seed ->
       let mem = Simmem.create () in
       let htm = Htm.create mem in
       let boot = Sim.boot () in
       let q = mk.make htm boot ~num_threads:6 in
       let got = ref [] in
-      Sim.run ~seed
+      Sim.run ~seed ~strategy:(strat seed)
         (Array.init 6 (fun i ->
              fun ctx ->
                let rng = Sim.rng ctx in
@@ -77,17 +92,17 @@ let prop_concurrent_exactly_once (mk : Hqueue.Intf.maker) =
 
 (* Sequential consistency of the value payload: dequeue order of one
    producer's values is its enqueue order, for every queue and seed. *)
-let prop_per_producer_fifo (mk : Hqueue.Intf.maker) =
+let prop_per_producer_fifo (mk : Hqueue.Intf.maker) (sname, count, strat) =
   QCheck.Test.make
-    ~name:(mk.queue_name ^ " preserves per-producer order")
-    ~count:25 QCheck.small_int
+    ~name:(Printf.sprintf "%s preserves per-producer order (%s)" mk.queue_name sname)
+    ~count QCheck.small_int
     (fun seed ->
       let mem = Simmem.create () in
       let htm = Htm.create mem in
       let boot = Sim.boot () in
       let q = mk.make htm boot ~num_threads:4 in
       let seen = Array.make 4 [] in
-      Sim.run ~seed
+      Sim.run ~seed ~strategy:(strat seed)
         (Array.init 4 (fun i ->
              fun ctx ->
                if i < 2 then
@@ -121,10 +136,10 @@ let () =
         List.concat_map
           (fun mk ->
             List.map QCheck_alcotest.to_alcotest
-              [
-                prop_sequential_model mk;
-                prop_concurrent_exactly_once mk;
-                prop_per_producer_fifo mk;
-              ])
+              (prop_sequential_model mk
+               :: List.concat_map
+                    (fun s ->
+                      [ prop_concurrent_exactly_once mk s; prop_per_producer_fifo mk s ])
+                    strategies))
           Hqueue.all_with_extensions );
     ]
