@@ -14,7 +14,13 @@ let pf fmt = Format.printf fmt
 
 let chart_mode = ref false
 
+(* Every table an experiment prints is also captured here (newest first)
+   so --json can write the machine-readable BENCH_<experiment>.json
+   report after the run. *)
+let captured_tables : Obs.Json.t list ref = ref []
+
 let emit ~csv table =
+  captured_tables := Workload.Report.to_json table :: !captured_tables;
   if csv then Workload.Report.print_csv Format.std_formatter table
   else begin
     Workload.Report.print Format.std_formatter table;
@@ -116,6 +122,84 @@ let run_space ~duration:_ ~seed ~csv =
   emit ~csv
     (Workload.Space_bench.to_table ~title:"Space: collect objects at peak vs deregistered"
        (Workload.Space_bench.collect_space ~seed ()))
+
+(* The coherence-contention profile: run the paper's two extremes of
+   reclamation-induced cache traffic — hand-over-hand reference counting
+   (every traversal writes reference counts, starting at the list header,
+   so the header line ping-pongs between all cores) and ROP (readers
+   publish hazard pointers to per-thread slots and nodes are reclaimed in
+   bulk) — and attribute every coherence transfer to the labeled region
+   it hit. The merged ranked heatmap is the paper's §5 "why HoHRC loses"
+   argument made mechanical: the HoHRC header line outranks every ROP
+   line. *)
+let run_contend ~duration ~seed ~csv =
+  let saved = Workload.Driver.obs () in
+  Workload.Driver.set_obs { saved with obs_profile = true };
+  let hohrc = Option.get (Collect.find_maker "ListHoHRC") in
+  let r =
+    Workload.Collect_update.run_one hohrc ~updaters:15 ~period:1_000 ~duration
+      ~step:(Collect.Intf.Fixed 8) ~seed
+  in
+  let rop = Option.get (Hqueue.find_maker "MichaelScott+ROP") in
+  (* Matched operation budget: per queue operation the ROP queue is an
+     order of magnitude faster than a HoHRC traversal, so equal wall
+     windows would compare 10x the operations and swamp the per-op
+     story. A window one twelfth as long puts both workloads in the same
+     operation ballpark; the context table above is per-microsecond and
+     unaffected. *)
+  let q =
+    Workload.Queue_bench.run_one rop ~threads:4 ~duration:(max 20_000 (duration / 12))
+      ~prefill:64 ~seed
+  in
+  let profs = Workload.Driver.profilers () in
+  Workload.Driver.set_obs saved;
+  emit ~csv
+    {
+      Workload.Report.title = "Contention workloads (context)";
+      xlabel = "workload";
+      unit = "ops/us";
+      columns = [ "throughput" ];
+      rows =
+        [
+          ("ListHoHRC collect-update", [ Some r.throughput ]);
+          ("MichaelScott+ROP queue", [ Some q.throughput ]);
+        ];
+    };
+  (* Per-machine heatmaps, then the merged ranking across machines. *)
+  List.iter
+    (fun (mach, p) ->
+      pf "== Contention: %s (%d transfers) ==@." mach (Obs.Profiler.total_transfers p);
+      Obs.Profiler.print ~top:8 Format.std_formatter p)
+    profs;
+  let entries =
+    List.concat_map
+      (fun (mach, p) ->
+        List.map (fun ls -> (mach, ls)) (Obs.Profiler.lines ~top:12 p))
+      profs
+  in
+  let ranked =
+    List.sort
+      (fun (_, a) (_, b) ->
+        compare b.Obs.Profiler.ls_transfers a.Obs.Profiler.ls_transfers)
+      entries
+  in
+  let top n l = List.filteri (fun i _ -> i < n) l in
+  pf "== Contention: all machines ranked by coherence transfers ==@.";
+  Obs.Table.print_cols Format.std_formatter
+    [ "machine"; "line"; "region"; "transfers"; "miss cycles"; "queue wait"; "peak sharers" ]
+    (List.map
+       (fun (mach, ls) ->
+         [
+           mach;
+           string_of_int ls.Obs.Profiler.ls_line;
+           ls.ls_region;
+           string_of_int ls.ls_transfers;
+           string_of_int ls.ls_cycles;
+           string_of_int ls.ls_wait;
+           string_of_int ls.ls_max_sharers;
+         ])
+       (top 16 ranked));
+  pf "@."
 
 (* ------------------------------------------------------------------ *)
 (* Ablations (paper §6)                                                *)
@@ -499,6 +583,8 @@ let figures =
       frun = run_fig8 };
     { fname = "space"; doc = "space usage at quiescence"; default_duration = 0;
       frun = run_space };
+    { fname = "contend"; doc = "coherence-contention profile: HoHRC vs ROP";
+      default_duration = 300_000; frun = run_contend };
     { fname = "chaos"; doc = "fault injection: crashes, stalls, spurious aborts"; default_duration = 0;
       frun = run_chaos };
     { fname = "aborts"; doc = "abort-rate telemetry behind figs 4/5"; default_duration = 300_000;
@@ -514,6 +600,92 @@ let figures =
 let run_all ~seed ~csv =
   List.iter (fun f -> f.frun ~duration:f.default_duration ~seed ~csv) figures
 
+(* ------------------------------------------------------------------ *)
+(* Observability plumbing: --trace / --metrics / --json                *)
+
+(* The abort breakdown and cycle totals of the BENCH_<experiment>.json
+   report, read back out of the aggregate metrics registry. *)
+let summary_of_metrics reg =
+  let snap = Obs.Metrics.snapshot reg in
+  let counter name =
+    match List.assoc_opt name snap with
+    | Some (Obs.Metrics.Counter { total; _ }) -> total
+    | _ -> 0
+  in
+  let hist name =
+    match List.assoc_opt name snap with
+    | Some (Obs.Metrics.Hist buckets) ->
+        Obs.Json.List
+          (List.map (fun (lo, n) -> Obs.Json.List [ Obs.Json.Int lo; Obs.Json.Int n ]) buckets)
+    | _ -> Obs.Json.List []
+  in
+  let abort_reasons = [ "conflict"; "overflow"; "illegal"; "explicit"; "lock_held"; "spurious" ] in
+  Obs.Json.Obj
+    [
+      ("commits", Obs.Json.Int (counter "htm.commits"));
+      ( "aborts",
+        Obs.Json.Obj
+          (List.map (fun r -> (r, Obs.Json.Int (counter ("htm.aborts." ^ r)))) abort_reasons) );
+      ("lock_fallbacks", Obs.Json.Int (counter "htm.fallbacks"));
+      ( "cycles",
+        Obs.Json.Obj
+          [
+            ("committed_total", Obs.Json.Int (counter "htm.commit_cycles_total"));
+            ("commit_hist", hist "htm.commit_cycles");
+            ("queue_wait_hist", hist "mem.queue_wait");
+          ] );
+      ( "mem",
+        Obs.Json.Obj
+          (List.map
+             (fun n -> (n, Obs.Json.Int (counter ("mem." ^ n))))
+             [ "reads"; "read_misses"; "writes"; "write_misses"; "atomics"; "allocs"; "frees" ])
+      );
+    ]
+
+let bench_json ~experiment ~duration ~seed ~metrics =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str "bench/1");
+      ("experiment", Obs.Json.Str experiment);
+      ( "params",
+        Obs.Json.Obj
+          [ ("duration", Obs.Json.Int duration); ("seed", Obs.Json.Int seed) ] );
+      ("seed", Obs.Json.Int seed);
+      ("tables", Obs.Json.List (List.rev !captured_tables));
+      ( "summary",
+        match metrics with Some r -> summary_of_metrics r | None -> Obs.Json.Null );
+    ]
+
+(* Wrap one experiment run with the requested sinks: install them via
+   [Driver.set_obs] (so every machine the workloads build attaches
+   itself), run, then write the artifact files. *)
+let run_with_obs ~fname ~frun ~duration ~seed ~csv ~json ~trace ~metrics =
+  let tracer = match trace with None -> None | Some _ -> Some (Obs.Tracer.create ()) in
+  let mreg =
+    if json || metrics <> None then Some (Obs.Metrics.create ()) else None
+  in
+  Workload.Driver.set_obs
+    { obs_tracer = tracer; obs_metrics = mreg; obs_profile = false };
+  captured_tables := [];
+  frun ~duration ~seed ~csv;
+  (match (trace, tracer) with
+  | Some file, Some tr ->
+      Obs.Tracer.write_file tr file;
+      pf "trace: %d events (%d dropped) -> %s@." (Obs.Tracer.recorded tr)
+        (Obs.Tracer.dropped tr) file
+  | _ -> ());
+  (match (metrics, mreg) with
+  | Some file, Some r ->
+      Obs.Json.write_file file (Obs.Metrics.to_json r);
+      pf "metrics -> %s@." file
+  | _ -> ());
+  if json then begin
+    let file = Printf.sprintf "BENCH_%s.json" fname in
+    Obs.Json.write_file file (bench_json ~experiment:fname ~duration ~seed ~metrics:mreg);
+    pf "bench report -> %s@." file
+  end;
+  Workload.Driver.set_obs Workload.Driver.no_obs
+
 open Cmdliner
 
 let duration_arg default =
@@ -526,33 +698,84 @@ let csv_arg = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of table
 let chart_arg =
   Arg.(value & flag & info [ "chart" ] ~doc:"Also draw each table as an ASCII chart.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a virtual-time event trace of the run and write it to $(docv) as Chrome \
+           trace_event JSON (open in Perfetto; read microseconds as simulated cycles).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write the aggregated metrics registry snapshot to $(docv) as JSON.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Also write BENCH_<experiment>.json: the printed tables plus the abort breakdown \
+           and cycle totals, machine-readable.")
+
 let cmd_of_figure f =
-  let action duration seed csv chart =
+  let action duration seed csv chart trace metrics json =
     chart_mode := chart;
-    f.frun ~duration ~seed ~csv
+    run_with_obs ~fname:f.fname ~frun:f.frun ~duration ~seed ~csv ~json ~trace ~metrics
   in
   Cmd.v
     (Cmd.info f.fname ~doc:f.doc)
-    Term.(const action $ duration_arg f.default_duration $ seed_arg $ csv_arg $ chart_arg)
+    Term.(
+      const action $ duration_arg f.default_duration $ seed_arg $ csv_arg $ chart_arg
+      $ trace_arg $ metrics_arg $ json_arg)
+
+let all_action seed csv chart trace metrics json =
+  chart_mode := chart;
+  run_with_obs ~fname:"all"
+    ~frun:(fun ~duration:_ ~seed ~csv -> run_all ~seed ~csv)
+    ~duration:0 ~seed ~csv ~json ~trace ~metrics
 
 let all_cmd =
-  let action seed csv chart =
-    chart_mode := chart;
-    run_all ~seed ~csv
-  in
   Cmd.v
     (Cmd.info "all" ~doc:"run every figure and table (default)")
-    Term.(const action $ seed_arg $ csv_arg $ chart_arg)
+    Term.(
+      const all_action $ seed_arg $ csv_arg $ chart_arg $ trace_arg $ metrics_arg $ json_arg)
+
+(* CI gate: parse artifact files with the strict in-repo JSON parser and
+   fail loudly on the first invalid one. *)
+let validate_cmd =
+  let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
+  let action files =
+    let ok = ref true in
+    List.iter
+      (fun file ->
+        let ic = open_in_bin file in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        match Obs.Json.parse s with
+        | Ok _ -> pf "%s: valid JSON@." file
+        | Error e ->
+            ok := false;
+            pf "%s: INVALID: %s@." file e)
+      files;
+    if not !ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"check that artifact files are valid JSON (CI gate)")
+    Term.(const action $ files)
 
 let () =
   let default =
     Term.(
-      const (fun seed csv chart ->
-          chart_mode := chart;
-          run_all ~seed ~csv)
-      $ seed_arg $ csv_arg $ chart_arg)
+      const all_action $ seed_arg $ csv_arg $ chart_arg $ trace_arg $ metrics_arg $ json_arg)
   in
   let info =
     Cmd.info "bench" ~doc:"Reproduce the tables and figures of Dragojevic et al., PODC 2011"
   in
-  exit (Cmd.eval (Cmd.group ~default info (all_cmd :: List.map cmd_of_figure figures)))
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info (all_cmd :: validate_cmd :: List.map cmd_of_figure figures)))

@@ -101,27 +101,59 @@ let run_replay file show_trace =
         2))
 
 (* ------------------------------------------------------------------ *)
+(* trace: replay an artifact into a Chrome trace_event file            *)
+
+let run_trace file out =
+  match Explore.Artifact.load file with
+  | Error e ->
+    err "explore trace: %s" e;
+    1
+  | Ok a -> (
+    let tracer = Obs.Tracer.create () in
+    Sim.set_default_tracer (Some (Obs.Tracer.process tracer ~name:a.art_scenario));
+    let outcome = Explore.Search.replay_artifact a in
+    Sim.set_default_tracer None;
+    match outcome with
+    | Error e ->
+      err "explore trace: %s" e;
+      1
+    | Ok outcome ->
+      Obs.Tracer.write_file tracer out;
+      Printf.printf "trace: %d events (%d dropped) -> %s\n%!"
+        (Obs.Tracer.recorded tracer) (Obs.Tracer.dropped tracer) out;
+      (match outcome with
+      | Explore.Scenario.Fail msg ->
+        Printf.printf "reproduced: %s\n" msg;
+        0
+      | Explore.Scenario.Pass ->
+        Printf.printf "did NOT reproduce: scenario passed\n";
+        2))
+
+(* ------------------------------------------------------------------ *)
 (* workload (the original interactive explorer)                       *)
 
 let list_algorithms () =
-  Format.printf "%-24s %-8s %-7s %s@." "algorithm" "dynamic" "htm" "update class";
-  List.iter
-    (fun (m : Collect.Intf.maker) ->
-      Format.printf "%-24s %-8b %-7b %s@." m.algo_name m.solves_dynamic m.uses_htm
-        (if m.direct_update then "direct (naked store)" else "indirect (transaction)"))
-    Collect.all_with_extensions;
-  Format.printf "@.%-28s %s@." "scenario key" "oracle";
-  List.iter
-    (fun (key, oracle) -> Format.printf "%-28s %s@." key oracle)
-    ([ ("racy", "final counter value (seeded known-bad)");
-       ("broken-rop", "linearizability (seeded known-bad queue)") ]
-    @ List.map
-        (fun (m : Hqueue.Intf.maker) -> ("queue:" ^ m.queue_name, "linearizability"))
-        Hqueue.all_with_extensions
-    @ List.map
-        (fun (m : Collect.Intf.maker) ->
-          ("collect:" ^ m.algo_name, "Dynamic Collect specification"))
-        Collect.all_with_extensions)
+  Obs.Table.print_cols Format.std_formatter
+    [ "algorithm"; "dynamic"; "htm"; "update class" ]
+    (List.map
+       (fun (m : Collect.Intf.maker) ->
+         [ m.algo_name; string_of_bool m.solves_dynamic; string_of_bool m.uses_htm;
+           (if m.direct_update then "direct (naked store)" else "indirect (transaction)") ])
+       Collect.all_with_extensions);
+  Format.printf "@.";
+  Obs.Table.print_cols Format.std_formatter
+    [ "scenario key"; "oracle" ]
+    (List.map
+       (fun (key, oracle) -> [ key; oracle ])
+       ([ ("racy", "final counter value (seeded known-bad)");
+          ("broken-rop", "linearizability (seeded known-bad queue)") ]
+       @ List.map
+           (fun (m : Hqueue.Intf.maker) -> ("queue:" ^ m.queue_name, "linearizability"))
+           Hqueue.all_with_extensions
+       @ List.map
+           (fun (m : Collect.Intf.maker) ->
+             ("collect:" ^ m.algo_name, "Dynamic Collect specification"))
+           Collect.all_with_extensions))
 
 type op = Op_collect | Op_update | Op_register | Op_deregister
 
@@ -311,6 +343,21 @@ let workload_cmd =
        ~doc:"Run one Dynamic Collect algorithm under a custom workload and report stats")
     Term.(const run_workload $ algo $ threads $ mix $ step $ duration $ budget $ seed)
 
+let trace_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"ARTIFACT" ~doc:"Artifact file.")
+  in
+  let out =
+    Arg.(value & opt string "explore-trace.json"
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Chrome trace_event output file (open in Perfetto).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Replay a failure artifact and write its virtual-time timeline as Chrome \
+             trace JSON; exit 0 iff it reproduces")
+    Term.(const run_trace $ file $ out)
+
 let list_cmd =
   Cmd.v
     (Cmd.info "list" ~doc:"List collect algorithms and explorable scenario keys")
@@ -321,4 +368,6 @@ let () =
     Cmd.info "explore"
       ~doc:"Schedule exploration and workload probing over the simulated machine"
   in
-  exit (Cmd.eval' (Cmd.group info [ search_cmd; replay_cmd; workload_cmd; list_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ search_cmd; replay_cmd; trace_cmd; workload_cmd; list_cmd ]))

@@ -37,7 +37,9 @@ let st_claiming = 3
 type t = { htm : Htm.t; sentinel : int }
 
 let create htm ctx (_cfg : Collect_intf.cfg) =
-  let sentinel = Simmem.malloc (Htm.mem htm) ctx node_words in
+  let mem = Htm.mem htm in
+  let sentinel = Simmem.malloc mem ctx node_words in
+  Simmem.label mem ~name:"ListBaseline.header" ~base:sentinel ~words:node_words;
   { htm; sentinel }
 
 let bump t ctx node d =
@@ -60,6 +62,7 @@ let register t ctx v =
     let next = Simmem.read mem ctx (prev + off_next) in
     if next = 0 then begin
       let node = Simmem.malloc mem ctx node_words in
+      Simmem.label mem ~name:"ListBaseline.node" ~base:node ~words:node_words;
       Simmem.write mem ctx (node + off_val) v;
       Simmem.write mem ctx (node + off_state) st_claimed;
       if Simmem.cas mem ctx (prev + off_next) ~expected:0 ~desired:node then begin

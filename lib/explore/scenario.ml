@@ -86,6 +86,7 @@ let queue_lin ?key (mk : Hqueue.Intf.maker) ~threads ~ops =
       in
       Sim.run ~seed ~strategy ?record
         ?faults:(Option.map Sim.Fault.make faults)
+        ?on_fault:(Option.map (fun tr ev -> Trace.on_fault tr ev) trace)
         ~watchdog:watchdog_budget
         (Array.init threads body);
       (match Lin.check hist with Ok () -> () | Error msg -> raise (Lin_violation msg));
@@ -125,6 +126,7 @@ let racy_counter ~threads ~ops =
       in
       Sim.run ~seed ~strategy ?record
         ?faults:(Option.map Sim.Fault.make faults)
+        ?on_fault:(Option.map (fun tr ev -> Trace.on_fault tr ev) trace)
         ~watchdog:watchdog_budget
         (Array.init threads body);
       let total = Simmem.peek mem addr in
@@ -179,6 +181,7 @@ let collect_spec (mk : Collect.Intf.maker) ~threads ~ops =
       in
       Sim.run ~seed ~strategy ?record
         ?faults:(Option.map Sim.Fault.make faults)
+        ?on_fault:(Option.map (fun tr ev -> Trace.on_fault tr ev) trace)
         ~watchdog:watchdog_budget
         (Array.init threads body);
       let (_ : Collect_spec.verdict) = Collect_spec.check log in

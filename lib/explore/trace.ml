@@ -22,6 +22,15 @@ let attach_mem t mem =
            (Format.asprintf "t%-2d @%-9d mem  %a" ev.acc_tid ev.acc_clock
               Simmem.pp_access ev.acc)))
 
+let on_fault t (ev : Sim.Fault.event) =
+  let what =
+    match ev.ev_kind with
+    | Sim.Fault.Stalled d -> Printf.sprintf "stalled %d cycles" d
+    | Sim.Fault.Killed -> "killed"
+    | Sim.Fault.Spurious_abort -> "spurious abort armed"
+  in
+  note t (Format.asprintf "t%-2d @%-9d flt  %s" ev.ev_tid ev.ev_clock what)
+
 let attach_htm t h =
   Htm.set_tap h
     (Some

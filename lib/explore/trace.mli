@@ -22,6 +22,11 @@ val attach_mem : t -> Simmem.t -> unit
 val attach_htm : t -> Htm.t -> unit
 (** Install this trace as the HTM domain's transaction tap. *)
 
+val on_fault : t -> Sim.Fault.event -> unit
+(** Record one injected fault as a trace line; pass as [Sim.run]'s
+    [?on_fault] so injections land in the same stream as the accesses
+    and transactions they perturb. *)
+
 val lines : t -> string list
 (** Captured lines in event order, with a final summary line when events
     were dropped. *)

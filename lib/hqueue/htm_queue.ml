@@ -20,11 +20,16 @@ let hdr_words = 16
 
 type t = { htm : Htm.t; hdr : int }
 
-let create htm ctx = { htm; hdr = Simmem.malloc (Htm.mem htm) ctx hdr_words }
+let create htm ctx =
+  let mem = Htm.mem htm in
+  let hdr = Simmem.malloc mem ctx hdr_words in
+  Simmem.label mem ~name:"HtmQueue.header" ~base:hdr ~words:hdr_words;
+  { htm; hdr }
 
 let enqueue t ctx v =
   let mem = Htm.mem t.htm in
   let node = Simmem.malloc mem ctx node_words in
+  Simmem.label mem ~name:"HtmQueue.node" ~base:node ~words:node_words;
   Simmem.write mem ctx (node + off_val) v;
   Htm.atomic t.htm ctx (fun tx ->
       let tail = Htm.read tx (t.hdr + hdr_tail) in

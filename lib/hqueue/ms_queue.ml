@@ -38,7 +38,11 @@ let alloc_node t ctx =
   | node :: rest ->
     t.pools.(tid) <- rest;
     node
-  | [] -> Simmem.malloc (Htm.mem t.htm) ctx node_words
+  | [] ->
+    let mem = Htm.mem t.htm in
+    let node = Simmem.malloc mem ctx node_words in
+    Simmem.label mem ~name:"MSQueue.node" ~base:node ~words:node_words;
+    node
 
 let retire_node t ctx node =
   let tid = Sim.tid ctx in
@@ -48,6 +52,8 @@ let create htm ctx =
   let mem = Htm.mem htm in
   let hdr = Simmem.malloc mem ctx hdr_words in
   let sentinel = Simmem.malloc mem ctx node_words in
+  Simmem.label mem ~name:"MSQueue.header" ~base:hdr ~words:hdr_words;
+  Simmem.label mem ~name:"MSQueue.node" ~base:sentinel ~words:node_words;
   Simmem.write mem ctx (hdr + hdr_head) (pack ~tag:0 ~ptr:sentinel);
   Simmem.write mem ctx (hdr + hdr_tail) (pack ~tag:0 ~ptr:sentinel);
   { htm; hdr; pools = Array.make (Sim.max_threads + 1) [] }

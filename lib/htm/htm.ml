@@ -2,15 +2,15 @@ module Adapt = Adapt
 
 type abort_reason = Conflict | Overflow | Illegal | Explicit | Lock_held | Spurious
 
-let pp_abort_reason ppf r =
-  Format.pp_print_string ppf
-    (match r with
-     | Conflict -> "conflict"
-     | Overflow -> "overflow"
-     | Illegal -> "illegal"
-     | Explicit -> "explicit"
-     | Lock_held -> "lock-held"
-     | Spurious -> "spurious")
+let abort_label = function
+  | Conflict -> "conflict"
+  | Overflow -> "overflow"
+  | Illegal -> "illegal"
+  | Explicit -> "explicit"
+  | Lock_held -> "lock-held"
+  | Spurious -> "spurious"
+
+let pp_abort_reason ppf r = Format.pp_print_string ppf (abort_label r)
 
 type tle_mode = Tle_never | Tle_after of int
 
@@ -56,23 +56,6 @@ type stats = {
   max_consecutive_aborts : int;
 }
 
-type mutable_stats = {
-  mutable s_commits : int;
-  mutable s_conflict : int;
-  mutable s_overflow : int;
-  mutable s_illegal : int;
-  mutable s_explicit : int;
-  mutable s_lock : int;
-  mutable s_spurious : int;
-  mutable s_fallbacks : int;
-  mutable s_max_consec : int;
-}
-
-(* Cycles-to-commit histogram: bucket i counts atomics whose total latency
-   (first attempt begin to final commit, retries included) was in
-   [2^i, 2^(i+1)). 62 buckets cover every positive OCaml int. *)
-let hist_buckets = 62
-
 type tx_event =
   | Tx_commit of { tx_reads : int; tx_writes : int }
   | Tx_abort of abort_reason
@@ -84,11 +67,26 @@ let pp_tx_event ppf = function
   | Tx_abort r -> Format.fprintf ppf "abort: %a" pp_abort_reason r
   | Tx_fallback -> Format.pp_print_string ppf "TLE lock fallback"
 
+(* Stats live in the metrics registry. The [stats] record type survives as
+   a read-only snapshot assembled from the handles, so per-run consumers
+   ([Workload] measures deltas by [reset_stats] between phases) keep exact
+   local numbers while a parent registry accumulates fleet-wide totals. *)
 type t = {
   hmem : Simmem.t;
   cfg : config;
-  st : mutable_stats;
-  commit_hist : int array;
+  mreg : Obs.Metrics.t;
+  c_commits : Obs.Metrics.counter;
+  c_conflict : Obs.Metrics.counter;
+  c_overflow : Obs.Metrics.counter;
+  c_illegal : Obs.Metrics.counter;
+  c_explicit : Obs.Metrics.counter;
+  c_lock : Obs.Metrics.counter;
+  c_spurious : Obs.Metrics.counter;
+  c_fallbacks : Obs.Metrics.counter;
+  c_cycles : Obs.Metrics.counter;
+  g_consec : Obs.Metrics.gauge;
+  h_commit : Obs.Metrics.hist;
+  h_stores : Obs.Metrics.hist;
   lock_addr : int;
   mutable tap : (tid:int -> clock:int -> tx_event -> unit) option;
 }
@@ -96,33 +94,36 @@ type t = {
 exception Aborted of abort_reason
 exception Retry_exhausted of abort_reason
 
-let create ?(config = default_config) mem =
+let create ?(config = default_config) ?metrics mem =
   (* The TLE lock gets its own cache line so lock traffic does not
      false-share with application data. *)
   let boot = Sim.boot () in
   let lock_addr = Simmem.malloc mem boot 8 in
+  Simmem.label mem ~name:"Htm.tle_lock" ~base:lock_addr ~words:8;
+  let mreg = Obs.Metrics.create ?parent:metrics () in
   {
     hmem = mem;
     cfg = config;
-    st =
-      {
-        s_commits = 0;
-        s_conflict = 0;
-        s_overflow = 0;
-        s_illegal = 0;
-        s_explicit = 0;
-        s_lock = 0;
-        s_spurious = 0;
-        s_fallbacks = 0;
-        s_max_consec = 0;
-      };
-    commit_hist = Array.make hist_buckets 0;
+    mreg;
+    c_commits = Obs.Metrics.counter ~per_thread:true mreg "htm.commits";
+    c_conflict = Obs.Metrics.counter ~per_thread:true mreg "htm.aborts.conflict";
+    c_overflow = Obs.Metrics.counter ~per_thread:true mreg "htm.aborts.overflow";
+    c_illegal = Obs.Metrics.counter ~per_thread:true mreg "htm.aborts.illegal";
+    c_explicit = Obs.Metrics.counter ~per_thread:true mreg "htm.aborts.explicit";
+    c_lock = Obs.Metrics.counter ~per_thread:true mreg "htm.aborts.lock_held";
+    c_spurious = Obs.Metrics.counter ~per_thread:true mreg "htm.aborts.spurious";
+    c_fallbacks = Obs.Metrics.counter mreg "htm.fallbacks";
+    c_cycles = Obs.Metrics.counter mreg "htm.commit_cycles_total";
+    g_consec = Obs.Metrics.gauge mreg "htm.max_consecutive_aborts";
+    h_commit = Obs.Metrics.hist mreg "htm.commit_cycles";
+    h_stores = Obs.Metrics.hist mreg "htm.stores_per_tx";
     lock_addr;
     tap = None;
   }
 
 let mem t = t.hmem
 let config t = t.cfg
+let metrics t = t.mreg
 let set_tap t f = t.tap <- f
 
 let emit t ctx ev =
@@ -132,41 +133,32 @@ let emit t ctx ev =
 
 let stats t =
   {
-    commits = t.st.s_commits;
-    aborts_conflict = t.st.s_conflict;
-    aborts_overflow = t.st.s_overflow;
-    aborts_illegal = t.st.s_illegal;
-    aborts_explicit = t.st.s_explicit;
-    aborts_lock = t.st.s_lock;
-    aborts_spurious = t.st.s_spurious;
-    lock_fallbacks = t.st.s_fallbacks;
-    max_consecutive_aborts = t.st.s_max_consec;
+    commits = Obs.Metrics.value t.c_commits;
+    aborts_conflict = Obs.Metrics.value t.c_conflict;
+    aborts_overflow = Obs.Metrics.value t.c_overflow;
+    aborts_illegal = Obs.Metrics.value t.c_illegal;
+    aborts_explicit = Obs.Metrics.value t.c_explicit;
+    aborts_lock = Obs.Metrics.value t.c_lock;
+    aborts_spurious = Obs.Metrics.value t.c_spurious;
+    lock_fallbacks = Obs.Metrics.value t.c_fallbacks;
+    max_consecutive_aborts = Obs.Metrics.gauge_max t.g_consec;
   }
 
 let reset_stats t =
-  t.st.s_commits <- 0;
-  t.st.s_conflict <- 0;
-  t.st.s_overflow <- 0;
-  t.st.s_illegal <- 0;
-  t.st.s_explicit <- 0;
-  t.st.s_lock <- 0;
-  t.st.s_spurious <- 0;
-  t.st.s_fallbacks <- 0;
-  t.st.s_max_consec <- 0;
-  Array.fill t.commit_hist 0 hist_buckets 0
+  Obs.Metrics.reset_counter t.c_commits;
+  Obs.Metrics.reset_counter t.c_conflict;
+  Obs.Metrics.reset_counter t.c_overflow;
+  Obs.Metrics.reset_counter t.c_illegal;
+  Obs.Metrics.reset_counter t.c_explicit;
+  Obs.Metrics.reset_counter t.c_lock;
+  Obs.Metrics.reset_counter t.c_spurious;
+  Obs.Metrics.reset_counter t.c_fallbacks;
+  Obs.Metrics.reset_counter t.c_cycles;
+  Obs.Metrics.reset_gauge t.g_consec;
+  Obs.Metrics.reset_hist t.h_commit;
+  Obs.Metrics.reset_hist t.h_stores
 
-let bucket_of d =
-  let rec go i d = if d <= 1 || i = hist_buckets - 1 then i else go (i + 1) (d lsr 1) in
-  go 0 (max d 0)
-
-let record_commit_cycles t d = t.commit_hist.(bucket_of d) <- t.commit_hist.(bucket_of d) + 1
-
-let commit_cycles_histogram t =
-  let acc = ref [] in
-  for i = hist_buckets - 1 downto 0 do
-    if t.commit_hist.(i) > 0 then acc := (1 lsl i, t.commit_hist.(i)) :: !acc
-  done;
-  !acc
+let commit_cycles_histogram t = Obs.Metrics.buckets t.h_commit
 
 type mode = Hw | Locked
 
@@ -313,13 +305,13 @@ let run_frees tx =
   List.iter (fun base -> Simmem.free tx.h.hmem tx.ctx base) (List.rev tx.frees);
   tx.frees <- []
 
-let count_abort st = function
-  | Conflict -> st.s_conflict <- st.s_conflict + 1
-  | Overflow -> st.s_overflow <- st.s_overflow + 1
-  | Illegal -> st.s_illegal <- st.s_illegal + 1
-  | Explicit -> st.s_explicit <- st.s_explicit + 1
-  | Lock_held -> st.s_lock <- st.s_lock + 1
-  | Spurious -> st.s_spurious <- st.s_spurious + 1
+let count_abort h ~tid = function
+  | Conflict -> Obs.Metrics.incr ~tid h.c_conflict
+  | Overflow -> Obs.Metrics.incr ~tid h.c_overflow
+  | Illegal -> Obs.Metrics.incr ~tid h.c_illegal
+  | Explicit -> Obs.Metrics.incr ~tid h.c_explicit
+  | Lock_held -> Obs.Metrics.incr ~tid h.c_lock
+  | Spurious -> Obs.Metrics.incr ~tid h.c_spurious
 
 let backoff h ctx n =
   let shift = min n 9 in
@@ -340,8 +332,15 @@ let release_lock h ctx = Simmem.write h.hmem ctx h.lock_addr 0
 
 let run_locked h ctx tx attempt f =
   acquire_lock h ctx;
-  h.st.s_fallbacks <- h.st.s_fallbacks + 1;
+  Obs.Metrics.incr h.c_fallbacks;
   emit h ctx Tx_fallback;
+  let t_lock = Sim.clock ctx in
+  (match Sim.tracer ctx with
+   | None -> ()
+   | Some sink ->
+     Obs.Tracer.instant sink ~tid:(Sim.tid ctx) ~name:"tle.fallback" ~cat:"tx"
+       ~args:[ ("attempt", Obs.Json.Int attempt) ]
+       t_lock);
   reset_tx tx Locked attempt;
   (* Crash safety: the lock must be released on every exit path — including
      an injected kill raising [Stop_thread] out of the block — and the
@@ -352,7 +351,13 @@ let run_locked h ctx tx attempt f =
   let release () =
     if not !released then begin
       released := true;
-      Sim.shield ctx (fun () -> release_lock h ctx)
+      Sim.shield ctx (fun () -> release_lock h ctx);
+      match Sim.tracer ctx with
+      | None -> ()
+      | Some sink ->
+        Obs.Tracer.span sink ~tid:(Sim.tid ctx) ~name:"tx.locked" ~cat:"tx"
+          ~args:[ ("attempt", Obs.Json.Int attempt) ]
+          t_lock (Sim.clock ctx)
     end
   in
   Fun.protect ~finally:release (fun () ->
@@ -364,11 +369,14 @@ let run_locked h ctx tx attempt f =
 let atomic h ctx ?(on_abort = fun (_ : abort_reason) -> ()) f =
   let tx = fresh_tx h ctx in
   let t0 = Sim.clock ctx in
+  let tid = Sim.tid ctx in
+  let tr = Sim.tracer ctx in
   (* Success bookkeeping, shared by the hardware-commit and locked paths:
      escalation stats, cycles-to-commit, and a liveness-watchdog note. *)
   let finish n v =
-    if n > h.st.s_max_consec then h.st.s_max_consec <- n;
-    record_commit_cycles h (Sim.clock ctx - t0);
+    if n > Obs.Metrics.gauge_max h.g_consec then Obs.Metrics.set h.g_consec n;
+    Obs.Metrics.observe h.h_commit (Sim.clock ctx - t0);
+    Obs.Metrics.incr ~by:(Sim.clock ctx - t0) h.c_cycles;
     Sim.note_progress ctx;
     v
   in
@@ -385,6 +393,7 @@ let atomic h ctx ?(on_abort = fun (_ : abort_reason) -> ()) f =
          into conflict-free lockstep that a real machine's pipeline and
          interrupt noise would constantly break. *)
       Sim.tick ctx (h.cfg.tx_begin_cost + Sim.Rng.int (Sim.rng ctx) 16);
+      let t_att = Sim.clock ctx in
       reset_tx tx Hw n;
       match
         (* An environmental abort (interrupt, TLB miss, register-window
@@ -400,13 +409,36 @@ let atomic h ctx ?(on_abort = fun (_ : abort_reason) -> ()) f =
         v
       with
       | v ->
-        h.st.s_commits <- h.st.s_commits + 1;
+        Obs.Metrics.incr ~tid h.c_commits;
+        Obs.Metrics.observe h.h_stores tx.nstores;
         emit h ctx (Tx_commit { tx_reads = tx.nreads; tx_writes = tx.nwrites });
+        (match tr with
+         | None -> ()
+         | Some sink ->
+           Obs.Tracer.span sink ~tid ~name:"tx" ~cat:"tx"
+             ~args:
+               [
+                 ("attempt", Obs.Json.Int n);
+                 ("reads", Obs.Json.Int tx.nreads);
+                 ("writes", Obs.Json.Int tx.nwrites);
+               ]
+             t_att (Sim.clock ctx));
         run_frees tx;
         finish n v
       | exception Aborted r ->
-        count_abort h.st r;
+        count_abort h ~tid r;
         emit h ctx (Tx_abort r);
+        (match tr with
+         | None -> ()
+         | Some sink ->
+           let t_ab = Sim.clock ctx in
+           Obs.Tracer.span sink ~tid ~name:"tx.attempt" ~cat:"tx"
+             ~args:[ ("attempt", Obs.Json.Int n) ]
+             t_att t_ab;
+           Obs.Tracer.instant sink ~tid ~name:"tx.abort" ~cat:"tx"
+             ~args:
+               [ ("reason", Obs.Json.Str (abort_label r)); ("attempt", Obs.Json.Int n) ]
+             t_ab);
         Sim.tick ctx h.cfg.tx_abort_cost;
         on_abort r;
         backoff h ctx n;

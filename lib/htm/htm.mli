@@ -83,11 +83,26 @@ type t
 (** An HTM domain: a {!Simmem.t} plus configuration, statistics and the TLE
     lock word. *)
 
-val create : ?config:config -> Simmem.t -> t
+val create : ?config:config -> ?metrics:Obs.Metrics.t -> Simmem.t -> t
+(** [metrics] chains this domain's registry to a parent aggregate (see
+    {!Obs.Metrics.create}). Statistics now live in that registry — the
+    {!stats} record is a snapshot assembled from it, kept for per-run
+    delta measurements. *)
+
 val mem : t -> Simmem.t
 val config : t -> config
+
+val metrics : t -> Obs.Metrics.t
+(** The domain's registry: [htm.commits] and the [htm.aborts.*] breakdown
+    (all with per-thread attribution), [htm.fallbacks],
+    [htm.max_consecutive_aborts], and the [htm.commit_cycles] /
+    [htm.stores_per_tx] log2 histograms. *)
+
 val stats : t -> stats
+
 val reset_stats : t -> unit
+(** Reset this domain's local metrics (a parent registry, if chained,
+    keeps its accumulated totals). *)
 
 (** Transaction-event tap, for trace capture by the schedule explorer
     ([lib/explore]): commits (with read/write-set sizes), aborts (with

@@ -1,0 +1,206 @@
+let max_tids = 64
+let hist_buckets = 62
+
+type counter = {
+  mutable c_total : int;
+  c_per : int array option;
+  c_parent : counter option;
+}
+
+type gauge = {
+  mutable g_cur : int;
+  mutable g_max : int;
+  g_parent : gauge option;
+}
+
+type hist = {
+  h_counts : int array;
+  mutable h_n : int;
+  h_parent : hist option;
+}
+
+type metric = M_counter of counter | M_gauge of gauge | M_hist of hist
+
+type t = {
+  tbl : (string, metric) Hashtbl.t;
+  mutable rev_order : string list;
+  parent : t option;
+}
+
+let create ?parent () = { tbl = Hashtbl.create 32; rev_order = []; parent }
+
+let register t name m =
+  Hashtbl.add t.tbl name m;
+  t.rev_order <- name :: t.rev_order
+
+let kind_error name = invalid_arg (Printf.sprintf "Metrics: %S already registered as a different kind" name)
+
+let rec counter ?(per_thread = false) t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (M_counter c) -> c
+  | Some _ -> kind_error name
+  | None ->
+    let parent = Option.map (fun p -> counter ~per_thread p name) t.parent in
+    let c =
+      {
+        c_total = 0;
+        c_per = (if per_thread then Some (Array.make max_tids 0) else None);
+        c_parent = parent;
+      }
+    in
+    register t name (M_counter c);
+    c
+
+let rec incr ?tid ?(by = 1) c =
+  c.c_total <- c.c_total + by;
+  (match (c.c_per, tid) with
+   | Some per, Some tid when tid >= 0 && tid < max_tids -> per.(tid) <- per.(tid) + by
+   | _ -> ());
+  match c.c_parent with None -> () | Some p -> incr ?tid ~by p
+
+let value c = c.c_total
+
+let per_thread c =
+  match c.c_per with
+  | None -> []
+  | Some per ->
+    let acc = ref [] in
+    for tid = max_tids - 1 downto 0 do
+      if per.(tid) <> 0 then acc := (tid, per.(tid)) :: !acc
+    done;
+    !acc
+
+let rec gauge t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (M_gauge g) -> g
+  | Some _ -> kind_error name
+  | None ->
+    let parent = Option.map (fun p -> gauge p name) t.parent in
+    let g = { g_cur = 0; g_max = 0; g_parent = parent } in
+    register t name (M_gauge g);
+    g
+
+(* Parent gauges aggregate by delta, so a shared parent tracks the summed
+   level (and its own high-water mark) across all children. *)
+let rec g_add g d =
+  g.g_cur <- g.g_cur + d;
+  if g.g_cur > g.g_max then g.g_max <- g.g_cur;
+  match g.g_parent with None -> () | Some p -> g_add p d
+
+let add g d = g_add g d
+let set g v = g_add g (v - g.g_cur)
+let gauge_value g = g.g_cur
+let gauge_max g = g.g_max
+
+let rec hist t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (M_hist h) -> h
+  | Some _ -> kind_error name
+  | None ->
+    let parent = Option.map (fun p -> hist p name) t.parent in
+    let h = { h_counts = Array.make hist_buckets 0; h_n = 0; h_parent = parent } in
+    register t name (M_hist h);
+    h
+
+let bucket_of d =
+  let rec go i d = if d <= 1 || i = hist_buckets - 1 then i else go (i + 1) (d lsr 1) in
+  go 0 (max d 0)
+
+let rec observe h v =
+  let b = bucket_of v in
+  h.h_counts.(b) <- h.h_counts.(b) + 1;
+  h.h_n <- h.h_n + 1;
+  match h.h_parent with None -> () | Some p -> observe p v
+
+let buckets h =
+  let acc = ref [] in
+  for i = hist_buckets - 1 downto 0 do
+    if h.h_counts.(i) > 0 then acc := (1 lsl i, h.h_counts.(i)) :: !acc
+  done;
+  !acc
+
+let hist_count h = h.h_n
+
+let reset_counter c =
+  c.c_total <- 0;
+  match c.c_per with None -> () | Some per -> Array.fill per 0 max_tids 0
+
+let reset_gauge g =
+  g.g_cur <- 0;
+  g.g_max <- 0
+
+let reset_hist h =
+  Array.fill h.h_counts 0 hist_buckets 0;
+  h.h_n <- 0
+
+type value =
+  | Counter of { total : int; per_tid : (int * int) list }
+  | Gauge of { current : int; high : int }
+  | Hist of (int * int) list
+
+type snapshot = (string * value) list
+
+let snapshot t =
+  List.rev_map
+    (fun name ->
+      let v =
+        match Hashtbl.find t.tbl name with
+        | M_counter c -> Counter { total = c.c_total; per_tid = per_thread c }
+        | M_gauge g -> Gauge { current = g.g_cur; high = g.g_max }
+        | M_hist h -> Hist (buckets h)
+      in
+      (name, v))
+    t.rev_order
+
+let print ppf snap =
+  let rows =
+    List.map
+      (fun (name, v) ->
+        match v with
+        | Counter { total; per_tid } ->
+          let per =
+            match per_tid with
+            | [] -> ""
+            | l ->
+              String.concat " "
+                (List.map (fun (tid, n) -> Printf.sprintf "t%d:%d" tid n) l)
+          in
+          [ name; "counter"; string_of_int total; per ]
+        | Gauge { current; high } ->
+          [ name; "gauge"; string_of_int current; Printf.sprintf "high %d" high ]
+        | Hist bs ->
+          let total = List.fold_left (fun a (_, n) -> a + n) 0 bs in
+          let body =
+            String.concat " " (List.map (fun (lo, n) -> Printf.sprintf "%d:%d" lo n) bs)
+          in
+          [ name; "hist"; string_of_int total; body ])
+      snap
+  in
+  Table.print_cols ppf [ "metric"; "kind"; "value"; "detail" ] rows
+
+let to_json t =
+  let entry = function
+    | Counter { total; per_tid } ->
+      Json.Obj
+        (("total", Json.Int total)
+         ::
+         (match per_tid with
+          | [] -> []
+          | l ->
+            [ ( "per_thread",
+                Json.Obj (List.map (fun (tid, n) -> (string_of_int tid, Json.Int n)) l) )
+            ]))
+    | Gauge { current; high } ->
+      Json.Obj [ ("current", Json.Int current); ("high", Json.Int high) ]
+    | Hist bs ->
+      Json.Obj
+        [ ( "buckets",
+            Json.List (List.map (fun (lo, n) -> Json.List [ Json.Int lo; Json.Int n ]) bs)
+          )
+        ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "metrics/1");
+      ("metrics", Json.Obj (List.map (fun (name, v) -> (name, entry v)) (snapshot t)));
+    ]

@@ -1,0 +1,10 @@
+(** Unified observability layer: JSON encoding, table rendering, the
+    metrics registry, the virtual-time tracer and the coherence
+    contention profiler. Depends on nothing so every simulator layer can
+    use it. *)
+
+module Json = Json
+module Table = Table
+module Metrics = Metrics
+module Tracer = Tracer
+module Profiler = Profiler

@@ -26,6 +26,11 @@ and tctx = {
   mutable faults : Fault.t option;
   mutable shield_depth : int;
   mutable last_progress : int;
+  (* Observability taps. Pure OCaml-side bookkeeping: recording charges no
+     virtual cycles, draws no simulator RNG and never forces exploring
+     mode, so a traced run is cycle-identical to an untraced one. *)
+  mutable ctx_tracer : Obs.Tracer.sink option;
+  mutable ctx_on_fault : (Fault.event -> unit) option;
 }
 
 and sched = {
@@ -69,6 +74,14 @@ and recorder = {
   mutable rev_devs : (int * int) list;
 }
 
+(* The ambient tracer sink: consulted by [run] and [boot] when no explicit
+   [?tracer] is given. The benchmark driver points it at the current
+   machine's process sink so workloads that call [Sim.run] directly are
+   traced without threading a sink through every signature. *)
+let ambient_tracer : Obs.Tracer.sink option ref = ref None
+let set_default_tracer s = ambient_tracer := s
+let default_tracer () = !ambient_tracer
+
 let boot ?(seed = 0) () =
   {
     ctx_tid = boot_tid;
@@ -78,11 +91,15 @@ let boot ?(seed = 0) () =
     faults = None;
     shield_depth = 0;
     last_progress = 0;
+    ctx_tracer = !ambient_tracer;
+    ctx_on_fault = None;
   }
 
 let tid ctx = ctx.ctx_tid
 let clock ctx = ctx.clock
 let rng ctx = ctx.ctx_rng
+let tracer ctx = ctx.ctx_tracer
+let set_tracer ctx s = ctx.ctx_tracer <- s
 
 let yield () = Effect.perform Yield
 
@@ -91,6 +108,21 @@ let yield () = Effect.perform Yield
    past the interval other threads get to run in, and a kill terminates
    the thread exactly as [stop] would — mid-operation, with whatever
    partial non-transactional effects it had already applied. *)
+let observe_fault ctx kind =
+  (match ctx.ctx_tracer with
+   | None -> ()
+   | Some sink ->
+     let name, args =
+       match kind with
+       | Fault.Stalled d -> ("fault.stall", [ ("cycles", Obs.Json.Int d) ])
+       | Fault.Killed -> ("fault.kill", [])
+       | Fault.Spurious_abort -> ("fault.spurious", [])
+     in
+     Obs.Tracer.instant sink ~tid:ctx.ctx_tid ~name ~cat:"fault" ~args ctx.clock);
+  match ctx.ctx_on_fault with
+  | None -> ()
+  | Some f -> f { Fault.ev_tid = ctx.ctx_tid; ev_clock = ctx.clock; ev_kind = kind }
+
 let inject ctx =
   match ctx.faults with
   | None -> ()
@@ -98,8 +130,12 @@ let inject ctx =
     if ctx.shield_depth = 0 then begin
       match Fault.decide f ~tid:ctx.ctx_tid ~clock:ctx.clock with
       | Fault.Nothing -> ()
-      | Fault.Stall d -> ctx.clock <- ctx.clock + d
-      | Fault.Kill -> raise Stop_thread
+      | Fault.Stall d ->
+        observe_fault ctx (Fault.Stalled d);
+        ctx.clock <- ctx.clock + d
+      | Fault.Kill ->
+        observe_fault ctx Fault.Killed;
+        raise Stop_thread
     end
 
 let tick ctx cost =
@@ -128,7 +164,11 @@ let spurious_fires ctx =
   match ctx.faults with
   | None -> false
   | Some f ->
-    ctx.shield_depth = 0 && Fault.spurious f ~tid:ctx.ctx_tid ~clock:ctx.clock
+    let fires =
+      ctx.shield_depth = 0 && Fault.spurious f ~tid:ctx.ctx_tid ~clock:ctx.clock
+    in
+    if fires then observe_fault ctx Fault.Spurious_abort;
+    fires
 
 let note_progress ctx =
   ctx.last_progress <- ctx.clock;
@@ -324,10 +364,12 @@ let diagnose s frontier =
    | Some f -> Buffer.add_string b (f ()));
   Buffer.contents b
 
-let run ?(seed = 0) ?(strategy = Min_clock) ?record ?faults ?watchdog ?diag bodies =
+let run ?(seed = 0) ?(strategy = Min_clock) ?record ?faults ?watchdog ?diag ?tracer
+    ?on_fault bodies =
   let n = Array.length bodies in
   if n = 0 || n > max_threads then
     invalid_arg "Sim.run: need between 1 and 61 threads";
+  let sink = match tracer with Some _ -> tracer | None -> !ambient_tracer in
   let root = Rng.create seed in
   let ctxs =
     Array.init n (fun i ->
@@ -339,6 +381,8 @@ let run ?(seed = 0) ?(strategy = Min_clock) ?record ?faults ?watchdog ?diag bodi
           faults;
           shield_depth = 0;
           last_progress = 0;
+          ctx_tracer = sink;
+          ctx_on_fault = on_fault;
         })
   in
   let statuses = Array.init n (fun i -> Not_started bodies.(i)) in
@@ -382,6 +426,7 @@ let run ?(seed = 0) ?(strategy = Min_clock) ?record ?faults ?watchdog ?diag bodi
          raise (Watchdog (diagnose s t.clock))
        | _ -> ());
       s.min_other <- (if s.explore then min_int else min_other_clock s i);
+      let slice_start = t.clock in
       (match statuses.(i) with
        | Not_started f ->
          statuses.(i) <- Running;
@@ -390,6 +435,11 @@ let run ?(seed = 0) ?(strategy = Min_clock) ?record ?faults ?watchdog ?diag bodi
          statuses.(i) <- Running;
          Effect.Deep.continue k ()
        | Running | Finished -> assert false);
+      (match sink with
+       | None -> ()
+       | Some sk ->
+         if t.clock > slice_start then
+           Obs.Tracer.span sk ~tid:i ~name:"run" ~cat:"sched" slice_start t.clock);
       (* A thread left in [Running] state yielded via an unhandled path;
          that cannot happen because [Yield] always sets [Ready]. *)
       (match statuses.(i) with

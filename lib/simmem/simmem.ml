@@ -74,17 +74,21 @@ type t = {
   mutable extent : int; (* first never-used address (bump pointer) *)
   blocks : (int, int) Hashtbl.t; (* base -> size, live blocks *)
   free_lists : (int, int list ref) Hashtbl.t; (* size -> bases *)
-  mutable live_words : int;
-  mutable live_blocks : int;
-  mutable peak_live_words : int;
-  mutable peak_live_blocks : int;
-  mutable total_allocs : int;
-  mutable total_frees : int;
-  mutable n_reads : int;
-  mutable n_read_misses : int;
-  mutable n_writes : int;
-  mutable n_write_misses : int;
-  mutable n_atomics : int;
+  (* Counts live in the metrics registry; [stats] reads the handles back,
+     so per-heap numbers stay exact while a parent registry (if any)
+     accumulates fleet-wide totals. *)
+  mreg : Obs.Metrics.t;
+  c_reads : Obs.Metrics.counter;
+  c_read_misses : Obs.Metrics.counter;
+  c_writes : Obs.Metrics.counter;
+  c_write_misses : Obs.Metrics.counter;
+  c_atomics : Obs.Metrics.counter;
+  c_allocs : Obs.Metrics.counter;
+  c_frees : Obs.Metrics.counter;
+  g_live_words : Obs.Metrics.gauge;
+  g_live_blocks : Obs.Metrics.gauge;
+  h_queue_wait : Obs.Metrics.hist;
+  mutable prof : Obs.Profiler.t option;
 }
 
 type stats = {
@@ -104,7 +108,8 @@ type stats = {
 
 let initial_words = 1 lsl 12
 
-let create ?(costs = default_costs) () =
+let create ?(costs = default_costs) ?metrics () =
+  let mreg = Obs.Metrics.create ?parent:metrics () in
   {
     cost = costs;
     tap = None;
@@ -116,39 +121,48 @@ let create ?(costs = default_costs) () =
     extent = 8; (* keep address 0 (null) and the first line unusable *)
     blocks = Hashtbl.create 256;
     free_lists = Hashtbl.create 16;
-    live_words = 0;
-    live_blocks = 0;
-    peak_live_words = 0;
-    peak_live_blocks = 0;
-    total_allocs = 0;
-    total_frees = 0;
-    n_reads = 0;
-    n_read_misses = 0;
-    n_writes = 0;
-    n_write_misses = 0;
-    n_atomics = 0;
+    mreg;
+    c_reads = Obs.Metrics.counter ~per_thread:true mreg "mem.reads";
+    c_read_misses = Obs.Metrics.counter ~per_thread:true mreg "mem.read_misses";
+    c_writes = Obs.Metrics.counter ~per_thread:true mreg "mem.writes";
+    c_write_misses = Obs.Metrics.counter ~per_thread:true mreg "mem.write_misses";
+    c_atomics = Obs.Metrics.counter mreg "mem.atomics";
+    c_allocs = Obs.Metrics.counter mreg "mem.allocs";
+    c_frees = Obs.Metrics.counter mreg "mem.frees";
+    g_live_words = Obs.Metrics.gauge mreg "mem.live_words";
+    g_live_blocks = Obs.Metrics.gauge mreg "mem.live_blocks";
+    h_queue_wait = Obs.Metrics.hist mreg "mem.queue_wait";
+    prof = None;
   }
 
 let stats (t : t) =
   {
-    live_words = t.live_words;
-    live_blocks = t.live_blocks;
-    peak_live_words = t.peak_live_words;
-    peak_live_blocks = t.peak_live_blocks;
-    total_allocs = t.total_allocs;
-    total_frees = t.total_frees;
+    live_words = Obs.Metrics.gauge_value t.g_live_words;
+    live_blocks = Obs.Metrics.gauge_value t.g_live_blocks;
+    peak_live_words = Obs.Metrics.gauge_max t.g_live_words;
+    peak_live_blocks = Obs.Metrics.gauge_max t.g_live_blocks;
+    total_allocs = Obs.Metrics.value t.c_allocs;
+    total_frees = Obs.Metrics.value t.c_frees;
     heap_extent = t.extent;
-    reads = t.n_reads;
-    read_misses = t.n_read_misses;
-    writes = t.n_writes;
-    write_misses = t.n_write_misses;
-    atomics = t.n_atomics;
+    reads = Obs.Metrics.value t.c_reads;
+    read_misses = Obs.Metrics.value t.c_read_misses;
+    writes = Obs.Metrics.value t.c_writes;
+    write_misses = Obs.Metrics.value t.c_write_misses;
+    atomics = Obs.Metrics.value t.c_atomics;
   }
 
+let metrics t = t.mreg
 let costs t = t.cost
 let null = 0
 
 let set_tap t f = t.tap <- f
+let set_profiler t p = t.prof <- p
+let profiler t = t.prof
+
+let label t ~name ~base ~words =
+  match t.prof with
+  | None -> ()
+  | Some p -> Obs.Profiler.label p ~name ~base ~words
 
 (* Taps fire after the access completes, so the stamped clock includes the
    access cost and the value reflects the post-access state. *)
@@ -194,40 +208,76 @@ let check_live t addr =
    the duration of the transfer ([line_busy]), so contended lines serialize
    their misses — the ping-pong bottleneck that caps the scalability of
    hot-spot structures like queue head/tail words. [now] is the accessing
-   thread's clock; the returned cost includes any queuing delay. *)
+   thread's clock; the returned cost includes any queuing delay ([wait]). *)
 let miss_cost t line ~now ~base =
   let start = max now t.line_busy.(line) in
   let finish = start + base in
   t.line_busy.(line) <- finish;
-  finish - now
+  (finish - now, start - now)
 
-let read_cost t tid addr ~now =
+let popcount x =
+  let c = ref 0 and x = ref x in
+  while !x <> 0 do
+    x := !x land (!x - 1);
+    incr c
+  done;
+  !c
+
+(* Observe one coherence transfer: contention profile, queue-wait
+   histogram, and (when a tracer is attached) a miss instant on the
+   requesting thread's track. Zero virtual cycles. *)
+let observe_miss t ctx ~kind ~addr ~line ~old_sharers ~cost ~wait =
+  let sharers = popcount old_sharers in
+  (match t.prof with
+   | None -> ()
+   | Some p -> Obs.Profiler.record_transfer p ~line ~wait ~cost ~sharers);
+  if wait > 0 then Obs.Metrics.observe t.h_queue_wait wait;
+  match Sim.tracer ctx with
+  | None -> ()
+  | Some sink ->
+    Obs.Tracer.instant sink ~tid:(Sim.tid ctx) ~name:kind ~cat:"mem"
+      ~args:
+        [
+          ("addr", Obs.Json.Int addr);
+          ("cost", Obs.Json.Int cost);
+          ("wait", Obs.Json.Int wait);
+          ("sharers", Obs.Json.Int sharers);
+        ]
+      (Sim.clock ctx)
+
+let read_cost t ctx addr =
+  let tid = Sim.tid ctx in
   let line = addr lsr line_shift in
   let bit = 1 lsl tid in
   let s = t.sharers.(line) in
-  t.n_reads <- t.n_reads + 1;
+  Obs.Metrics.incr ~tid t.c_reads;
   if s land bit <> 0 then t.cost.read_hit
   else begin
     t.sharers.(line) <- s lor bit;
-    t.n_read_misses <- t.n_read_misses + 1;
-    miss_cost t line ~now ~base:t.cost.read_miss
+    Obs.Metrics.incr ~tid t.c_read_misses;
+    let cost, wait = miss_cost t line ~now:(Sim.clock ctx) ~base:t.cost.read_miss in
+    observe_miss t ctx ~kind:"miss.read" ~addr ~line ~old_sharers:s ~cost ~wait;
+    cost
   end
 
-let write_cost t tid addr ~now =
+let write_cost t ctx addr =
+  let tid = Sim.tid ctx in
   let line = addr lsr line_shift in
   let bit = 1 lsl tid in
   let s = t.sharers.(line) in
-  t.n_writes <- t.n_writes + 1;
+  Obs.Metrics.incr ~tid t.c_writes;
   if s = bit then t.cost.write_hit
   else begin
     t.sharers.(line) <- bit;
-    t.n_write_misses <- t.n_write_misses + 1;
-    miss_cost t line ~now ~base:t.cost.write_miss
+    Obs.Metrics.incr ~tid t.c_write_misses;
+    let cost, wait = miss_cost t line ~now:(Sim.clock ctx) ~base:t.cost.write_miss in
+    observe_miss t ctx ~kind:"miss.write" ~addr ~line ~old_sharers:s ~cost ~wait;
+    cost
   end
 
 let read t ctx addr =
   check_live t addr;
-  Sim.tick ctx (read_cost t (Sim.tid ctx) addr ~now:(Sim.clock ctx));
+  Sim.tick ctx (read_cost t ctx addr);
   check_live t addr;
   let v = t.values.(addr) in
   emit t ctx (Read { addr; value = v });
@@ -235,7 +285,7 @@ let read t ctx addr =
 
 let write t ctx addr v =
   check_live t addr;
-  Sim.tick ctx (write_cost t (Sim.tid ctx) addr ~now:(Sim.clock ctx));
+  Sim.tick ctx (write_cost t ctx addr);
   check_live t addr;
   t.values.(addr) <- v;
   t.versions.(addr) <- t.versions.(addr) + 1;
@@ -243,8 +293,8 @@ let write t ctx addr v =
 
 let cas t ctx addr ~expected ~desired =
   check_live t addr;
-  t.n_atomics <- t.n_atomics + 1;
-  Sim.tick ctx (write_cost t (Sim.tid ctx) addr ~now:(Sim.clock ctx) + t.cost.cas_extra);
+  Obs.Metrics.incr t.c_atomics;
+  Sim.tick ctx (write_cost t ctx addr + t.cost.cas_extra);
   check_live t addr;
   let success = t.values.(addr) = expected in
   if success then begin
@@ -256,8 +306,8 @@ let cas t ctx addr ~expected ~desired =
 
 let fetch_add t ctx addr d =
   check_live t addr;
-  t.n_atomics <- t.n_atomics + 1;
-  Sim.tick ctx (write_cost t (Sim.tid ctx) addr ~now:(Sim.clock ctx) + t.cost.cas_extra);
+  Obs.Metrics.incr t.c_atomics;
+  Sim.tick ctx (write_cost t ctx addr + t.cost.cas_extra);
   check_live t addr;
   let old = t.values.(addr) in
   t.values.(addr) <- old + d;
@@ -301,11 +351,9 @@ let malloc t ctx n =
     t.versions.(a) <- t.versions.(a) + 1
   done;
   Hashtbl.replace t.blocks base n;
-  t.live_words <- t.live_words + n;
-  t.live_blocks <- t.live_blocks + 1;
-  if t.live_words > t.peak_live_words then t.peak_live_words <- t.live_words;
-  if t.live_blocks > t.peak_live_blocks then t.peak_live_blocks <- t.live_blocks;
-  t.total_allocs <- t.total_allocs + 1;
+  Obs.Metrics.add t.g_live_words n;
+  Obs.Metrics.add t.g_live_blocks 1;
+  Obs.Metrics.incr t.c_allocs;
   emit t ctx (Malloc { base; words = n });
   base
 
@@ -331,16 +379,16 @@ let free t ctx base =
         cell
     in
     cell := base :: !cell;
-    t.live_words <- t.live_words - n;
-    t.live_blocks <- t.live_blocks - 1;
-    t.total_frees <- t.total_frees + 1;
+    Obs.Metrics.add t.g_live_words (-n);
+    Obs.Metrics.add t.g_live_blocks (-1);
+    Obs.Metrics.incr t.c_frees;
     emit t ctx (Free { base; words = n })
 
 module Tx_plane = struct
   let read t ctx addr =
     if addr <= 0 || addr >= t.extent || word_state t addr <> st_live then None
     else begin
-      Sim.tick ctx (read_cost t (Sim.tid ctx) addr ~now:(Sim.clock ctx));
+      Sim.tick ctx (read_cost t ctx addr);
       if word_state t addr <> st_live then None
       else begin
         let v = t.values.(addr) in
@@ -354,7 +402,7 @@ module Tx_plane = struct
   let commit_write t ctx addr v =
     if addr <= 0 || addr >= t.extent || word_state t addr <> st_live then false
     else begin
-      Sim.charge ctx (write_cost t (Sim.tid ctx) addr ~now:(Sim.clock ctx));
+      Sim.charge ctx (write_cost t ctx addr);
       t.values.(addr) <- v;
       t.versions.(addr) <- t.versions.(addr) + 1;
       emit t ctx (Write { addr; value = v });

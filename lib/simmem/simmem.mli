@@ -66,9 +66,34 @@ type stats = {
   atomics : int;  (** CAS and fetch-add operations *)
 }
 
-val create : ?costs:cost_model -> unit -> t
+val create : ?costs:cost_model -> ?metrics:Obs.Metrics.t -> unit -> t
+(** [metrics] chains this heap's metrics registry to a parent (e.g. the
+    benchmark harness's fleet-wide aggregate); without it the heap still
+    keeps a private registry, which is what {!stats} reads. *)
+
 val stats : t -> stats
+
+val metrics : t -> Obs.Metrics.t
+(** The heap's registry: [mem.reads], [mem.read_misses], [mem.writes],
+    [mem.write_misses], [mem.atomics], [mem.allocs], [mem.frees] counters
+    (access counters carry per-thread breakdowns), [mem.live_words] /
+    [mem.live_blocks] gauges (high-water mark = peak), and the
+    [mem.queue_wait] histogram of cycles spent queued behind another
+    in-flight transfer of the same line. *)
+
 val costs : t -> cost_model
+
+val set_profiler : t -> Obs.Profiler.t option -> unit
+(** Attach a contention profiler: every coherence transfer (read or write
+    miss) is recorded with its line, queuing delay, total cost and the
+    sharer count at request time. Costs nothing when unset. *)
+
+val profiler : t -> Obs.Profiler.t option
+
+val label : t -> name:string -> base:int -> words:int -> unit
+(** Region-label an address range for contention attribution (no-op
+    without a profiler). Data-structure implementations call this at
+    allocation sites: ["ListHoHRC.header"], ["MSQueue+ROP.node"], ... *)
 
 (** Access-event tap, for trace capture by the schedule explorer
     ([lib/explore]): every completed access — including the transactional

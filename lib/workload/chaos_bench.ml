@@ -44,7 +44,7 @@ let cr_crash_pinned c = c.cr_pinned_faulty - c.cr_pinned_control
    Raises [Collect_spec.Violation] if any collect was incorrect and
    [Sim.Watchdog] if the machine ever stopped committing progress. *)
 let collect_workload (maker : Collect.Intf.maker) ~seed ~faults =
-  let m = Driver.machine ~seed () in
+  let m = Driver.machine ~seed ~label:("chaos/" ^ maker.algo_name) () in
   let churners = 6 in
   let threads = churners + 2 in
   let cfg = { Collect.Intf.default_cfg with num_threads = threads; max_slots = 8 * threads } in
@@ -139,7 +139,7 @@ type queue_result = {
 exception Queue_violation of string
 
 let queue_crash_one ?(seed = 7) (maker : Hqueue.Intf.maker) =
-  let m = Driver.machine ~seed () in
+  let m = Driver.machine ~seed ~label:("crash/" ^ maker.queue_name) () in
   let threads = 8 in
   let inst = maker.make m.htm m.boot ~num_threads:(threads + 1) in
   let next_value = ref 0 in
@@ -224,7 +224,9 @@ type spurious_result = {
 
 let spurious_one ?(seed = 7) ?(rate = 0.15) (maker : Collect.Intf.maker) =
   let m =
-    Driver.machine ~htm_config:{ Htm.default_config with tle = Htm.Tle_after 6 } ~seed ()
+    Driver.machine
+      ~htm_config:{ Htm.default_config with tle = Htm.Tle_after 6 }
+      ~seed ~label:("spurious/" ^ maker.algo_name) ()
   in
   let churners = 6 in
   let threads = churners + 2 in

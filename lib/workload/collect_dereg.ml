@@ -11,7 +11,9 @@ let total_handles = 64
 let register_period = 20_000
 
 let run_one (maker : Collect.Intf.maker) ~churners ~dereg_period ~duration ~step ~seed =
-  let m = Driver.machine ~seed () in
+  let m =
+    Driver.machine ~seed ~label:(Printf.sprintf "%s c%d" maker.algo_name churners) ()
+  in
   let threads = churners + 1 in
   let cfg =
     { Collect.Intf.max_slots = total_handles * 2; num_threads = threads; step; min_size = 4 }

@@ -12,7 +12,9 @@ let total_budget = 64
 let initial_registered = 32
 
 let run_one (maker : Collect.Intf.maker) ~threads ~duration ~step ~seed =
-  let m = Driver.machine ~seed () in
+  let m =
+    Driver.machine ~seed ~label:(Printf.sprintf "%s x%d" maker.algo_name threads) ()
+  in
   let cfg =
     { Collect.Intf.max_slots = total_budget; num_threads = threads; step; min_size = 4 }
   in

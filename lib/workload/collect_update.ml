@@ -23,7 +23,9 @@ let step_label = function
   | Collect.Intf.Adaptive -> "adapt"
 
 let run_one (maker : Collect.Intf.maker) ~updaters ~period ~duration ~step ~seed =
-  let m = Driver.machine ~seed () in
+  let m =
+    Driver.machine ~seed ~label:(Printf.sprintf "%s u%d" maker.algo_name updaters) ()
+  in
   let threads = updaters + 1 in
   let cfg =
     { Collect.Intf.max_slots = total_handles * 2; num_threads = threads; step; min_size = 4 }

@@ -14,9 +14,49 @@ let warmup = 1_000_000
 
 type machine = { mem : Simmem.t; htm : Htm.t; boot : Sim.tctx }
 
-let machine ?(htm_config = Htm.default_config) ?(seed = 1) () =
-  let mem = Simmem.create () in
-  let htm = Htm.create ~config:htm_config mem in
+(* Observability for the whole harness run. Workloads build machines
+   internally, so the benchmark front-end cannot thread sinks through
+   their signatures; instead it installs them here once and every machine
+   built afterwards attaches itself: a tracer process per machine, the
+   shared aggregate metrics registry as parent, and (when profiling) a
+   fresh contention profiler per machine, logged under the machine's
+   label for the report. *)
+type obs = {
+  obs_tracer : Obs.Tracer.t option;
+  obs_metrics : Obs.Metrics.t option;
+  obs_profile : bool;
+}
+
+let no_obs = { obs_tracer = None; obs_metrics = None; obs_profile = false }
+let current_obs = ref no_obs
+let machine_seq = ref 0
+let rev_profilers : (string * Obs.Profiler.t) list ref = ref []
+
+let set_obs o =
+  current_obs := o;
+  machine_seq := 0;
+  rev_profilers := [];
+  if o.obs_tracer = None then Sim.set_default_tracer None
+
+let obs () = !current_obs
+let profilers () = List.rev !rev_profilers
+
+let machine ?(htm_config = Htm.default_config) ?(seed = 1) ?label () =
+  let o = !current_obs in
+  incr machine_seq;
+  let name =
+    match label with Some l -> l | None -> Printf.sprintf "machine-%d" !machine_seq
+  in
+  let mem = Simmem.create ?metrics:o.obs_metrics () in
+  (match o.obs_tracer with
+   | None -> Sim.set_default_tracer None
+   | Some tr -> Sim.set_default_tracer (Some (Obs.Tracer.process tr ~name)));
+  if o.obs_profile then begin
+    let p = Obs.Profiler.create () in
+    Simmem.set_profiler mem (Some p);
+    rev_profilers := (name, p) :: !rev_profilers
+  end;
+  let htm = Htm.create ~config:htm_config ?metrics:o.obs_metrics mem in
   { mem; htm; boot = Sim.boot ~seed () }
 
 (* Globally unique non-zero values: the spec checker in the test suite

@@ -16,7 +16,35 @@ val warmup : int
 
 type machine = { mem : Simmem.t; htm : Htm.t; boot : Sim.tctx }
 
-val machine : ?htm_config:Htm.config -> ?seed:int -> unit -> machine
+(** Harness-wide observability. Workloads build machines internally, so
+    the benchmark front-end installs sinks once with {!set_obs}; every
+    {!machine} built afterwards attaches itself — a tracer process (and
+    the ambient {!Sim.set_default_tracer} sink) per machine, the shared
+    metrics registry as parent of its heap's and HTM domain's registries,
+    and a per-machine contention profiler when [obs_profile] is set. *)
+type obs = {
+  obs_tracer : Obs.Tracer.t option;
+  obs_metrics : Obs.Metrics.t option;
+  obs_profile : bool;
+}
+
+val no_obs : obs
+
+val set_obs : obs -> unit
+(** Install the observability sinks and reset the machine-label sequence
+    and profiler log. *)
+
+val obs : unit -> obs
+(** The currently installed sinks (for experiments that re-install a
+    variant — e.g. the contention profile — and restore afterwards). *)
+
+val profilers : unit -> (string * Obs.Profiler.t) list
+(** Per-machine contention profilers created since the last {!set_obs},
+    labelled, in machine-creation order. *)
+
+val machine : ?htm_config:Htm.config -> ?seed:int -> ?label:string -> unit -> machine
+(** [label] names the machine's tracer process and profiler entry
+    (default ["machine-<n>"] in creation order). *)
 
 val fresh_value : unit -> int
 (** Globally unique non-zero values; the spec checker relies on every

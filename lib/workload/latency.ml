@@ -13,7 +13,7 @@ type result = {
 }
 
 let run_one (maker : Collect.Intf.maker) ~handles ~updates ~seed =
-  let m = Driver.machine ~seed () in
+  let m = Driver.machine ~seed ~label:maker.algo_name () in
   let cfg = { Collect.Intf.default_cfg with max_slots = handles * 2; num_threads = 1 } in
   let inst = maker.make m.htm m.boot cfg in
   let latency = ref 0.0 in

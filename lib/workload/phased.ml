@@ -20,7 +20,9 @@ let high_slots = 64
 let update_period = 20_000
 
 let run_one (maker : Collect.Intf.maker) ~updaters ~phase_len ~phases ~bucket_len ~step ~seed =
-  let m = Driver.machine ~seed () in
+  let m =
+    Driver.machine ~seed ~label:(Printf.sprintf "%s u%d" maker.algo_name updaters) ()
+  in
   let threads = updaters + 1 in
   let cfg =
     { Collect.Intf.max_slots = high_slots * 2; num_threads = threads; step; min_size = 4 }

@@ -5,7 +5,9 @@
 type result = { queue : string; threads : int; throughput : float }
 
 let run_one (maker : Hqueue.Intf.maker) ~threads ~duration ~prefill ~seed =
-  let m = Driver.machine ~seed () in
+  let m =
+    Driver.machine ~seed ~label:(Printf.sprintf "%s x%d" maker.queue_name threads) ()
+  in
   let q = maker.make m.htm m.boot ~num_threads:threads in
   for _ = 1 to prefill do
     q.enqueue m.boot (Driver.fresh_value ())

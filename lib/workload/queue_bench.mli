@@ -3,6 +3,11 @@
 
 type result = { queue : string; threads : int; throughput : float }
 
+val run_one :
+  Hqueue.Intf.maker -> threads:int -> duration:int -> prefill:int -> seed:int -> result
+(** One (queue, thread-count) cell; also used standalone by the
+    contention experiment. *)
+
 val run :
   ?threads:int list ->
   ?duration:int ->

@@ -2,7 +2,7 @@
     value, one column per algorithm, mirroring the series in the paper's
     figures. *)
 
-type table = {
+type table = Obs.Table.table = {
   title : string;
   xlabel : string;
   unit : string;  (** of the cell values, e.g. "ops/us" *)
@@ -10,6 +10,9 @@ type table = {
   rows : (string * float option list) list;
       (** x-axis label, one value per column; [None] prints as "-" *)
 }
+(** Equal to {!Obs.Table.table}: the rendering engine lives in [lib/obs]
+    so the explorer CLI shares it; this alias keeps benchmark code on the
+    historical name. *)
 
 val print : Format.formatter -> table -> unit
 (** Aligned human-readable table. *)
@@ -21,3 +24,7 @@ val plot : ?height:int -> Format.formatter -> table -> unit
 (** ASCII line chart of the table: one glyph-coded series per column over
     the row order, with a y-scale and a legend — the closest a terminal
     gets to regenerating the paper's figures. *)
+
+val to_json : table -> Obs.Json.t
+(** The table as JSON (see {!Obs.Table.to_json}) — the payload of the
+    [--json] benchmark result files. *)

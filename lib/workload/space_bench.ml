@@ -18,7 +18,7 @@ type result = {
 let queue_space ?(peak_len = 1000) ?(seed = 91) () =
   List.map
     (fun (mk : Hqueue.Intf.maker) ->
-      let m = Driver.machine ~seed () in
+      let m = Driver.machine ~seed ~label:("space/" ^ mk.queue_name) () in
       let base = (Simmem.stats m.mem).live_words in
       let q = mk.make m.htm m.boot ~num_threads:4 in
       (* Drive from simulated threads so per-thread pools/retired lists see
@@ -52,7 +52,7 @@ let queue_space ?(peak_len = 1000) ?(seed = 91) () =
 let collect_space ?(peak = 256) ?(seed = 92) () =
   List.map
     (fun (mk : Collect.Intf.maker) ->
-      let m = Driver.machine ~seed () in
+      let m = Driver.machine ~seed ~label:("space/" ^ mk.algo_name) () in
       let base = (Simmem.stats m.mem).live_words in
       let cfg =
         { Collect.Intf.max_slots = peak; num_threads = 1; step = Collect.Intf.Fixed 8;

@@ -1,0 +1,306 @@
+(* Tests for the observability layer (lib/obs) and its wiring into the
+   simulator: JSON printer/parser round-trips, the metrics registry
+   (parent mirroring, local-only resets), the tracer ring buffer, the
+   contention profiler's region attribution — and the two system-level
+   guarantees: tracing is deterministic (same seed + strategy gives a
+   byte-identical trace file) and free (a traced run is cycle-for-cycle
+   identical to an untraced one). *)
+
+let contains s affix = Astring.String.is_infix ~affix s
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+
+let sample_json =
+  Obs.Json.(
+    Obj
+      [
+        ("name", Str "x\"y\n");
+        ("n", Int (-42));
+        ("f", Float 1.5);
+        ("ok", Bool true);
+        ("nothing", Null);
+        ("xs", List [ Int 1; Int 2; Int 3 ]);
+        ("empty", Obj []);
+      ])
+
+let test_json_roundtrip () =
+  let s = Obs.Json.to_string sample_json in
+  (match Obs.Json.parse s with
+  | Ok v -> Alcotest.(check bool) "compact round-trips" true (v = sample_json)
+  | Error e -> Alcotest.failf "parse of compact output failed: %s" e);
+  let p = Obs.Json.pretty_to_string sample_json in
+  match Obs.Json.parse p with
+  | Ok v -> Alcotest.(check bool) "pretty round-trips" true (v = sample_json)
+  | Error e -> Alcotest.failf "parse of pretty output failed: %s" e
+
+let test_json_parse_errors () =
+  List.iter
+    (fun bad ->
+      match Obs.Json.parse bad with
+      | Ok _ -> Alcotest.failf "parser accepted %S" bad
+      | Error _ -> ())
+    [ "{"; "tru"; "[1,]"; "{\"a\":1} x"; ""; "\"unterminated"; "{'a':1}" ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let test_metrics_counter () =
+  let r = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter ~per_thread:true r "ops" in
+  Obs.Metrics.incr ~tid:0 c;
+  Obs.Metrics.incr ~tid:2 ~by:5 c;
+  Obs.Metrics.incr ~tid:0 c;
+  Alcotest.(check int) "total" 7 (Obs.Metrics.value c);
+  Alcotest.(check (list (pair int int)))
+    "per-thread breakdown"
+    [ (0, 2); (2, 5) ]
+    (Obs.Metrics.per_thread c);
+  let again = Obs.Metrics.counter r "ops" in
+  Alcotest.(check int) "re-registration returns the same metric" 7
+    (Obs.Metrics.value again)
+
+let test_metrics_gauge_hist () =
+  let r = Obs.Metrics.create () in
+  let g = Obs.Metrics.gauge r "depth" in
+  Obs.Metrics.set g 5;
+  Obs.Metrics.add g (-2);
+  Alcotest.(check int) "current" 3 (Obs.Metrics.gauge_value g);
+  Alcotest.(check int) "high-water" 5 (Obs.Metrics.gauge_max g);
+  let h = Obs.Metrics.hist r "lat" in
+  List.iter (Obs.Metrics.observe h) [ 1; 2; 3; 1000 ];
+  Alcotest.(check int) "hist count" 4 (Obs.Metrics.hist_count h);
+  Alcotest.(check (list (pair int int)))
+    "log2 buckets"
+    [ (1, 1); (2, 2); (512, 1) ]
+    (Obs.Metrics.buckets h)
+
+let test_metrics_parent_and_reset () =
+  let parent = Obs.Metrics.create () in
+  let child = Obs.Metrics.create ~parent () in
+  let c = Obs.Metrics.counter child "ops" in
+  let pc = Obs.Metrics.counter parent "ops" in
+  Obs.Metrics.incr ~by:3 c;
+  Alcotest.(check int) "mirrored into parent" 3 (Obs.Metrics.value pc);
+  Obs.Metrics.reset_counter c;
+  Obs.Metrics.incr c;
+  Alcotest.(check int) "child reset is local" 1 (Obs.Metrics.value c);
+  Alcotest.(check int) "parent keeps the trajectory" 4 (Obs.Metrics.value pc);
+  let g = Obs.Metrics.gauge child "live" in
+  let pg = Obs.Metrics.gauge parent "live" in
+  Obs.Metrics.add g 10;
+  Obs.Metrics.add g (-4);
+  Alcotest.(check int) "gauge deltas aggregate" 6 (Obs.Metrics.gauge_value pg)
+
+let test_metrics_snapshot () =
+  let r = Obs.Metrics.create () in
+  ignore (Obs.Metrics.counter r "b");
+  ignore (Obs.Metrics.gauge r "a");
+  ignore (Obs.Metrics.hist r "c");
+  let names = List.map fst (Obs.Metrics.snapshot r) in
+  Alcotest.(check (list string))
+    "first-registration order" [ "b"; "a"; "c" ] names;
+  match Obs.Json.parse (Obs.Json.to_string (Obs.Metrics.to_json r)) with
+  | Ok v ->
+    Alcotest.(check bool)
+      "schema tag" true
+      (Obs.Json.member "schema" v = Some (Obs.Json.Str "metrics/1"))
+  | Error e -> Alcotest.failf "metrics json unparseable: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Tracer                                                              *)
+
+let test_tracer_ring () =
+  let t = Obs.Tracer.create ~capacity:4 () in
+  let s = Obs.Tracer.process t ~name:"m" in
+  Obs.Tracer.thread_name s ~tid:0 "worker";
+  Obs.Tracer.thread_name s ~tid:0 "worker";
+  for i = 1 to 6 do
+    Obs.Tracer.instant s ~tid:0 ~name:(Printf.sprintf "e%d" i) (i * 10)
+  done;
+  Alcotest.(check int) "recorded counts everything" 6 (Obs.Tracer.recorded t);
+  Alcotest.(check int) "oldest two overwritten" 2 (Obs.Tracer.dropped t);
+  let js = Obs.Json.to_string (Obs.Tracer.to_json t) in
+  Alcotest.(check bool) "oldest event gone" false (contains js "\"e1\"");
+  Alcotest.(check bool) "newest event kept" true (contains js "\"e6\"");
+  (* thread_name metadata is deduplicated and survives the ring *)
+  let count_substring hay needle =
+    let ln = String.length needle in
+    let rec go i acc =
+      if i + ln > String.length hay then acc
+      else if String.sub hay i ln = needle then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "one thread_name record" 1 (count_substring js "thread_name")
+
+let test_tracer_span_args () =
+  let t = Obs.Tracer.create () in
+  let s = Obs.Tracer.process t ~name:"m" in
+  Obs.Tracer.span s ~tid:3 ~name:"tx" ~cat:"tx"
+    ~args:[ ("attempt", Obs.Json.Int 2) ]
+    100 150;
+  match Obs.Json.parse (Obs.Json.to_string (Obs.Tracer.to_json t)) with
+  | Error e -> Alcotest.failf "trace json unparseable: %s" e
+  | Ok v -> (
+    match Obs.Json.member "traceEvents" v with
+    | Some (Obs.Json.List evs) ->
+      let ev =
+        List.find
+          (fun e -> Obs.Json.member "name" e = Some (Obs.Json.Str "tx"))
+          evs
+      in
+      Alcotest.(check bool) "ph X" true
+        (Obs.Json.member "ph" ev = Some (Obs.Json.Str "X"));
+      Alcotest.(check bool) "dur 50" true
+        (Obs.Json.member "dur" ev = Some (Obs.Json.Int 50));
+      Alcotest.(check bool) "ts 100" true
+        (Obs.Json.member "ts" ev = Some (Obs.Json.Int 100));
+      Alcotest.(check bool) "tid 3" true
+        (Obs.Json.member "tid" ev = Some (Obs.Json.Int 3))
+    | _ -> Alcotest.fail "no traceEvents list")
+
+(* ------------------------------------------------------------------ *)
+(* Profiler                                                            *)
+
+let test_profiler_attribution () =
+  let p = Obs.Profiler.create () in
+  (* 8-word lines: words 0-7 are line 0, 8-15 line 1, ... *)
+  Obs.Profiler.label p ~name:"A" ~base:0 ~words:8;
+  Obs.Profiler.label p ~name:"B" ~base:8 ~words:16;
+  Obs.Profiler.label p ~name:"A" ~base:0 ~words:8;
+  (* relabelling is idempotent *)
+  Obs.Profiler.label p ~name:"C" ~base:12 ~words:2;
+  (* overlaps B's line *)
+  Obs.Profiler.record_transfer p ~line:0 ~wait:0 ~cost:40 ~sharers:2;
+  Obs.Profiler.record_transfer p ~line:1 ~wait:10 ~cost:50 ~sharers:3;
+  Obs.Profiler.record_transfer p ~line:1 ~wait:0 ~cost:40 ~sharers:1;
+  Obs.Profiler.record_transfer p ~line:9 ~wait:0 ~cost:40 ~sharers:1;
+  Alcotest.(check int) "total transfers" 4 (Obs.Profiler.total_transfers p);
+  let lines = Obs.Profiler.lines p in
+  (match lines with
+  | top :: _ ->
+    Alcotest.(check int) "hottest line first" 1 top.Obs.Profiler.ls_line;
+    Alcotest.(check string) "false sharing shown" "B + C" top.ls_region;
+    Alcotest.(check int) "wait accumulated" 10 top.ls_wait;
+    Alcotest.(check int) "peak sharers" 3 top.ls_max_sharers
+  | [] -> Alcotest.fail "no lines");
+  let unlabeled =
+    List.find (fun l -> l.Obs.Profiler.ls_line = 9) lines
+  in
+  Alcotest.(check string) "unlabeled line" "?" unlabeled.ls_region;
+  match Obs.Profiler.regions p with
+  | (top_region, n, _) :: _ ->
+    Alcotest.(check string) "hottest region" "B + C" top_region;
+    Alcotest.(check int) "hottest region transfers" 2 n
+  | [] -> Alcotest.fail "no regions"
+
+(* ------------------------------------------------------------------ *)
+(* System level: determinism and zero cost                              *)
+
+(* A small contended HTM workload on a fresh machine; returns the final
+   counter value and each thread's final virtual clock. *)
+let run_workload ?tracer ?metrics ?profile ~seed () =
+  let mem = Simmem.create ?metrics () in
+  (match profile with
+  | Some p -> Simmem.set_profiler mem (Some p)
+  | None -> ());
+  let htm = Htm.create ?metrics mem in
+  let boot = Sim.boot ~seed () in
+  let addr = Simmem.malloc mem boot 8 in
+  Simmem.label mem ~name:"counter" ~base:addr ~words:8;
+  let clocks = Array.make 4 0 in
+  Sim.run ~seed ?tracer
+    (Array.init 4 (fun i ->
+         fun ctx ->
+           for _ = 1 to 15 do
+             Htm.atomic htm ctx (fun tx -> Htm.write tx addr (Htm.read tx addr + 1));
+             Sim.tick ctx (1 + Sim.Rng.int (Sim.rng ctx) 40)
+           done;
+           clocks.(i) <- Sim.clock ctx));
+  (Simmem.peek mem addr, Array.to_list clocks)
+
+let test_trace_determinism () =
+  let trace_bytes () =
+    let t = Obs.Tracer.create () in
+    let sink = Obs.Tracer.process t ~name:"machine" in
+    let (_ : int * int list) = run_workload ~tracer:sink ~seed:7 () in
+    Obs.Json.to_string (Obs.Tracer.to_json t)
+  in
+  let a = trace_bytes () in
+  Alcotest.(check bool) "trace has tx spans" true (contains a "\"tx\"");
+  Alcotest.(check string) "same seed, byte-identical trace" a (trace_bytes ())
+
+let test_zero_cost_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:25
+       ~name:"tracing+metrics+profiling never perturb virtual time"
+       QCheck.(int_range 1 10_000)
+       (fun seed ->
+         let bare = run_workload ~seed () in
+         let t = Obs.Tracer.create () in
+         let sink = Obs.Tracer.process t ~name:"m" in
+         let metrics = Obs.Metrics.create () in
+         let profile = Obs.Profiler.create () in
+         let observed = run_workload ~tracer:sink ~metrics ~profile ~seed () in
+         Obs.Tracer.recorded t > 0 && bare = observed))
+
+let test_fault_instants_in_trace () =
+  let t = Obs.Tracer.create () in
+  let sink = Obs.Tracer.process t ~name:"m" in
+  let faults =
+    Sim.Fault.make
+      { Sim.Fault.none with
+        kills_at = [ (1, 300) ];
+        fault_seed = 5;
+        stall_rate = 0.05;
+        stall_cycles = 400
+      }
+  in
+  let seen = ref [] in
+  Sim.run ~seed:3 ~tracer:sink ~faults
+    ~on_fault:(fun ev -> seen := ev.Sim.Fault.ev_kind :: !seen)
+    (Array.init 2 (fun _ ->
+         fun ctx ->
+           for _ = 1 to 100 do
+             Sim.tick ctx 10;
+             Sim.note_progress ctx
+           done));
+  let js = Obs.Json.to_string (Obs.Tracer.to_json t) in
+  Alcotest.(check bool) "kill instant traced" true (contains js "fault.kill");
+  Alcotest.(check bool) "stall instant traced" true (contains js "fault.stall");
+  Alcotest.(check bool) "on_fault tap saw the kill" true
+    (List.mem Sim.Fault.Killed !seen);
+  Alcotest.(check bool) "on_fault tap saw a stall" true
+    (List.exists (function Sim.Fault.Stalled _ -> true | _ -> false) !seen)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_metrics_counter;
+          Alcotest.test_case "gauge and hist" `Quick test_metrics_gauge_hist;
+          Alcotest.test_case "parent chain and reset" `Quick test_metrics_parent_and_reset;
+          Alcotest.test_case "snapshot" `Quick test_metrics_snapshot;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "ring overwrite" `Quick test_tracer_ring;
+          Alcotest.test_case "span payload" `Quick test_tracer_span_args;
+        ] );
+      ( "profiler",
+        [ Alcotest.test_case "attribution" `Quick test_profiler_attribution ] );
+      ( "system",
+        [
+          Alcotest.test_case "trace determinism" `Quick test_trace_determinism;
+          test_zero_cost_prop;
+          Alcotest.test_case "fault instants" `Quick test_fault_instants_in_trace;
+        ] );
+    ]
