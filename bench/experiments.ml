@@ -1,0 +1,738 @@
+(* The experiment registry: every figure and table of the bench harness
+   as data. One experiment = a canonical list of independent {!Runner.Cell}s
+   (the unit the domain pool shards) plus a presentation function that
+   turns the cell results — always delivered in canonical order — into
+   printed tables. `bench/main.ml` is only the CLI around this table.
+
+   The split is the determinism contract made structural: everything that
+   affects the output lives in the cells' closures (duration, seed,
+   algorithm, period), so the rendered tables and the BENCH_<name>.json
+   artifacts are byte-identical whatever --jobs is. *)
+
+type ctx = {
+  duration : int;
+  seed : int;
+  emit : Workload.Report.table -> unit;
+      (* print the table and capture it for the JSON artifact *)
+  ppf : Format.formatter;  (* for non-tabular prose *)
+}
+
+type spec =
+  | Spec : {
+      cells : duration:int -> seed:int -> 'a Runner.Cell.t list;
+      present : ctx -> 'a Runner.Sweep.outcome list -> unit;
+    }
+      -> spec
+
+type t = {
+  name : string;
+  doc : string;
+  default_duration : int;
+  serial : bool;  (* wall-clock experiments that must never shard *)
+  in_all : bool;  (* part of `bench all` and its artifact set *)
+  profile : bool;  (* cells run with the contention profiler on *)
+  spec : spec;
+}
+
+let exp ?(serial = false) ?(in_all = true) ?(profile = false) name doc default_duration
+    cells present =
+  { name; doc; default_duration; serial; in_all; profile; spec = Spec { cells; present } }
+
+let values = Runner.Sweep.values
+
+(* ------------------------------------------------------------------ *)
+(* The paper's figures (§5)                                            *)
+
+let fig1 =
+  exp "fig1" "queue throughput vs threads" 300_000
+    (fun ~duration ~seed -> Workload.Queue_bench.cells ~duration ~seed ())
+    (fun ctx ocs -> ctx.emit (Workload.Queue_bench.to_table (values ocs)))
+
+let latency =
+  exp "latency" "section 5.1 update latency" 0
+    (fun ~duration:_ ~seed -> Workload.Latency.cells ~seed ())
+    (fun ctx ocs -> ctx.emit (Workload.Latency.to_table (values ocs)))
+
+let fig3 =
+  exp "fig3" "collect-dominated mixed workload" 400_000
+    (fun ~duration ~seed -> Workload.Collect_dominated.cells ~duration ~seed ())
+    (fun ctx ocs -> ctx.emit (Workload.Collect_dominated.to_table (values ocs)))
+
+let fig4 =
+  exp "fig4" "collect-update period sweep" 400_000
+    (fun ~duration ~seed -> Workload.Collect_update.cells_fig4 ~duration ~seed ())
+    (fun ctx ocs ->
+      ctx.emit
+        (Workload.Collect_update.to_table
+           ~title:"Figure 4: Collect-Update (1 collector, 15 updaters)" (values ocs)))
+
+let fig5 =
+  exp "fig5" "step-size comparison" 300_000
+    (fun ~duration ~seed -> Workload.Collect_update.cells_fig5 ~duration ~seed ())
+    (fun ctx ocs ->
+      ctx.emit
+        (Workload.Collect_update.to_table
+           ~title:"Figure 5: Step sizes for ArrayDynAppendDereg"
+           (Workload.Collect_update.fig5_collate (values ocs))))
+
+let fig6 =
+  exp "fig6" "adaptive step-size distribution" 400_000
+    (fun ~duration ~seed -> Workload.Collect_update.cells_fig6 ~duration ~seed ())
+    (fun ctx ocs -> ctx.emit (Workload.Collect_update.fig6_table (values ocs)))
+
+let fig7 =
+  exp "fig7" "collect-(de)register sweep" 400_000
+    (fun ~duration ~seed -> Workload.Collect_dereg.cells ~duration ~seed ())
+    (fun ctx ocs -> ctx.emit (Workload.Collect_dereg.to_table (values ocs)))
+
+let fig8 =
+  (* duration here scales the phase length: 6 phases per run *)
+  exp "fig8" "phased registered-slot count" 2_000_000
+    (fun ~duration ~seed ->
+      Workload.Phased.cells ~phase_len:(max 200_000 (duration / 2)) ~seed ())
+    (fun ctx ocs -> ctx.emit (Workload.Phased.to_table (values ocs)))
+
+let space =
+  exp "space" "space usage at quiescence" 0
+    (fun ~duration:_ ~seed ->
+      Workload.Space_bench.queue_cells ~seed () @ Workload.Space_bench.collect_cells ~seed ())
+    (fun ctx ocs ->
+      let qs, cs =
+        List.partition
+          (fun (r : Workload.Space_bench.result) ->
+            String.starts_with ~prefix:"queue/" r.subject)
+          (values ocs)
+      in
+      ctx.emit (Workload.Space_bench.to_table ~title:"Space: queues at peak vs drained" qs);
+      ctx.emit
+        (Workload.Space_bench.to_table ~title:"Space: collect objects at peak vs deregistered"
+           cs))
+
+(* ------------------------------------------------------------------ *)
+(* Abort-rate telemetry behind Figures 4/5: the fraction of transaction
+   attempts that abort, per algorithm and update period. This is the
+   mechanism the paper invokes to explain every degradation curve. *)
+
+let abort_steps = [ Collect.Intf.Fixed 8; Collect.Intf.Fixed 32; Collect.Intf.Adaptive ]
+let abort_periods = [ 100_000; 20_000; 8_000; 2_000; 800; 400 ]
+
+let aborts =
+  exp "aborts" "abort-rate telemetry behind figs 4/5" 300_000
+    (fun ~duration ~seed ->
+      let maker = Option.get (Collect.find_maker "ArrayDynAppendDereg") in
+      List.concat_map
+        (fun period ->
+          List.map
+            (fun step ->
+              Runner.Cell.v
+                ~label:
+                  (Printf.sprintf "aborts/%s/p%d"
+                     (Workload.Collect_update.step_label step) period)
+                (fun () ->
+                  Workload.Collect_update.run_one maker ~updaters:15 ~period ~duration
+                    ~step ~seed))
+            abort_steps)
+        abort_periods)
+    (fun ctx ocs ->
+      let vs = Array.of_list (values ocs) in
+      let nsteps = List.length abort_steps in
+      let rows =
+        List.mapi
+          (fun pi period ->
+            ( Workload.Collect_update.period_label period,
+              List.mapi
+                (fun si _ ->
+                  let r : Workload.Collect_update.result = vs.((pi * nsteps) + si) in
+                  (* Updater transactions essentially never abort, so the
+                     abort count is attributable to the collector's chunks. *)
+                  let collects =
+                    int_of_float
+                      (r.throughput *. float_of_int ctx.duration
+                      /. float_of_int Workload.Driver.cycles_per_us)
+                  in
+                  if collects = 0 then None
+                  else Some (float_of_int r.aborts /. float_of_int collects))
+                abort_steps ))
+          abort_periods
+      in
+      ctx.emit
+        {
+          Workload.Report.title = "Abort telemetry: ArrayDynAppendDereg collect-update";
+          xlabel = "period";
+          unit = "aborts per collect";
+          columns = List.map Workload.Collect_update.step_label abort_steps;
+          rows;
+        })
+
+(* ------------------------------------------------------------------ *)
+(* The robustness experiment: deterministic thread kills, stalls and
+   spurious aborts against every algorithm, with the section 2.3 checker
+   as the oracle. Duration is fixed by the fault schedule, so --duration
+   is ignored; --seed reproduces the exact run. *)
+
+let chaos =
+  exp "chaos" "fault injection: crashes, stalls, spurious aborts" 0
+    (fun ~duration:_ ~seed -> Workload.Chaos_bench.cells ~seed ())
+    (fun ctx ocs ->
+      let s = Workload.Chaos_bench.summary_of_pieces (values ocs) in
+      List.iter
+        (fun (table, note) ->
+          ctx.emit table;
+          Format.fprintf ctx.ppf "@.%s@." note)
+        (Workload.Chaos_bench.tables s))
+
+(* ------------------------------------------------------------------ *)
+(* The coherence-contention profile: run the paper's two extremes of
+   reclamation-induced cache traffic — hand-over-hand reference counting
+   (every traversal writes reference counts, starting at the list header,
+   so the header line ping-pongs between all cores) and ROP (readers
+   publish hazard pointers to per-thread slots and nodes are reclaimed in
+   bulk) — and attribute every coherence transfer to the labeled region
+   it hit. The merged ranked heatmap is the paper's §5 "why HoHRC loses"
+   argument made mechanical: the HoHRC header line outranks every ROP
+   line. *)
+
+type contend_piece =
+  | C_hohrc of Workload.Collect_update.result
+  | C_rop of Workload.Queue_bench.result
+
+let contend =
+  exp "contend" "coherence-contention profile: HoHRC vs ROP" 300_000 ~profile:true
+    (fun ~duration ~seed ->
+      let hohrc = Option.get (Collect.find_maker "ListHoHRC") in
+      let rop = Option.get (Hqueue.find_maker "MichaelScott+ROP") in
+      [
+        Runner.Cell.v ~label:"contend/ListHoHRC" (fun () ->
+            C_hohrc
+              (Workload.Collect_update.run_one hohrc ~updaters:15 ~period:1_000 ~duration
+                 ~step:(Collect.Intf.Fixed 8) ~seed));
+        (* Matched operation budget: per queue operation the ROP queue is
+           an order of magnitude faster than a HoHRC traversal, so equal
+           wall windows would compare 10x the operations and swamp the
+           per-op story. A window one twelfth as long puts both workloads
+           in the same operation ballpark; the context table above is
+           per-microsecond and unaffected. *)
+        Runner.Cell.v ~label:"contend/MichaelScott+ROP" (fun () ->
+            C_rop
+              (Workload.Queue_bench.run_one rop ~threads:4
+                 ~duration:(max 20_000 (duration / 12)) ~prefill:64 ~seed));
+      ])
+    (fun ctx ocs ->
+      let r, q =
+        match values ocs with
+        | [ C_hohrc r; C_rop q ] -> (r, q)
+        | _ -> assert false
+      in
+      ctx.emit
+        {
+          Workload.Report.title = "Contention workloads (context)";
+          xlabel = "workload";
+          unit = "ops/us";
+          columns = [ "throughput" ];
+          rows =
+            [
+              ("ListHoHRC collect-update", [ Some r.throughput ]);
+              ("MichaelScott+ROP queue", [ Some q.throughput ]);
+            ];
+        };
+      (* Per-machine heatmaps, then the merged ranking across machines. *)
+      let profs = Runner.Sweep.profilers ocs in
+      let pf fmt = Format.fprintf ctx.ppf fmt in
+      List.iter
+        (fun (mach, p) ->
+          pf "== Contention: %s (%d transfers) ==@." mach (Obs.Profiler.total_transfers p);
+          Obs.Profiler.print ~top:8 ctx.ppf p)
+        profs;
+      let entries =
+        List.concat_map
+          (fun (mach, p) -> List.map (fun ls -> (mach, ls)) (Obs.Profiler.lines ~top:12 p))
+          profs
+      in
+      let ranked =
+        List.sort
+          (fun (_, a) (_, b) ->
+            compare b.Obs.Profiler.ls_transfers a.Obs.Profiler.ls_transfers)
+          entries
+      in
+      let top n l = List.filteri (fun i _ -> i < n) l in
+      pf "== Contention: all machines ranked by coherence transfers ==@.";
+      Obs.Table.print_cols ctx.ppf
+        [ "machine"; "line"; "region"; "transfers"; "miss cycles"; "queue wait";
+          "peak sharers" ]
+        (List.map
+           (fun (mach, ls) ->
+             [
+               mach;
+               string_of_int ls.Obs.Profiler.ls_line;
+               ls.ls_region;
+               string_of_int ls.ls_transfers;
+               string_of_int ls.ls_cycles;
+               string_of_int ls.ls_wait;
+               string_of_int ls.ls_max_sharers;
+             ])
+           (top 16 ranked));
+      pf "@.")
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (paper §6)                                                *)
+
+type ablate_piece =
+  | A_tle of float * int  (* throughput, lock fallbacks *)
+  | A_sandbox of string  (* run verdict *)
+  | A_sb of float * int  (* throughput, largest step discovered *)
+
+(* TLE: the paper notes the algorithms can run without any transactional
+   progress guarantee by falling back to a lock (§6). Compare native
+   retry against TLE fallback under contention. *)
+let ablate_tle_one ~duration ~seed config =
+  let maker = Option.get (Collect.find_maker "ArrayDynAppendDereg") in
+  let m = Workload.Driver.machine ~htm_config:config ~seed () in
+  let cfg =
+    { Collect.Intf.max_slots = 128; num_threads = 16; step = Collect.Intf.Fixed 16;
+      min_size = 4 }
+  in
+  let inst = maker.make m.htm m.boot cfg in
+  let deadline = Workload.Driver.warmup + duration in
+  let collects = ref 0 in
+  let measuring = ref true in
+  let collector ctx =
+    let buf = Sim.Ibuf.create () in
+    collects :=
+      Workload.Driver.measured_loop ctx ~deadline (fun () ->
+          Sim.Ibuf.clear buf;
+          inst.collect ctx buf);
+    measuring := false
+  in
+  let updater ctx =
+    let hs = Array.init 4 (fun _ -> inst.register ctx (Workload.Driver.fresh_value ())) in
+    Workload.Driver.periodic_loop ctx ~deadline ~period:2_000 (fun () ->
+        inst.update ctx hs.(0) (Workload.Driver.fresh_value ()));
+    while !measuring do
+      Sim.tick ctx 2000
+    done;
+    Array.iter (fun h -> inst.deregister ctx h) hs
+  in
+  Sim.run ~seed (Array.init 16 (fun i -> if i = 0 then collector else updater));
+  let st = Htm.stats m.htm in
+  A_tle (Workload.Driver.ops_per_us ~ops:!collects ~duration, st.lock_fallbacks)
+
+(* Sandboxing (paper footnote 1 / §6): a transaction that loads a
+   pointer, stalls, and dereferences it after a concurrent thread has
+   freed the target — exactly the pattern of FastCollect's unpinned
+   traversal cursor. A sandboxed HTM aborts and retries; an unsandboxed
+   one segfaults. *)
+let ablate_sandbox_one ~seed sandboxed =
+  let config = { Htm.default_config with sandboxed } in
+  let mem = Simmem.create () in
+  let htm = Htm.create ~config mem in
+  let boot = Sim.boot ~seed () in
+  let box = Simmem.malloc mem boot 1 in
+  let target = Simmem.malloc mem boot 2 in
+  Simmem.write mem boot target 41;
+  Simmem.write mem boot box target;
+  let reader ctx =
+    let v =
+      Htm.atomic htm ctx (fun tx ->
+          let p = Htm.read tx box in
+          (* stall with the pointer in hand *)
+          Sim.advance_to ctx (Sim.clock ctx + 2_000);
+          Htm.read tx p)
+    in
+    ignore v
+  in
+  let mutator ctx =
+    Sim.advance_to ctx 500;
+    let fresh = Simmem.malloc mem ctx 2 in
+    Simmem.write mem ctx fresh 42;
+    Simmem.write mem ctx box fresh;
+    Simmem.free mem ctx target
+  in
+  match Sim.run ~seed [| reader; mutator |] with
+  | () -> A_sandbox "completed (transaction aborted and retried)"
+  | exception Simmem.Fault f -> A_sandbox (Format.asprintf "SEGFAULT: %a" Simmem.pp_fault f)
+
+(* Store-buffer capacity sweep: the adaptive controller must discover the
+   largest step each buffer admits. *)
+let sb_buffers = [ 8; 16; 32; 64 ]
+
+let ablate_sb_one ~duration ~seed sb =
+  let maker = Option.get (Collect.find_maker "ArrayDynAppendDereg") in
+  let config = { Htm.default_config with store_buffer = sb } in
+  let m = Workload.Driver.machine ~htm_config:config ~seed () in
+  let cfg =
+    { Collect.Intf.max_slots = 128; num_threads = 2; step = Collect.Intf.Adaptive;
+      min_size = 4 }
+  in
+  let inst = maker.make m.htm m.boot cfg in
+  let deadline = Workload.Driver.warmup + duration in
+  let collects = ref 0 in
+  let measuring = ref true in
+  let bodies =
+    [|
+      (fun ctx ->
+        let buf = Sim.Ibuf.create () in
+        collects :=
+          Workload.Driver.measured_loop ctx ~deadline (fun () ->
+              Sim.Ibuf.clear buf;
+              inst.collect ctx buf);
+        measuring := false);
+      (fun ctx ->
+        let hs =
+          Array.init 64 (fun _ -> inst.register ctx (Workload.Driver.fresh_value ()))
+        in
+        while !measuring do
+          Sim.tick ctx 2000
+        done;
+        Array.iter (fun h -> inst.deregister ctx h) hs);
+    |]
+  in
+  Sim.run ~seed bodies;
+  let top_step = List.fold_left (fun acc (s, _) -> max acc s) 0 (inst.step_histogram ()) in
+  A_sb (Workload.Driver.ops_per_us ~ops:!collects ~duration, top_step)
+
+let ablate =
+  exp "ablate" "section 6 ablations" 200_000
+    (fun ~duration ~seed ->
+      [
+        Runner.Cell.v ~label:"ablate/tle/native" (fun () ->
+            ablate_tle_one ~duration ~seed Htm.default_config);
+        Runner.Cell.v ~label:"ablate/tle/after4" (fun () ->
+            ablate_tle_one ~duration ~seed
+              { Htm.default_config with tle = Htm.Tle_after 4 });
+        Runner.Cell.v ~label:"ablate/sandbox/on" (fun () -> ablate_sandbox_one ~seed true);
+        Runner.Cell.v ~label:"ablate/sandbox/off" (fun () -> ablate_sandbox_one ~seed false);
+      ]
+      @ List.map
+          (fun sb ->
+            Runner.Cell.v
+              ~label:(Printf.sprintf "ablate/store-buffer/%d" sb)
+              (fun () -> ablate_sb_one ~duration ~seed sb))
+          sb_buffers)
+    (fun ctx ocs ->
+      match values ocs with
+      | A_tle (native, _) :: A_tle (tle, fallbacks) :: A_sandbox on :: A_sandbox off :: sbs
+        ->
+        ctx.emit
+          {
+            Workload.Report.title = "Ablation: TLE fallback (collect-update, period 2k)";
+            xlabel = "mode";
+            unit = "ops/us";
+            columns = [ "throughput"; "lock fallbacks" ];
+            rows =
+              [
+                ("native retry", [ Some native; Some 0.0 ]);
+                ("TLE after 4 aborts", [ Some tle; Some (float_of_int fallbacks) ]);
+              ];
+          };
+        Format.fprintf ctx.ppf
+          "== Ablation: sandboxing (dangling dereference inside a transaction) ==@.";
+        Format.fprintf ctx.ppf "sandboxed HTM:     %s@." on;
+        Format.fprintf ctx.ppf "unsandboxed HTM:   %s@.@." off;
+        ctx.emit
+          {
+            Workload.Report.title =
+              "Ablation: store-buffer capacity (adaptive step discovery)";
+            xlabel = "buffer";
+            unit = "ops/us";
+            columns = [ "collect throughput"; "largest step setting" ];
+            rows =
+              List.map2
+                (fun sb piece ->
+                  match piece with
+                  | A_sb (thru, top_step) ->
+                    ( string_of_int sb,
+                      [ Some thru; Some (float_of_int top_step) ] )
+                  | _ -> assert false)
+                sb_buffers sbs;
+          }
+      | _ -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Extension variants (paper §3.1.2 and §4.1, described but not
+   implemented there)                                                  *)
+
+type ext_piece =
+  | E_thru of float  (* a single throughput number (starvation / queue cells) *)
+  | E_lat of Workload.Latency.result
+  | E_coll of Workload.Collect_update.result
+
+(* The §3.1.2 starvation scenario: a large stable handle population keeps
+   collects long, while churners rapidly cycle one volatile slot each.
+   Plain FastCollect restarts on every deregister anywhere; the deferred
+   variant restarts only when its own cursor's node is hit. *)
+let ext_starvation ~duration ~seed mk churn_period =
+  let m = Workload.Driver.machine ~seed () in
+  let churners = 15 in
+  let cfg =
+    { Collect.Intf.max_slots = 256; num_threads = churners + 1;
+      step = Collect.Intf.Adaptive; min_size = 4 }
+  in
+  let inst = mk.Collect.Intf.make m.htm m.boot cfg in
+  let deadline = Workload.Driver.warmup + duration in
+  let collects = ref 0 in
+  let measuring = ref true in
+  let collector ctx =
+    let buf = Sim.Ibuf.create () in
+    collects :=
+      Workload.Driver.measured_loop ctx ~deadline (fun () ->
+          Sim.Ibuf.clear buf;
+          inst.collect ctx buf);
+    measuring := false
+  in
+  let churner ctx =
+    let stable =
+      Array.init 4 (fun _ -> inst.register ctx (Workload.Driver.fresh_value ()))
+    in
+    let volatile = ref (inst.register ctx (Workload.Driver.fresh_value ())) in
+    let next = ref Workload.Driver.warmup in
+    while !next < deadline do
+      Sim.advance_to ctx !next;
+      inst.deregister ctx !volatile;
+      Sim.advance_to ctx (!next + (churn_period / 2));
+      volatile := inst.register ctx (Workload.Driver.fresh_value ());
+      next := !next + churn_period
+    done;
+    while !measuring do
+      Sim.tick ctx 2000
+    done;
+    inst.deregister ctx !volatile;
+    Array.iter (fun h -> inst.deregister ctx h) stable
+  in
+  Sim.run ~seed (Array.init (churners + 1) (fun i -> if i = 0 then collector else churner));
+  inst.destroy m.boot;
+  Workload.Driver.ops_per_us ~ops:!collects ~duration
+
+(* Michael-Scott reclaimed through a Dynamic Collect object vs the fixed
+   hazard array: same discipline, dynamic announcement space. *)
+let ext_queue_one ~duration ~seed ~threads name =
+  let mk = Option.get (Hqueue.find_maker name) in
+  let m = Workload.Driver.machine ~seed () in
+  let q = mk.make m.htm m.boot ~num_threads:threads in
+  let deadline = Workload.Driver.warmup + duration in
+  let ops = Array.make threads 0 in
+  Sim.run ~seed
+    (Array.init threads (fun i ->
+         fun ctx ->
+           ops.(i) <-
+             Workload.Driver.measured_loop ctx ~deadline (fun () ->
+                 if Sim.Rng.bool (Sim.rng ctx) then
+                   q.enqueue ctx (Workload.Driver.fresh_value ())
+                 else ignore (q.dequeue ctx))));
+  q.destroy m.boot;
+  Workload.Driver.ops_per_us ~ops:(Array.fold_left ( + ) 0 ops) ~duration
+
+let ext_starve_periods = [ 50_000; 20_000; 10_000; 5_000; 2_000; 1_000 ]
+let ext_starve_makers = [ "ListFastCollect"; "ListFastCollectDeferred" ]
+let ext_queue_threads = [ 2; 4; 8; 16 ]
+let ext_queue_names = [ "MichaelScott+ROP"; "MichaelScott+Collect" ]
+let ext_coll_periods = [ 100_000; 10_000; 2_000 ]
+let ext_upd_variants = [ "ArrayDynAppendDereg"; "ArrayDynAppendFastUpd" ]
+
+let ext =
+  exp "ext" "paper-described but unimplemented variants" 300_000
+    (fun ~duration ~seed ->
+      List.concat_map
+        (fun p ->
+          List.map
+            (fun name ->
+              let mk = Option.get (Collect.find_maker name) in
+              Runner.Cell.v ~label:(Printf.sprintf "ext/starve/%s/p%d" name p) (fun () ->
+                  E_thru (ext_starvation ~duration ~seed mk p)))
+            ext_starve_makers)
+        ext_starve_periods
+      @ List.concat_map
+          (fun threads ->
+            List.map
+              (fun name ->
+                Runner.Cell.v ~label:(Printf.sprintf "ext/queue/%s/x%d" name threads)
+                  (fun () -> E_thru (ext_queue_one ~duration ~seed ~threads name)))
+              ext_queue_names)
+          ext_queue_threads
+      @ List.map
+          (fun name ->
+            let mk = Option.get (Collect.find_maker name) in
+            Runner.Cell.v ~label:("ext/latency/" ^ name) (fun () ->
+                E_lat (Workload.Latency.run_one mk ~handles:16 ~updates:2000 ~seed)))
+          ext_upd_variants
+      @ List.concat_map
+          (fun period ->
+            List.map
+              (fun name ->
+                let mk = Option.get (Collect.find_maker name) in
+                Runner.Cell.v ~label:(Printf.sprintf "ext/collect/%s/p%d" name period)
+                  (fun () ->
+                    E_coll
+                      (Workload.Collect_update.run_one mk ~updaters:15 ~period ~duration
+                         ~step:(Collect.Intf.Fixed 32) ~seed)))
+              ext_upd_variants)
+          ext_coll_periods)
+    (fun ctx ocs ->
+      let vs = Array.of_list (values ocs) in
+      let thru i = match vs.(i) with E_thru t -> Some t | _ -> assert false in
+      let nstarve = List.length ext_starve_makers in
+      ctx.emit
+        {
+          Workload.Report.title =
+            "Extension: deferred-free FastCollect, 60 stable handles + 15 churning \
+             (section 3.1.2)";
+          xlabel = "churn period";
+          unit = "ops/us";
+          columns = ext_starve_makers;
+          rows =
+            List.mapi
+              (fun pi p ->
+                ( Workload.Collect_update.period_label p,
+                  List.mapi (fun mi _ -> thru ((pi * nstarve) + mi)) ext_starve_makers ))
+              ext_starve_periods;
+        };
+      let qbase = List.length ext_starve_periods * nstarve in
+      let nqueue = List.length ext_queue_names in
+      ctx.emit
+        {
+          Workload.Report.title =
+            "Extension: reclamation via fixed hazard array vs Dynamic Collect (section \
+             1.2)";
+          xlabel = "threads";
+          unit = "ops/us";
+          columns = ext_queue_names;
+          rows =
+            List.mapi
+              (fun ti threads ->
+                ( string_of_int threads,
+                  List.mapi (fun qi _ -> thru (qbase + (ti * nqueue) + qi)) ext_queue_names
+                ))
+              ext_queue_threads;
+        };
+      let lbase = qbase + (List.length ext_queue_threads * nqueue) in
+      let lat =
+        List.mapi
+          (fun i _ ->
+            match vs.(lbase + i) with E_lat r -> r | _ -> assert false)
+          ext_upd_variants
+      in
+      ctx.emit
+        { (Workload.Latency.to_table lat) with
+          title = "Extension: update latency of the section 4.1 variant" };
+      let cbase = lbase + List.length ext_upd_variants in
+      let coll =
+        List.init
+          (List.length ext_coll_periods * List.length ext_upd_variants)
+          (fun i -> match vs.(cbase + i) with E_coll r -> r | _ -> assert false)
+      in
+      ctx.emit
+        (Workload.Collect_update.to_table
+           ~title:"Extension: collect throughput of the section 4.1 variant" coll))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: wall-clock cost of the simulator itself.
+   Inherently non-deterministic, so: serial, and never part of `all` or
+   the artifact set. *)
+
+let micro_tests () =
+  let open Bechamel in
+  let mem = Simmem.create () in
+  let htm = Htm.create mem in
+  let boot = Sim.boot () in
+  let word = Simmem.malloc mem boot 8 in
+  let tx_rw =
+    Test.make ~name:"htm: atomic read+write"
+      (Staged.stage (fun () ->
+           Htm.atomic htm boot (fun tx -> Htm.write tx word (Htm.read tx word + 1))))
+  in
+  let mem_rw =
+    Test.make ~name:"simmem: read+write"
+      (Staged.stage (fun () -> Simmem.write mem boot word (Simmem.read mem boot word + 1)))
+  in
+  let q = Hqueue.Htm_queue.maker.make htm boot ~num_threads:2 in
+  let queue_cycle =
+    Test.make ~name:"htm queue: enqueue+dequeue"
+      (Staged.stage (fun () ->
+           q.enqueue boot 1;
+           ignore (q.dequeue boot)))
+  in
+  let maker = Option.get (Collect.find_maker "ArrayDynAppendDereg") in
+  let inst =
+    maker.make htm boot
+      { Collect.Intf.max_slots = 128; num_threads = 2; step = Collect.Intf.Fixed 32;
+        min_size = 4 }
+  in
+  let (_ : int array) = Array.init 64 (fun i -> inst.register boot (i + 1)) in
+  let buf = Sim.Ibuf.create () in
+  let collect64 =
+    Test.make ~name:"collect: ArrayDynAppendDereg over 64 slots"
+      (Staged.stage (fun () ->
+           Sim.Ibuf.clear buf;
+           inst.collect boot buf))
+  in
+  let spawn =
+    Test.make ~name:"sim: run of 4 trivial threads"
+      (Staged.stage (fun () -> Sim.run ~seed:1 (Array.make 4 (fun ctx -> Sim.tick ctx 10))))
+  in
+  [ mem_rw; tx_rw; queue_cycle; collect64; spawn ]
+
+let run_micro () =
+  let open Bechamel in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  List.concat_map
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analysis = Analyze.all ols instance results in
+      Hashtbl.fold
+        (fun name ols_result acc ->
+          let est =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] -> Some est
+            | Some _ | None -> None
+          in
+          (name, est) :: acc)
+        analysis [])
+    (micro_tests ())
+
+let micro =
+  exp "micro" "bechamel microbenchmarks" 0 ~serial:true ~in_all:false
+    (fun ~duration:_ ~seed:_ ->
+      [ Runner.Cell.v ~label:"micro/bechamel" (fun () -> run_micro ()) ])
+    (fun ctx ocs ->
+      let pf fmt = Format.fprintf ctx.ppf fmt in
+      pf "== Microbenchmarks: wall-clock cost of simulator primitives ==@.";
+      List.iter
+        (fun lines ->
+          List.iter
+            (fun (name, est) ->
+              match est with
+              | Some est -> pf "%-45s %8.1f ns/run@." name est
+              | None -> pf "%-45s (no estimate)@." name)
+            lines)
+        (values ocs);
+      pf "@.")
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [ fig1; latency; fig3; fig4; fig5; fig6; fig7; fig8; space; contend; chaos; aborts;
+    ablate; ext; micro ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+
+let cell_count e ~duration ~seed =
+  match e.spec with Spec s -> List.length (s.cells ~duration ~seed)
+
+(* Run one experiment end to end: build its canonical cells, execute them
+   on up to [jobs] domains, fold the per-cell metrics into [absorb_into]
+   in canonical order, then present. Serial experiments ignore [jobs]. *)
+let run e ?(jobs = 1) ?tracer ?absorb_into ?(times = false) ctx =
+  match e.spec with
+  | Spec s ->
+    let jobs = if e.serial then 1 else jobs in
+    let cells = s.cells ~duration:ctx.duration ~seed:ctx.seed in
+    let outcomes =
+      Runner.Sweep.run ~jobs ~metrics:(absorb_into <> None) ~profile:e.profile ?tracer
+        cells
+    in
+    (match absorb_into with
+    | Some reg -> Runner.Sweep.absorb ~into:reg outcomes
+    | None -> ());
+    s.present ctx outcomes;
+    if times then Obs.Table.print ctx.ppf (Runner.Sweep.timing_table outcomes)

@@ -3,12 +3,16 @@
    behind the §1 claims, the §6 ablations, and a Bechamel microbenchmark
    suite measuring the simulator's own wall-clock costs.
 
-     dune exec bench/main.exe               # everything, quick settings
-     dune exec bench/main.exe -- fig4       # one figure
-     dune exec bench/main.exe -- fig4 --duration 2000000 --csv
+     dune exec bench/main.exe                  # everything, quick settings
+     dune exec bench/main.exe -- fig4          # one figure
+     dune exec bench/main.exe -- fig4 -j 8     # same bytes, 8 domains
+     dune exec bench/main.exe -- all --smoke --json --jobs 8
+     dune exec bench/main.exe -- diff OLD.json NEW.json
 
-   Throughput numbers are virtual-time (2000 cycles/µs); only shapes are
-   comparable with the paper, never absolute values. *)
+   The experiments themselves live in the registry (experiments.ml); this
+   file is only the CLI, the observability plumbing, and the artifact
+   files. Throughput numbers are virtual-time (2000 cycles/µs); only
+   shapes are comparable with the paper, never absolute values. *)
 
 let pf fmt = Format.printf fmt
 
@@ -26,579 +30,6 @@ let emit ~csv table =
     Workload.Report.print Format.std_formatter table;
     if !chart_mode then Workload.Report.plot Format.std_formatter table
   end
-
-(* ------------------------------------------------------------------ *)
-(* Figures                                                             *)
-
-let run_fig1 ~duration ~seed ~csv =
-  let results = Workload.Queue_bench.run ~duration ~seed () in
-  emit ~csv (Workload.Queue_bench.to_table results)
-
-let run_latency ~duration:_ ~seed ~csv =
-  let results = Workload.Latency.run ~seed () in
-  emit ~csv (Workload.Latency.to_table results)
-
-let run_fig3 ~duration ~seed ~csv =
-  let results = Workload.Collect_dominated.run ~duration ~seed () in
-  emit ~csv (Workload.Collect_dominated.to_table results)
-
-let run_fig4 ~duration ~seed ~csv =
-  let results = Workload.Collect_update.run_fig4 ~duration ~seed () in
-  emit ~csv
-    (Workload.Collect_update.to_table
-       ~title:"Figure 4: Collect-Update (1 collector, 15 updaters)" results)
-
-let run_fig5 ~duration ~seed ~csv =
-  let results = Workload.Collect_update.run_fig5 ~duration ~seed () in
-  emit ~csv
-    (Workload.Collect_update.to_table
-       ~title:"Figure 5: Step sizes for ArrayDynAppendDereg" results)
-
-let run_fig6 ~duration ~seed ~csv =
-  let results = Workload.Collect_update.run_fig6 ~duration ~seed () in
-  emit ~csv (Workload.Collect_update.fig6_table results)
-
-let run_fig7 ~duration ~seed ~csv =
-  let results = Workload.Collect_dereg.run ~duration ~seed () in
-  emit ~csv (Workload.Collect_dereg.to_table results)
-
-let run_fig8 ~duration ~seed ~csv =
-  (* duration here scales the phase length: 6 phases per run *)
-  let phase_len = max 200_000 (duration / 2) in
-  let results = Workload.Phased.run ~phase_len ~seed () in
-  emit ~csv (Workload.Phased.to_table results)
-
-(* Abort-rate telemetry behind Figures 4/5: the fraction of transaction
-   attempts that abort, per algorithm and update period. This is the
-   mechanism the paper invokes to explain every degradation curve. *)
-let run_aborts ~duration ~seed ~csv =
-  let steps = [ Collect.Intf.Fixed 8; Collect.Intf.Fixed 32; Collect.Intf.Adaptive ] in
-  let maker = Option.get (Collect.find_maker "ArrayDynAppendDereg") in
-  let periods = [ 100_000; 20_000; 8_000; 2_000; 800; 400 ] in
-  let rows =
-    List.map
-      (fun period ->
-        ( Workload.Collect_update.period_label period,
-          List.map
-            (fun step ->
-              let r =
-                Workload.Collect_update.run_one maker ~updaters:15 ~period ~duration ~step
-                  ~seed
-              in
-              (* Updater transactions essentially never abort, so the abort
-                 count is attributable to the collector's chunks. *)
-              let collects =
-                int_of_float
-                  (r.throughput *. float_of_int duration
-                  /. float_of_int Workload.Driver.cycles_per_us)
-              in
-              if collects = 0 then None
-              else Some (float_of_int r.aborts /. float_of_int collects))
-            steps ))
-      periods
-  in
-  emit ~csv
-    {
-      Workload.Report.title =
-        "Abort telemetry: ArrayDynAppendDereg collect-update";
-      xlabel = "period";
-      unit = "aborts per collect";
-      columns = List.map Workload.Collect_update.step_label steps;
-      rows;
-    }
-
-(* The robustness experiment: deterministic thread kills, stalls and
-   spurious aborts against every algorithm, with the section 2.3 checker as
-   the oracle. Duration is fixed by the fault schedule, so --duration is
-   ignored; --seed reproduces the exact run. *)
-let run_chaos ~duration:_ ~seed ~csv:_ =
-  let summary = Workload.Chaos_bench.run_all ~seed () in
-  Workload.Chaos_bench.report Format.std_formatter summary
-
-let run_space ~duration:_ ~seed ~csv =
-  emit ~csv
-    (Workload.Space_bench.to_table ~title:"Space: queues at peak vs drained"
-       (Workload.Space_bench.queue_space ~seed ()));
-  emit ~csv
-    (Workload.Space_bench.to_table ~title:"Space: collect objects at peak vs deregistered"
-       (Workload.Space_bench.collect_space ~seed ()))
-
-(* The coherence-contention profile: run the paper's two extremes of
-   reclamation-induced cache traffic — hand-over-hand reference counting
-   (every traversal writes reference counts, starting at the list header,
-   so the header line ping-pongs between all cores) and ROP (readers
-   publish hazard pointers to per-thread slots and nodes are reclaimed in
-   bulk) — and attribute every coherence transfer to the labeled region
-   it hit. The merged ranked heatmap is the paper's §5 "why HoHRC loses"
-   argument made mechanical: the HoHRC header line outranks every ROP
-   line. *)
-let run_contend ~duration ~seed ~csv =
-  let saved = Workload.Driver.obs () in
-  Workload.Driver.set_obs { saved with obs_profile = true };
-  let hohrc = Option.get (Collect.find_maker "ListHoHRC") in
-  let r =
-    Workload.Collect_update.run_one hohrc ~updaters:15 ~period:1_000 ~duration
-      ~step:(Collect.Intf.Fixed 8) ~seed
-  in
-  let rop = Option.get (Hqueue.find_maker "MichaelScott+ROP") in
-  (* Matched operation budget: per queue operation the ROP queue is an
-     order of magnitude faster than a HoHRC traversal, so equal wall
-     windows would compare 10x the operations and swamp the per-op
-     story. A window one twelfth as long puts both workloads in the same
-     operation ballpark; the context table above is per-microsecond and
-     unaffected. *)
-  let q =
-    Workload.Queue_bench.run_one rop ~threads:4 ~duration:(max 20_000 (duration / 12))
-      ~prefill:64 ~seed
-  in
-  let profs = Workload.Driver.profilers () in
-  Workload.Driver.set_obs saved;
-  emit ~csv
-    {
-      Workload.Report.title = "Contention workloads (context)";
-      xlabel = "workload";
-      unit = "ops/us";
-      columns = [ "throughput" ];
-      rows =
-        [
-          ("ListHoHRC collect-update", [ Some r.throughput ]);
-          ("MichaelScott+ROP queue", [ Some q.throughput ]);
-        ];
-    };
-  (* Per-machine heatmaps, then the merged ranking across machines. *)
-  List.iter
-    (fun (mach, p) ->
-      pf "== Contention: %s (%d transfers) ==@." mach (Obs.Profiler.total_transfers p);
-      Obs.Profiler.print ~top:8 Format.std_formatter p)
-    profs;
-  let entries =
-    List.concat_map
-      (fun (mach, p) ->
-        List.map (fun ls -> (mach, ls)) (Obs.Profiler.lines ~top:12 p))
-      profs
-  in
-  let ranked =
-    List.sort
-      (fun (_, a) (_, b) ->
-        compare b.Obs.Profiler.ls_transfers a.Obs.Profiler.ls_transfers)
-      entries
-  in
-  let top n l = List.filteri (fun i _ -> i < n) l in
-  pf "== Contention: all machines ranked by coherence transfers ==@.";
-  Obs.Table.print_cols Format.std_formatter
-    [ "machine"; "line"; "region"; "transfers"; "miss cycles"; "queue wait"; "peak sharers" ]
-    (List.map
-       (fun (mach, ls) ->
-         [
-           mach;
-           string_of_int ls.Obs.Profiler.ls_line;
-           ls.ls_region;
-           string_of_int ls.ls_transfers;
-           string_of_int ls.ls_cycles;
-           string_of_int ls.ls_wait;
-           string_of_int ls.ls_max_sharers;
-         ])
-       (top 16 ranked));
-  pf "@."
-
-(* ------------------------------------------------------------------ *)
-(* Ablations (paper §6)                                                *)
-
-(* TLE: the paper notes the algorithms can run without any transactional
-   progress guarantee by falling back to a lock (§6). Compare native retry
-   against TLE fallback under contention. *)
-let ablate_tle ~duration ~seed ~csv =
-  let maker = Option.get (Collect.find_maker "ArrayDynAppendDereg") in
-  let run_with config =
-    let m = Workload.Driver.machine ~htm_config:config ~seed () in
-    let cfg =
-      { Collect.Intf.max_slots = 128; num_threads = 16; step = Collect.Intf.Fixed 16;
-        min_size = 4 }
-    in
-    let inst = maker.make m.htm m.boot cfg in
-    let deadline = Workload.Driver.warmup + duration in
-    let collects = ref 0 in
-    let measuring = ref true in
-    let collector ctx =
-      let buf = Sim.Ibuf.create () in
-      collects :=
-        Workload.Driver.measured_loop ctx ~deadline (fun () ->
-            Sim.Ibuf.clear buf;
-            inst.collect ctx buf);
-      measuring := false
-    in
-    let updater ctx =
-      let hs = Array.init 4 (fun _ -> inst.register ctx (Workload.Driver.fresh_value ())) in
-      Workload.Driver.periodic_loop ctx ~deadline ~period:2_000 (fun () ->
-          inst.update ctx hs.(0) (Workload.Driver.fresh_value ()));
-      while !measuring do
-        Sim.tick ctx 2000
-      done;
-      Array.iter (fun h -> inst.deregister ctx h) hs
-    in
-    Sim.run ~seed (Array.init 16 (fun i -> if i = 0 then collector else updater));
-    let st = Htm.stats m.htm in
-    (Workload.Driver.ops_per_us ~ops:!collects ~duration, st.lock_fallbacks)
-  in
-  let native, _ = run_with Htm.default_config in
-  let tle, fallbacks = run_with { Htm.default_config with tle = Htm.Tle_after 4 } in
-  emit ~csv
-    {
-      Workload.Report.title = "Ablation: TLE fallback (collect-update, period 2k)";
-      xlabel = "mode";
-      unit = "ops/us";
-      columns = [ "throughput"; "lock fallbacks" ];
-      rows =
-        [
-          ("native retry", [ Some native; Some 0.0 ]);
-          ("TLE after 4 aborts", [ Some tle; Some (float_of_int fallbacks) ]);
-        ];
-    }
-
-(* Sandboxing (paper footnote 1 / §6): a transaction that loads a pointer,
-   stalls, and dereferences it after a concurrent thread has freed the
-   target — exactly the pattern of FastCollect's unpinned traversal cursor.
-   A sandboxed HTM aborts and retries; an unsandboxed one segfaults. *)
-let ablate_sandbox ~duration:_ ~seed ~csv =
-  let run_with sandboxed =
-    let config = { Htm.default_config with sandboxed } in
-    let mem = Simmem.create () in
-    let htm = Htm.create ~config mem in
-    let boot = Sim.boot ~seed () in
-    let box = Simmem.malloc mem boot 1 in
-    let target = Simmem.malloc mem boot 2 in
-    Simmem.write mem boot target 41;
-    Simmem.write mem boot box target;
-    let reader ctx =
-      let v =
-        Htm.atomic htm ctx (fun tx ->
-            let p = Htm.read tx box in
-            (* stall with the pointer in hand *)
-            Sim.advance_to ctx (Sim.clock ctx + 2_000);
-            Htm.read tx p)
-      in
-      ignore v
-    in
-    let mutator ctx =
-      Sim.advance_to ctx 500;
-      let fresh = Simmem.malloc mem ctx 2 in
-      Simmem.write mem ctx fresh 42;
-      Simmem.write mem ctx box fresh;
-      Simmem.free mem ctx target
-    in
-    match Sim.run ~seed [| reader; mutator |] with
-    | () -> "completed (transaction aborted and retried)"
-    | exception Simmem.Fault f -> Format.asprintf "SEGFAULT: %a" Simmem.pp_fault f
-  in
-  let on = run_with true in
-  let off = run_with false in
-  ignore csv;
-  pf "== Ablation: sandboxing (dangling dereference inside a transaction) ==@.";
-  pf "sandboxed HTM:     %s@." on;
-  pf "unsandboxed HTM:   %s@.@." off
-
-(* Store-buffer capacity sweep: the adaptive controller must discover the
-   largest step each buffer admits. *)
-let ablate_store_buffer ~duration ~seed ~csv =
-  let maker = Option.get (Collect.find_maker "ArrayDynAppendDereg") in
-  let rows =
-    List.map
-      (fun sb ->
-        let config = { Htm.default_config with store_buffer = sb } in
-        let m = Workload.Driver.machine ~htm_config:config ~seed () in
-        let cfg =
-          { Collect.Intf.max_slots = 128; num_threads = 2; step = Collect.Intf.Adaptive;
-            min_size = 4 }
-        in
-        let inst = maker.make m.htm m.boot cfg in
-        let deadline = Workload.Driver.warmup + duration in
-        let collects = ref 0 in
-        let measuring = ref true in
-        let bodies =
-          [|
-            (fun ctx ->
-              let buf = Sim.Ibuf.create () in
-              collects :=
-                Workload.Driver.measured_loop ctx ~deadline (fun () ->
-                    Sim.Ibuf.clear buf;
-                    inst.collect ctx buf);
-              measuring := false);
-            (fun ctx ->
-              let hs =
-                Array.init 64 (fun _ -> inst.register ctx (Workload.Driver.fresh_value ()))
-              in
-              while !measuring do
-                Sim.tick ctx 2000
-              done;
-              Array.iter (fun h -> inst.deregister ctx h) hs);
-          |]
-        in
-        Sim.run ~seed bodies;
-        let top_step =
-          List.fold_left (fun acc (s, _) -> max acc s) 0 (inst.step_histogram ())
-        in
-        ( string_of_int sb,
-          [
-            Some (Workload.Driver.ops_per_us ~ops:!collects ~duration);
-            Some (float_of_int top_step);
-          ] ))
-      [ 8; 16; 32; 64 ]
-  in
-  emit ~csv
-    {
-      Workload.Report.title = "Ablation: store-buffer capacity (adaptive step discovery)";
-      xlabel = "buffer";
-      unit = "ops/us";
-      columns = [ "collect throughput"; "largest step setting" ];
-      rows;
-    }
-
-let run_ablate ~duration ~seed ~csv =
-  ablate_tle ~duration ~seed ~csv;
-  ablate_sandbox ~duration ~seed ~csv;
-  ablate_store_buffer ~duration ~seed ~csv
-
-(* ------------------------------------------------------------------ *)
-(* Extension variants (paper §3.1.2 and §4.1, described but not
-   implemented there)                                                  *)
-
-(* The §3.1.2 starvation scenario: a large stable handle population keeps
-   collects long, while churners rapidly cycle one volatile slot each.
-   Plain FastCollect restarts on every deregister anywhere; the deferred
-   variant restarts only when its own cursor's node is hit. *)
-let ext_starvation ~duration ~seed mk churn_period =
-  let m = Workload.Driver.machine ~seed () in
-  let churners = 15 in
-  let cfg =
-    { Collect.Intf.max_slots = 256; num_threads = churners + 1;
-      step = Collect.Intf.Adaptive; min_size = 4 }
-  in
-  let inst = mk.Collect.Intf.make m.htm m.boot cfg in
-  let deadline = Workload.Driver.warmup + duration in
-  let collects = ref 0 in
-  let measuring = ref true in
-  let collector ctx =
-    let buf = Sim.Ibuf.create () in
-    collects :=
-      Workload.Driver.measured_loop ctx ~deadline (fun () ->
-          Sim.Ibuf.clear buf;
-          inst.collect ctx buf);
-    measuring := false
-  in
-  let churner ctx =
-    let stable =
-      Array.init 4 (fun _ -> inst.register ctx (Workload.Driver.fresh_value ()))
-    in
-    let volatile = ref (inst.register ctx (Workload.Driver.fresh_value ())) in
-    let next = ref Workload.Driver.warmup in
-    while !next < deadline do
-      Sim.advance_to ctx !next;
-      inst.deregister ctx !volatile;
-      Sim.advance_to ctx (!next + (churn_period / 2));
-      volatile := inst.register ctx (Workload.Driver.fresh_value ());
-      next := !next + churn_period
-    done;
-    while !measuring do
-      Sim.tick ctx 2000
-    done;
-    inst.deregister ctx !volatile;
-    Array.iter (fun h -> inst.deregister ctx h) stable
-  in
-  Sim.run ~seed (Array.init (churners + 1) (fun i -> if i = 0 then collector else churner));
-  inst.destroy m.boot;
-  Workload.Driver.ops_per_us ~ops:!collects ~duration
-
-let run_ext ~duration ~seed ~csv =
-  let fc = Option.get (Collect.find_maker "ListFastCollect") in
-  let fcd = Option.get (Collect.find_maker "ListFastCollectDeferred") in
-  let periods = [ 50_000; 20_000; 10_000; 5_000; 2_000; 1_000 ] in
-  let rows =
-    List.map
-      (fun p ->
-        ( Workload.Collect_update.period_label p,
-          [
-            Some (ext_starvation ~duration ~seed fc p);
-            Some (ext_starvation ~duration ~seed fcd p);
-          ] ))
-      periods
-  in
-  emit ~csv
-    {
-      Workload.Report.title =
-        "Extension: deferred-free FastCollect, 60 stable handles + 15 churning (section \
-         3.1.2)";
-      xlabel = "churn period";
-      unit = "ops/us";
-      columns = [ "ListFastCollect"; "ListFastCollectDeferred" ];
-      rows;
-    };
-  (* Michael-Scott reclaimed through a Dynamic Collect object vs the fixed
-     hazard array: same discipline, dynamic announcement space. *)
-  let queue_rows =
-    List.map
-      (fun threads ->
-        let one name =
-          let mk = Option.get (Hqueue.find_maker name) in
-          let m = Workload.Driver.machine ~seed () in
-          let q = mk.make m.htm m.boot ~num_threads:threads in
-          let deadline = Workload.Driver.warmup + duration in
-          let ops = Array.make threads 0 in
-          Sim.run ~seed
-            (Array.init threads (fun i ->
-                 fun ctx ->
-                   ops.(i) <-
-                     Workload.Driver.measured_loop ctx ~deadline (fun () ->
-                         if Sim.Rng.bool (Sim.rng ctx) then
-                           q.enqueue ctx (Workload.Driver.fresh_value ())
-                         else ignore (q.dequeue ctx))));
-          q.destroy m.boot;
-          Workload.Driver.ops_per_us ~ops:(Array.fold_left ( + ) 0 ops) ~duration
-        in
-        ( string_of_int threads,
-          [ Some (one "MichaelScott+ROP"); Some (one "MichaelScott+Collect") ] ))
-      [ 2; 4; 8; 16 ]
-  in
-  emit ~csv
-    {
-      Workload.Report.title =
-        "Extension: reclamation via fixed hazard array vs Dynamic Collect (section 1.2)";
-      xlabel = "threads";
-      unit = "ops/us";
-      columns = [ "MichaelScott+ROP"; "MichaelScott+Collect" ];
-      rows = queue_rows;
-    };
-  (* Update-optimised AppendDereg: faster updates, dearer collects. *)
-  let variants =
-    List.filter_map Collect.find_maker [ "ArrayDynAppendDereg"; "ArrayDynAppendFastUpd" ]
-  in
-  let lat = Workload.Latency.run ~makers:variants ~seed () in
-  emit ~csv
-    { (Workload.Latency.to_table lat) with
-      title = "Extension: update latency of the section 4.1 variant" };
-  let coll =
-    List.concat_map
-      (fun period ->
-        List.map
-          (fun mk ->
-            Workload.Collect_update.run_one mk ~updaters:15 ~period ~duration
-              ~step:(Collect.Intf.Fixed 32) ~seed)
-          variants)
-      [ 100_000; 10_000; 2_000 ]
-  in
-  emit ~csv
-    (Workload.Collect_update.to_table
-       ~title:"Extension: collect throughput of the section 4.1 variant" coll)
-
-(* ------------------------------------------------------------------ *)
-(* Bechamel microbenchmarks: wall-clock cost of the simulator itself.  *)
-
-let micro_tests () =
-  let open Bechamel in
-  let mem = Simmem.create () in
-  let htm = Htm.create mem in
-  let boot = Sim.boot () in
-  let word = Simmem.malloc mem boot 8 in
-  let tx_rw =
-    Test.make ~name:"htm: atomic read+write"
-      (Staged.stage (fun () ->
-           Htm.atomic htm boot (fun tx -> Htm.write tx word (Htm.read tx word + 1))))
-  in
-  let mem_rw =
-    Test.make ~name:"simmem: read+write"
-      (Staged.stage (fun () -> Simmem.write mem boot word (Simmem.read mem boot word + 1)))
-  in
-  let q = Hqueue.Htm_queue.maker.make htm boot ~num_threads:2 in
-  let queue_cycle =
-    Test.make ~name:"htm queue: enqueue+dequeue"
-      (Staged.stage (fun () ->
-           q.enqueue boot 1;
-           ignore (q.dequeue boot)))
-  in
-  let maker = Option.get (Collect.find_maker "ArrayDynAppendDereg") in
-  let inst =
-    maker.make htm boot
-      { Collect.Intf.max_slots = 128; num_threads = 2; step = Collect.Intf.Fixed 32;
-        min_size = 4 }
-  in
-  let (_ : int array) = Array.init 64 (fun i -> inst.register boot (i + 1)) in
-  let buf = Sim.Ibuf.create () in
-  let collect64 =
-    Test.make ~name:"collect: ArrayDynAppendDereg over 64 slots"
-      (Staged.stage (fun () ->
-           Sim.Ibuf.clear buf;
-           inst.collect boot buf))
-  in
-  let spawn =
-    Test.make ~name:"sim: run of 4 trivial threads"
-      (Staged.stage (fun () -> Sim.run ~seed:1 (Array.make 4 (fun ctx -> Sim.tick ctx 10))))
-  in
-  [ mem_rw; tx_rw; queue_cycle; collect64; spawn ]
-
-let run_micro ~duration:_ ~seed:_ ~csv:_ =
-  let open Bechamel in
-  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
-  let instance = Toolkit.Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
-  pf "== Microbenchmarks: wall-clock cost of simulator primitives ==@.";
-  List.iter
-    (fun test ->
-      let results = Benchmark.all cfg [ instance ] test in
-      let analysis = Analyze.all ols instance results in
-      Hashtbl.iter
-        (fun name ols_result ->
-          match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> pf "%-45s %8.1f ns/run@." name est
-          | Some _ | None -> pf "%-45s (no estimate)@." name)
-        analysis)
-    (micro_tests ());
-  pf "@."
-
-(* ------------------------------------------------------------------ *)
-(* Command line                                                        *)
-
-type figure = {
-  fname : string;
-  doc : string;
-  default_duration : int;
-  frun : duration:int -> seed:int -> csv:bool -> unit;
-}
-
-let figures =
-  [
-    { fname = "fig1"; doc = "queue throughput vs threads"; default_duration = 300_000;
-      frun = run_fig1 };
-    { fname = "latency"; doc = "section 5.1 update latency"; default_duration = 0;
-      frun = run_latency };
-    { fname = "fig3"; doc = "collect-dominated mixed workload"; default_duration = 400_000;
-      frun = run_fig3 };
-    { fname = "fig4"; doc = "collect-update period sweep"; default_duration = 400_000;
-      frun = run_fig4 };
-    { fname = "fig5"; doc = "step-size comparison"; default_duration = 300_000;
-      frun = run_fig5 };
-    { fname = "fig6"; doc = "adaptive step-size distribution"; default_duration = 400_000;
-      frun = run_fig6 };
-    { fname = "fig7"; doc = "collect-(de)register sweep"; default_duration = 400_000;
-      frun = run_fig7 };
-    { fname = "fig8"; doc = "phased registered-slot count"; default_duration = 2_000_000;
-      frun = run_fig8 };
-    { fname = "space"; doc = "space usage at quiescence"; default_duration = 0;
-      frun = run_space };
-    { fname = "contend"; doc = "coherence-contention profile: HoHRC vs ROP";
-      default_duration = 300_000; frun = run_contend };
-    { fname = "chaos"; doc = "fault injection: crashes, stalls, spurious aborts"; default_duration = 0;
-      frun = run_chaos };
-    { fname = "aborts"; doc = "abort-rate telemetry behind figs 4/5"; default_duration = 300_000;
-      frun = run_aborts };
-    { fname = "ablate"; doc = "section 6 ablations"; default_duration = 200_000;
-      frun = run_ablate };
-    { fname = "ext"; doc = "paper-described but unimplemented variants"; default_duration = 300_000;
-      frun = run_ext };
-    { fname = "micro"; doc = "bechamel microbenchmarks"; default_duration = 0;
-      frun = run_micro };
-  ]
-
-let run_all ~seed ~csv =
-  List.iter (fun f -> f.frun ~duration:f.default_duration ~seed ~csv) figures
 
 (* ------------------------------------------------------------------ *)
 (* Observability plumbing: --trace / --metrics / --json                *)
@@ -642,32 +73,37 @@ let summary_of_metrics reg =
       );
     ]
 
-let bench_json ~experiment ~duration ~seed ~metrics =
+(* bench/2: adds deterministic run metadata (the canonical cell count).
+   Wall-clock and --jobs deliberately never appear here — the artifact
+   must be byte-identical whatever the pool did. *)
+let bench_json ~experiment ~duration ~seed ~cells ~metrics =
   Obs.Json.Obj
     [
-      ("schema", Obs.Json.Str "bench/1");
+      ("schema", Obs.Json.Str "bench/2");
       ("experiment", Obs.Json.Str experiment);
       ( "params",
         Obs.Json.Obj
           [ ("duration", Obs.Json.Int duration); ("seed", Obs.Json.Int seed) ] );
-      ("seed", Obs.Json.Int seed);
+      ( "run",
+        Obs.Json.Obj
+          [ ("cells", Obs.Json.Int cells); ("deterministic", Obs.Json.Bool true) ] );
       ("tables", Obs.Json.List (List.rev !captured_tables));
       ( "summary",
         match metrics with Some r -> summary_of_metrics r | None -> Obs.Json.Null );
     ]
 
-(* Wrap one experiment run with the requested sinks: install them via
-   [Driver.set_obs] (so every machine the workloads build attaches
-   itself), run, then write the artifact files. *)
-let run_with_obs ~fname ~frun ~duration ~seed ~csv ~json ~trace ~metrics =
+(* Run one registry experiment with the requested sinks: a fresh aggregate
+   registry per experiment (so `all --json` artifacts stay independent),
+   the sweep executor under it, then the artifact files. *)
+let run_experiment (e : Experiments.t) ~jobs ~duration ~seed ~csv ~json ~trace ~metrics
+    ~times =
   let tracer = match trace with None -> None | Some _ -> Some (Obs.Tracer.create ()) in
-  let mreg =
-    if json || metrics <> None then Some (Obs.Metrics.create ()) else None
-  in
-  Workload.Driver.set_obs
-    { obs_tracer = tracer; obs_metrics = mreg; obs_profile = false };
+  let mreg = if json || metrics <> None then Some (Obs.Metrics.create ()) else None in
   captured_tables := [];
-  frun ~duration ~seed ~csv;
+  let ctx =
+    { Experiments.duration; seed; emit = emit ~csv; ppf = Format.std_formatter }
+  in
+  Experiments.run e ~jobs ?tracer ?absorb_into:mreg ~times ctx;
   (match (trace, tracer) with
   | Some file, Some tr ->
       Obs.Tracer.write_file tr file;
@@ -680,13 +116,39 @@ let run_with_obs ~fname ~frun ~duration ~seed ~csv ~json ~trace ~metrics =
       pf "metrics -> %s@." file
   | _ -> ());
   if json then begin
-    let file = Printf.sprintf "BENCH_%s.json" fname in
-    Obs.Json.write_file file (bench_json ~experiment:fname ~duration ~seed ~metrics:mreg);
+    let file = Printf.sprintf "BENCH_%s.json" e.name in
+    Obs.Json.write_file file
+      (bench_json ~experiment:e.name ~duration ~seed
+         ~cells:(Experiments.cell_count e ~duration ~seed)
+         ~metrics:mreg);
     pf "bench report -> %s@." file
-  end;
-  Workload.Driver.set_obs Workload.Driver.no_obs
+  end
+
+(* CI settings: an eighth of the default window (floored) keeps every
+   shape the tests encode while the whole `all` sweep stays in minutes. *)
+let smoke_duration (e : Experiments.t) =
+  if e.default_duration = 0 then 0 else max 50_000 (e.default_duration / 8)
+
+let run_all ~jobs ~seed ~csv ~smoke ~json ~times =
+  List.iter
+    (fun (e : Experiments.t) ->
+      if e.in_all then begin
+        let duration = if smoke then smoke_duration e else e.default_duration in
+        run_experiment e ~jobs ~duration ~seed ~csv ~json ~trace:None ~metrics:None ~times
+      end)
+    Experiments.all
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                        *)
 
 open Cmdliner
+
+let jobs_arg =
+  let doc =
+    "Run the experiment's independent cells on $(docv) domains. The output (tables and \
+     artifacts) is byte-identical whatever $(docv) is; only wall-clock changes."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let duration_arg default =
   let doc = "Measured window in virtual cycles (2000 cycles = 1 us)." in
@@ -705,14 +167,17 @@ let trace_arg =
     & info [ "trace" ] ~docv:"FILE"
         ~doc:
           "Record a virtual-time event trace of the run and write it to $(docv) as Chrome \
-           trace_event JSON (open in Perfetto; read microseconds as simulated cycles).")
+           trace_event JSON (open in Perfetto; read microseconds as simulated cycles). \
+           Forces --jobs 1.")
 
 let metrics_arg =
   Arg.(
     value
     & opt (some string) None
     & info [ "metrics" ] ~docv:"FILE"
-        ~doc:"Write the aggregated metrics registry snapshot to $(docv) as JSON.")
+        ~doc:
+          "Write the aggregated metrics registry snapshot to $(docv) as JSON (includes \
+           the runner.* per-cell wall-clock telemetry).")
 
 let json_arg =
   Arg.(
@@ -722,28 +187,48 @@ let json_arg =
           "Also write BENCH_<experiment>.json: the printed tables plus the abort breakdown \
            and cycle totals, machine-readable.")
 
-let cmd_of_figure f =
-  let action duration seed csv chart trace metrics json =
+let times_arg =
+  Arg.(
+    value & flag
+    & info [ "times" ]
+        ~doc:"Print the per-cell wall-clock table after the run (never in artifacts).")
+
+let smoke_arg =
+  Arg.(
+    value & flag
+    & info [ "smoke" ]
+        ~doc:"CI durations: an eighth of each experiment's default window (floor 50k cycles).")
+
+let cmd_of_experiment (e : Experiments.t) =
+  let action jobs duration seed csv chart trace metrics json times =
     chart_mode := chart;
-    run_with_obs ~fname:f.fname ~frun:f.frun ~duration ~seed ~csv ~json ~trace ~metrics
+    run_experiment e ~jobs ~duration ~seed ~csv ~json ~trace ~metrics ~times
   in
   Cmd.v
-    (Cmd.info f.fname ~doc:f.doc)
+    (Cmd.info e.name ~doc:e.doc)
     Term.(
-      const action $ duration_arg f.default_duration $ seed_arg $ csv_arg $ chart_arg
-      $ trace_arg $ metrics_arg $ json_arg)
+      const action $ jobs_arg $ duration_arg e.default_duration $ seed_arg $ csv_arg
+      $ chart_arg $ trace_arg $ metrics_arg $ json_arg $ times_arg)
 
-let all_action seed csv chart trace metrics json =
+let all_action jobs seed csv chart smoke json times =
   chart_mode := chart;
-  run_with_obs ~fname:"all"
-    ~frun:(fun ~duration:_ ~seed ~csv -> run_all ~seed ~csv)
-    ~duration:0 ~seed ~csv ~json ~trace ~metrics
+  run_all ~jobs ~seed ~csv ~smoke ~json ~times
 
 let all_cmd =
   Cmd.v
-    (Cmd.info "all" ~doc:"run every figure and table (default)")
+    (Cmd.info "all"
+       ~doc:
+         "run every figure and table (default); with --json, write one \
+          BENCH_<experiment>.json per experiment")
     Term.(
-      const all_action $ seed_arg $ csv_arg $ chart_arg $ trace_arg $ metrics_arg $ json_arg)
+      const all_action $ jobs_arg $ seed_arg $ csv_arg $ chart_arg $ smoke_arg $ json_arg
+      $ times_arg)
+
+let read_json_file file =
+  let ic = open_in_bin file in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Obs.Json.parse s
 
 (* CI gate: parse artifact files with the strict in-repo JSON parser and
    fail loudly on the first invalid one. *)
@@ -753,10 +238,7 @@ let validate_cmd =
     let ok = ref true in
     List.iter
       (fun file ->
-        let ic = open_in_bin file in
-        let s = really_input_string ic (in_channel_length ic) in
-        close_in ic;
-        match Obs.Json.parse s with
+        match read_json_file file with
         | Ok _ -> pf "%s: valid JSON@." file
         | Error e ->
             ok := false;
@@ -768,14 +250,61 @@ let validate_cmd =
     (Cmd.info "validate" ~doc:"check that artifact files are valid JSON (CI gate)")
     Term.(const action $ files)
 
+(* The regression gate: compare two BENCH artifacts at the shape level
+   (orderings, ratio bands, crossover positions) and exit 1 on any
+   difference — absolute values may drift freely within the bands. *)
+let diff_cmd =
+  let old_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD") in
+  let new_arg = Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW") in
+  let order_tol_arg =
+    Arg.(
+      value
+      & opt float Runner.Diff.default_order_tol
+      & info [ "order-tol" ] ~docv:"T"
+          ~doc:
+            "Relative tie band: two values within $(docv) of each other make no ordering \
+             claim.")
+  in
+  let ratio_tol_arg =
+    Arg.(
+      value
+      & opt float Runner.Diff.default_ratio_tol
+      & info [ "ratio-tol" ] ~docv:"R"
+          ~doc:"Allowed per-cell drift band: new/old must stay within [1/$(docv), $(docv)].")
+  in
+  let action old_f new_f order_tol ratio_tol =
+    let read f =
+      match read_json_file f with
+      | Ok j -> j
+      | Error e ->
+          pf "%s: INVALID: %s@." f e;
+          exit 2
+    in
+    let r =
+      Runner.Diff.diff ~order_tol ~ratio_tol ~old_artifact:(read old_f)
+        ~new_artifact:(read new_f) ()
+    in
+    Runner.Diff.print Format.std_formatter r;
+    if Runner.Diff.has_regression r then exit 1
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "shape-compare two BENCH artifacts (orderings, ratios, crossovers); exit 1 on \
+          regression (CI gate)")
+    Term.(const action $ old_arg $ new_arg $ order_tol_arg $ ratio_tol_arg)
+
 let () =
   let default =
     Term.(
-      const all_action $ seed_arg $ csv_arg $ chart_arg $ trace_arg $ metrics_arg $ json_arg)
+      const all_action $ jobs_arg $ seed_arg $ csv_arg $ chart_arg $ smoke_arg $ json_arg
+      $ times_arg)
   in
   let info =
     Cmd.info "bench" ~doc:"Reproduce the tables and figures of Dragojevic et al., PODC 2011"
   in
   exit
     (Cmd.eval
-       (Cmd.group ~default info (all_cmd :: validate_cmd :: List.map cmd_of_figure figures)))
+       (Cmd.group ~default info
+          (all_cmd :: validate_cmd :: diff_cmd
+          :: List.map cmd_of_experiment Experiments.all)))

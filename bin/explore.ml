@@ -36,17 +36,18 @@ let resolve_scenarios spec ~threads ~ops =
     in
     go [] (String.split_on_char ',' keys)
 
-let run_search budget scenarios threads ops seed with_faults max_violations out =
+let run_search jobs budget scenarios threads ops seed with_faults max_violations out =
   match resolve_scenarios scenarios ~threads ~ops with
   | Error e ->
     err "explore search: %s" e;
     1
   | Ok scns ->
-    Printf.printf "searching %d schedules over %d scenario(s), base seed %d%s\n%!"
+    Printf.printf "searching %d schedules over %d scenario(s), base seed %d%s%s\n%!"
       budget (List.length scns) seed
-      (if with_faults then ", fault rounds on" else "");
+      (if with_faults then ", fault rounds on" else "")
+      (if jobs > 1 then Printf.sprintf ", %d domains" jobs else "");
     let summary =
-      Explore.Search.search ~base_seed:seed ~with_faults ~max_violations
+      Explore.Search.search_sharded ~jobs ~base_seed:seed ~with_faults ~max_violations
         ~log:print_endline ~budget scns
     in
     Printf.printf "ran %d schedules: %d passed, %d violation(s)\n%!"
@@ -281,6 +282,14 @@ let run_workload algo threads mix step duration budget seed =
 open Cmdliner
 
 let search_cmd =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Shard the schedule budget across $(docv) domains. The explored run set is \
+             identical whatever $(docv) is (contiguous ranges of the same seed sequence).")
+  in
   let budget =
     Arg.(value & opt int 2000 & info [ "budget" ] ~doc:"Schedules to run in total.")
   in
@@ -305,7 +314,7 @@ let search_cmd =
   Cmd.v
     (Cmd.info "search"
        ~doc:"Systematically explore schedules; exit 1 iff a violation was found")
-    Term.(const run_search $ budget $ scenarios $ threads $ ops $ seed $ faults
+    Term.(const run_search $ jobs $ budget $ scenarios $ threads $ ops $ seed $ faults
           $ max_violations $ out)
 
 let replay_cmd =

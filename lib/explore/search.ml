@@ -71,8 +71,8 @@ let shrink_and_package (scn : Scenario.t) ~seed ~faults ~deviations ~message =
     vio_shrink_tests = shr.shr_tests;
   }
 
-let search ?(base_seed = 1) ?(with_faults = false) ?(max_violations = 3) ?log ~budget
-    (scenarios : Scenario.t list) =
+let search ?(offset = 0) ?(base_seed = 1) ?(with_faults = false) ?(max_violations = 3) ?log
+    ~budget (scenarios : Scenario.t list) =
   let scenarios = Array.of_list scenarios in
   let ns = Array.length scenarios in
   if ns = 0 then invalid_arg "Search.search: no scenarios";
@@ -82,7 +82,7 @@ let search ?(base_seed = 1) ?(with_faults = false) ?(max_violations = 3) ?log ~b
   let passed = ref 0 in
   let runs = ref 0 in
   (try
-     for run = 0 to budget - 1 do
+     for run = offset to offset + budget - 1 do
        let scn = scenarios.(run mod ns) in
        let round = run / ns in
        let seed = base_seed + (run * 7919) in
@@ -114,6 +114,45 @@ let search ?(base_seed = 1) ?(with_faults = false) ?(max_violations = 3) ?log ~b
      done
    with Exit -> ());
   { res_runs = !runs; res_passed = !passed; res_violations = List.rev !violations }
+
+(* Shard the run range [0, budget) contiguously across a domain pool.
+   Each shard is the serial [search] over its own range — run indices,
+   and so seeds, strategies and fault plans, are exactly the serial
+   ones — and the merged summary lists violations in run order, so the
+   union of work is independent of [jobs]. Per-shard [max_violations]
+   still bounds each shard's shrink work, but a sharded search can
+   return up to [jobs * max_violations] violations where the serial one
+   stops at [max_violations]. [log] is only attached at jobs = 1:
+   domains interleaving progress lines would scramble them. *)
+let search_sharded ?(jobs = 1) ?(base_seed = 1) ?(with_faults = false) ?(max_violations = 3)
+    ?log ~budget scenarios =
+  if jobs <= 1 || budget <= 1 then
+    search ~base_seed ~with_faults ~max_violations ?log ~budget scenarios
+  else begin
+    let jobs = min jobs budget in
+    let chunk = (budget + jobs - 1) / jobs in
+    let shards =
+      List.init jobs (fun k ->
+          let lo = k * chunk in
+          (lo, min budget (lo + chunk) - lo))
+      |> List.filter (fun (_, n) -> n > 0)
+    in
+    let results =
+      Runner.Pool.map ~jobs
+        (fun (offset, n) ->
+          search ~offset ~base_seed ~with_faults ~max_violations ~budget:n scenarios)
+        (Array.of_list shards)
+    in
+    Array.fold_left
+      (fun acc s ->
+        {
+          res_runs = acc.res_runs + s.res_runs;
+          res_passed = acc.res_passed + s.res_passed;
+          res_violations = acc.res_violations @ s.res_violations;
+        })
+      { res_runs = 0; res_passed = 0; res_violations = [] }
+      results
+  end
 
 let replay_artifact ?trace (a : Artifact.t) =
   match Scenario.build ~key:a.art_scenario ~threads:a.art_threads ~ops:a.art_ops with

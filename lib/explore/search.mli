@@ -34,6 +34,7 @@ val light_faults : int -> Sim.Fault.spec
     preemption stalls (up to 400 cycles) and 2 % spurious aborts. *)
 
 val search :
+  ?offset:int ->
   ?base_seed:int ->
   ?with_faults:bool ->
   ?max_violations:int ->
@@ -41,9 +42,27 @@ val search :
   budget:int ->
   Scenario.t list ->
   summary
-(** [search ~budget scenarios] runs [budget] schedules round-robin over
-    the scenarios, stopping early after [max_violations] (default 3)
-    shrunken violations. [log] receives progress lines. *)
+(** [search ~budget scenarios] runs schedules [offset] (default 0)
+    through [offset + budget - 1] round-robin over the scenarios,
+    stopping early after [max_violations] (default 3) shrunken
+    violations. Seeds, strategies and fault plans are pure functions of
+    the run index, so an offset range reproduces exactly that slice of a
+    longer serial search. [log] receives progress lines. *)
+
+val search_sharded :
+  ?jobs:int ->
+  ?base_seed:int ->
+  ?with_faults:bool ->
+  ?max_violations:int ->
+  ?log:(string -> unit) ->
+  budget:int ->
+  Scenario.t list ->
+  summary
+(** {!search} with the run range sharded contiguously across up to
+    [jobs] domains. The union of runs equals the serial search's and the
+    merged violations are listed in run order, but each shard applies
+    [max_violations] separately (so up to [jobs * max_violations]
+    violations can come back) and [log] only fires at [jobs = 1]. *)
 
 val replay_artifact :
   ?trace:Trace.t -> Artifact.t -> (Scenario.outcome, string) result

@@ -133,6 +133,14 @@ let reset_hist h =
   Array.fill h.h_counts 0 hist_buckets 0;
   h.h_n <- 0
 
+(* Bucket-wise histogram merge (bucket lows are powers of two, so
+   [bucket_of lo] recovers the index); loops would cost one observe per
+   original sample. *)
+let rec h_add h b n =
+  h.h_counts.(b) <- h.h_counts.(b) + n;
+  h.h_n <- h.h_n + n;
+  match h.h_parent with None -> () | Some p -> h_add p b n
+
 type value =
   | Counter of { total : int; per_tid : (int * int) list }
   | Gauge of { current : int; high : int }
@@ -151,6 +159,32 @@ let snapshot t =
       in
       (name, v))
     t.rev_order
+
+(* Merge a snapshot into [t], as if [t] had observed everything the
+   snapshotted registry did, sequenced after [t]'s own history. Counters
+   and histograms are commutative; gauge levels add, and the high-water
+   mark composes sequentially (previous max + absorbed max bounds the
+   level the merged timeline could have reached). Absorbing snapshots in
+   a fixed order therefore yields identical registries however the
+   source registries' runs were scheduled. *)
+let absorb t (snap : snapshot) =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter { total; per_tid } ->
+        let c = counter ~per_thread:(per_tid <> []) t name in
+        let tagged = List.fold_left (fun a (_, n) -> a + n) 0 per_tid in
+        List.iter (fun (tid, n) -> incr ~tid ~by:n c) per_tid;
+        if total - tagged <> 0 then incr ~by:(total - tagged) c
+      | Gauge { current; high } ->
+        let g = gauge t name in
+        let base_max = g.g_max in
+        g_add g current;
+        if base_max + high > g.g_max then g.g_max <- base_max + high
+      | Hist bs ->
+        let h = hist t name in
+        List.iter (fun (lo, n) -> h_add h (bucket_of lo) n) bs)
+    snap
 
 let print ppf snap =
   let rows =

@@ -95,6 +95,15 @@ type snapshot = (string * value) list
 val snapshot : t -> snapshot
 (** All metrics in first-registration order. *)
 
+val absorb : t -> snapshot -> unit
+(** Merge a snapshot into the registry, as if it had observed everything
+    the snapshotted registry did, sequenced after its own history:
+    counters and histogram buckets add (per-thread attribution kept),
+    gauge levels add and the high-water mark composes sequentially. The
+    sweep runner uses this to fold per-cell registries into the
+    experiment-wide one in canonical cell order, which makes the merged
+    registry independent of how the cells were scheduled. *)
+
 val print : Format.formatter -> snapshot -> unit
 (** Aligned name/kind/value listing (via {!Table.print_cols}). *)
 

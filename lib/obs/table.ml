@@ -128,6 +128,56 @@ let print_csv ppf t =
     t.rows;
   Format.fprintf ppf "@."
 
+(* Inverse of {!to_json}, strict: [bench diff] reads tables back out of
+   BENCH artifacts with it, and a malformed table must be a loud finding
+   rather than a silently skipped one. *)
+let of_json j =
+  let str_list = function
+    | Json.List l ->
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | Json.Str s :: rest -> go (s :: acc) rest
+        | _ -> None
+      in
+      go [] l
+    | _ -> None
+  in
+  let cell_of = function
+    | Json.Null -> Some None
+    | v -> (match Json.to_float v with Some f -> Some (Some f) | None -> None)
+  in
+  let row_of = function
+    | Json.Obj _ as r ->
+      (match (Json.member "x" r, Json.member "values" r) with
+       | Some (Json.Str x), Some (Json.List vs) ->
+         let rec cells acc = function
+           | [] -> Some (List.rev acc)
+           | v :: rest ->
+             (match cell_of v with Some c -> cells (c :: acc) rest | None -> None)
+         in
+         Option.map (fun cs -> (x, cs)) (cells [] vs)
+       | _ -> None)
+    | _ -> None
+  in
+  match
+    ( Json.member "title" j, Json.member "xlabel" j, Json.member "unit" j,
+      Json.member "columns" j, Json.member "rows" j )
+  with
+  | Some (Json.Str title), Some (Json.Str xlabel), Some (Json.Str unit), Some cols,
+    Some (Json.List rows) ->
+    (match str_list cols with
+     | None -> Error "table: bad columns"
+     | Some columns ->
+       let rec go acc = function
+         | [] -> Ok { title; xlabel; unit; columns; rows = List.rev acc }
+         | r :: rest ->
+           (match row_of r with
+            | Some row -> go (row :: acc) rest
+            | None -> Error (Printf.sprintf "table %S: bad row" title))
+       in
+       go [] rows)
+  | _ -> Error "table: missing title/xlabel/unit/columns/rows"
+
 let to_json t =
   Json.Obj
     [

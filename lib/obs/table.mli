@@ -40,3 +40,7 @@ val to_json : table -> Json.t
 (** The table as a JSON object: [{title, xlabel, unit, columns, rows:
     [{x, values}]}] with [None] cells as [null] — the row format of the
     machine-readable bench report. *)
+
+val of_json : Json.t -> (table, string) result
+(** Strict inverse of {!to_json}; [bench diff] reads tables back out of
+    BENCH artifacts with it. *)

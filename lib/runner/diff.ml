@@ -1,0 +1,218 @@
+(** Shape-level comparison of two BENCH artifacts.
+
+    The reproduction charter compares *shapes* with the paper — orderings
+    within a row, ratios within a tolerance band, and the positions where
+    one curve crosses another — never absolute values. [bench diff] gates
+    on exactly those three properties between a committed baseline and a
+    fresh run, so a change that shifts every number by 3 % passes while a
+    change that flips "HTM beats Michael-Scott from 4 threads" or moves
+    fig4's 600→400-cycle crossover fails.
+
+    Two values are {e tied} when they differ by at most [order_tol]
+    (relative); only strict orderings participate in the ordering and
+    crossover checks, so noise-level gaps can reverse freely. The ratio
+    check flags any cell whose new/old ratio leaves
+    [[1/ratio_tol, ratio_tol]]. *)
+
+type issue = { i_table : string; i_kind : string; i_detail : string }
+
+type report = {
+  r_tables : int;  (** tables matched by title and compared *)
+  r_cells : int;  (** value cells compared *)
+  r_issues : issue list;
+}
+
+let default_order_tol = 0.05
+let default_ratio_tol = 1.25
+
+let has_regression r = r.r_issues <> []
+
+(* ------------------------------------------------------------------ *)
+
+let tables_of_artifact j =
+  match Obs.Json.member "tables" j with
+  | Some (Obs.Json.List l) -> List.map Obs.Table.of_json l
+  | _ -> []
+
+let tied tol a b =
+  Float.abs (a -. b) <= tol *. Float.max (Float.abs a) (Float.abs b)
+
+(* -1 / 0 / +1 with the tie band applied; ties are "no ordering claim". *)
+let ordering tol a b = if tied tol a b then 0 else compare a b
+
+(* Strict-sign sequence of (col i − col j) down the rows, with row labels;
+   ties are dropped, so a crossover is two adjacent surviving entries with
+   opposite signs. *)
+let crossings tol rows ci cj =
+  let signs =
+    List.filter_map
+      (fun (x, vs) ->
+        match (List.nth_opt vs ci, List.nth_opt vs cj) with
+        | Some (Some a), Some (Some b) ->
+          let s = ordering tol a b in
+          if s = 0 then None else Some (x, s)
+        | _ -> None)
+      rows
+  in
+  let rec go acc = function
+    | (x1, s1) :: ((x2, s2) :: _ as rest) ->
+      go (if s1 <> s2 then (x1, x2) :: acc else acc) rest
+    | _ -> List.rev acc
+  in
+  go [] signs
+
+let diff_table ~order_tol ~ratio_tol (old_t : Obs.Table.table)
+    (new_t : Obs.Table.table) =
+  let issues = ref [] in
+  let cells = ref 0 in
+  let issue kind detail =
+    issues := { i_table = old_t.title; i_kind = kind; i_detail = detail } :: !issues
+  in
+  if old_t.columns <> new_t.columns then
+    issue "columns"
+      (Printf.sprintf "columns changed: [%s] -> [%s]"
+         (String.concat "; " old_t.columns)
+         (String.concat "; " new_t.columns))
+  else if List.map fst old_t.rows <> List.map fst new_t.rows then
+    issue "rows"
+      (Printf.sprintf "row labels changed: [%s] -> [%s]"
+         (String.concat "; " (List.map fst old_t.rows))
+         (String.concat "; " (List.map fst new_t.rows)))
+  else begin
+    let ncols = List.length old_t.columns in
+    let col_name i = List.nth old_t.columns i in
+    (* Per-row: presence, ratio and pairwise-ordering checks. *)
+    List.iter2
+      (fun (x, olds) (_, news) ->
+        List.iteri
+          (fun i o ->
+            let n = List.nth news i in
+            match (o, n) with
+            | None, None -> ()
+            | Some _, None | None, Some _ ->
+              issue "missing-value"
+                (Printf.sprintf "row %s, %s: value %s" x (col_name i)
+                   (match n with None -> "disappeared" | Some _ -> "appeared"))
+            | Some ov, Some nv ->
+              incr cells;
+              let ok =
+                if ov = 0.0 then Float.abs nv <= order_tol
+                else if nv = 0.0 then Float.abs ov <= order_tol
+                else
+                  let r = nv /. ov in
+                  r <= ratio_tol && r >= 1.0 /. ratio_tol
+              in
+              if not ok then
+                issue "ratio"
+                  (Printf.sprintf "row %s, %s: %.4g -> %.4g (beyond %.2fx)" x
+                     (col_name i) ov nv ratio_tol))
+          olds;
+        for i = 0 to ncols - 1 do
+          for j = i + 1 to ncols - 1 do
+            match
+              ( List.nth olds i, List.nth olds j, List.nth news i, List.nth news j )
+            with
+            | Some oa, Some ob, Some na, Some nb ->
+              let os = ordering order_tol oa ob and ns = ordering order_tol na nb in
+              if os <> 0 && ns <> 0 && os <> ns then
+                issue "ordering"
+                  (Printf.sprintf "row %s: %s %s %s reversed to %s" x (col_name i)
+                     (if os > 0 then ">" else "<")
+                     (col_name j)
+                     (if ns > 0 then ">" else "<"))
+            | _ -> ()
+          done
+        done)
+      old_t.rows new_t.rows;
+    (* Crossover positions per column pair. *)
+    for i = 0 to ncols - 1 do
+      for j = i + 1 to ncols - 1 do
+        let oc = crossings order_tol old_t.rows i j in
+        let nc = crossings order_tol new_t.rows i j in
+        if oc <> nc then
+          let show l =
+            if l = [] then "none"
+            else String.concat ", " (List.map (fun (a, b) -> a ^ ".." ^ b) l)
+          in
+          issue "crossover"
+            (Printf.sprintf "%s vs %s: crossings moved: %s -> %s" (col_name i)
+               (col_name j) (show oc) (show nc))
+      done
+    done
+  end;
+  (!cells, List.rev !issues)
+
+let diff ?(order_tol = default_order_tol) ?(ratio_tol = default_ratio_tol) ~old_artifact
+    ~new_artifact () =
+  let issues = ref [] in
+  let cells = ref 0 in
+  let tables = ref 0 in
+  let top kind detail =
+    issues := { i_table = "(artifact)"; i_kind = kind; i_detail = detail } :: !issues
+  in
+  let old_tables =
+    List.filter_map
+      (function
+        | Ok t -> Some t
+        | Error e ->
+          top "malformed" ("old artifact: " ^ e);
+          None)
+      (tables_of_artifact old_artifact)
+  in
+  let new_tables =
+    List.filter_map
+      (function
+        | Ok t -> Some t
+        | Error e ->
+          top "malformed" ("new artifact: " ^ e);
+          None)
+      (tables_of_artifact new_artifact)
+  in
+  let find title l = List.find_opt (fun (t : Obs.Table.table) -> t.title = title) l in
+  List.iter
+    (fun (ot : Obs.Table.table) ->
+      match find ot.title new_tables with
+      | None -> top "missing-table" (Printf.sprintf "table %S disappeared" ot.title)
+      | Some nt ->
+        incr tables;
+        let c, is = diff_table ~order_tol ~ratio_tol ot nt in
+        cells := !cells + c;
+        issues := List.rev_append is !issues)
+    old_tables;
+  List.iter
+    (fun (nt : Obs.Table.table) ->
+      if find nt.title old_tables = None then
+        top "new-table" (Printf.sprintf "table %S appeared (update the baseline)" nt.title))
+    new_tables;
+  { r_tables = !tables; r_cells = !cells; r_issues = List.rev !issues }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let kinds = [ "columns"; "rows"; "missing-value"; "ratio"; "ordering"; "crossover";
+              "missing-table"; "new-table"; "malformed" ]
+
+(* The summary table: one row per issue kind, plus the compared-shape
+   totals — the golden-tested face of [bench diff]. *)
+let report_table r : Obs.Table.table =
+  let count k =
+    List.length (List.filter (fun i -> i.i_kind = k) r.r_issues)
+  in
+  {
+    Obs.Table.title = "bench diff: shape comparison";
+    xlabel = "check";
+    unit = "count";
+    columns = [ "issues" ];
+    rows =
+      [ ("tables-compared", [ Some (float_of_int r.r_tables) ]);
+        ("cells-compared", [ Some (float_of_int r.r_cells) ]) ]
+      @ List.map (fun k -> (k, [ Some (float_of_int (count k)) ])) kinds;
+  }
+
+let print ppf r =
+  Obs.Table.print ppf (report_table r);
+  List.iter
+    (fun i -> Format.fprintf ppf "%s: [%s] %s@." i.i_table i.i_kind i.i_detail)
+    r.r_issues;
+  if r.r_issues = [] then Format.fprintf ppf "shapes preserved@."
+  else Format.fprintf ppf "@.%d shape issue(s)@." (List.length r.r_issues)

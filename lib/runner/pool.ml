@@ -1,0 +1,34 @@
+(** An order-preserving domain pool.
+
+    [map ~jobs f xs] applies [f] to every element of [xs] on up to [jobs]
+    domains (the calling domain participates, so [jobs = 8] spawns 7) and
+    returns the results in input order, whatever order the workers
+    finished in. Work is dealt from a shared atomic index, so a slow cell
+    never blocks the rest of the queue behind it.
+
+    [f] must not raise: callers wrap fallible work in [result] (see
+    {!Sweep}), so one failed element can never abandon the elements
+    queued behind it. *)
+
+let map ~jobs f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let jobs = max 1 (min jobs n) in
+    if jobs = 1 then Array.map f xs
+    else begin
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let rec worker () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f xs.(i));
+          worker ()
+        end
+      in
+      let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join domains;
+      Array.map (function Some v -> v | None -> assert false) results
+    end
+  end

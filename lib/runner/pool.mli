@@ -1,0 +1,13 @@
+(** An order-preserving domain pool. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f xs] applies [f] to every element of [xs] on up to [jobs]
+    domains (the calling domain participates, so [jobs = 8] spawns 7) and
+    returns the results in input order, whatever order the workers
+    finished in. Work is dealt from a shared atomic index, so a slow
+    element never blocks the rest of the queue behind it. [jobs] is
+    clamped to [\[1, length xs\]].
+
+    [f] must not raise: callers wrap fallible work in [result] (see
+    {!Sweep}), so one failed element can never abandon the elements
+    queued behind it. *)

@@ -78,9 +78,13 @@ and recorder = {
    [?tracer] is given. The benchmark driver points it at the current
    machine's process sink so workloads that call [Sim.run] directly are
    traced without threading a sink through every signature. *)
-let ambient_tracer : Obs.Tracer.sink option ref = ref None
-let set_default_tracer s = ambient_tracer := s
-let default_tracer () = !ambient_tracer
+(* Domain-local: worker domains of the benchmark runner install their
+   own sinks without racing the main domain (or each other). *)
+let ambient_tracer : Obs.Tracer.sink option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let set_default_tracer s = Domain.DLS.set ambient_tracer s
+let default_tracer () = Domain.DLS.get ambient_tracer
 
 let boot ?(seed = 0) () =
   {
@@ -91,7 +95,7 @@ let boot ?(seed = 0) () =
     faults = None;
     shield_depth = 0;
     last_progress = 0;
-    ctx_tracer = !ambient_tracer;
+    ctx_tracer = Domain.DLS.get ambient_tracer;
     ctx_on_fault = None;
   }
 
@@ -369,7 +373,7 @@ let run ?(seed = 0) ?(strategy = Min_clock) ?record ?faults ?watchdog ?diag ?tra
   let n = Array.length bodies in
   if n = 0 || n > max_threads then
     invalid_arg "Sim.run: need between 1 and 61 threads";
-  let sink = match tracer with Some _ -> tracer | None -> !ambient_tracer in
+  let sink = match tracer with Some _ -> tracer | None -> Domain.DLS.get ambient_tracer in
   let root = Rng.create seed in
   let ctxs =
     Array.init n (fun i ->

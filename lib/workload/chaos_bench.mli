@@ -78,8 +78,23 @@ type summary = {
   spurious : spurious_result list;
 }
 
-val run_all : ?seed:int -> unit -> summary
+(** One scenario run against one algorithm — the unit of parallelism. *)
+type piece =
+  | Crash of crash_result
+  | Queue of queue_result
+  | Spurious of spurious_result
+
+val cells : ?seed:int -> unit -> piece Runner.Cell.t list
+(** One cell per (scenario x algorithm), in canonical sweep order. *)
+
+val summary_of_pieces : piece list -> summary
+
+val run_all : ?jobs:int -> ?seed:int -> unit -> summary
 (** All three scenarios: {!Collect.all} under crashes and spurious aborts,
     {!Hqueue.all_with_extensions} under crashes. *)
+
+val tables : summary -> (Report.table * string) list
+(** The three rendered tables with their explanatory notes, in report
+    order. *)
 
 val report : Format.formatter -> summary -> unit

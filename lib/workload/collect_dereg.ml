@@ -72,7 +72,8 @@ let default_periods =
 
 let fig7_algos () = Collect_update.fig4_algos ()
 
-let run ?makers ?(churners = 15) ?(periods = default_periods) ?(duration = 400_000)
+(* One cell per (dereg period x algorithm), in canonical sweep order. *)
+let cells ?makers ?(churners = 15) ?(periods = default_periods) ?(duration = 400_000)
     ?(seed = 71) () =
   let makers = match makers with Some ms -> ms | None -> fig7_algos () in
   List.concat_map
@@ -80,9 +81,15 @@ let run ?makers ?(churners = 15) ?(periods = default_periods) ?(duration = 400_0
       List.map
         (fun (mk : Collect.Intf.maker) ->
           let step = if mk.uses_htm then Collect.Intf.Fixed 32 else Collect.Intf.Fixed 1 in
-          run_one mk ~churners ~dereg_period ~duration ~step ~seed)
+          Runner.Cell.v
+            ~label:(Printf.sprintf "fig7/%s/p%d" mk.algo_name dereg_period)
+            (fun () -> run_one mk ~churners ~dereg_period ~duration ~step ~seed))
         makers)
     periods
+
+let run ?jobs ?makers ?churners ?periods ?duration ?seed () =
+  Runner.Sweep.values
+    (Runner.Sweep.run ?jobs (cells ?makers ?churners ?periods ?duration ?seed ()))
 
 let to_table results =
   let columns =

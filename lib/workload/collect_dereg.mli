@@ -17,7 +17,18 @@ val run_one :
   seed:int ->
   result
 
+val cells :
+  ?makers:Collect.Intf.maker list ->
+  ?churners:int ->
+  ?periods:int list ->
+  ?duration:int ->
+  ?seed:int ->
+  unit ->
+  result Runner.Cell.t list
+(** One cell per (dereg period x algorithm), in canonical sweep order. *)
+
 val run :
+  ?jobs:int ->
   ?makers:Collect.Intf.maker list ->
   ?churners:int ->
   ?periods:int list ->

@@ -78,11 +78,21 @@ let run_one (maker : Collect.Intf.maker) ~threads ~duration ~step ~seed =
 
 let default_threads = [ 2; 4; 6; 8; 10; 12; 14; 16 ]
 
-let run ?(makers = Collect.all) ?(threads = default_threads) ?(duration = 400_000)
+(* One cell per (thread count x algorithm), in canonical sweep order. *)
+let cells ?(makers = Collect.all) ?(threads = default_threads) ?(duration = 400_000)
     ?(step = Collect.Intf.Fixed 32) ?(seed = 31) () =
   List.concat_map
-    (fun n -> List.map (fun mk -> run_one mk ~threads:n ~duration ~step ~seed) makers)
+    (fun n ->
+      List.map
+        (fun (mk : Collect.Intf.maker) ->
+          Runner.Cell.v ~label:(Printf.sprintf "fig3/%s/x%d" mk.algo_name n) (fun () ->
+              run_one mk ~threads:n ~duration ~step ~seed))
+        makers)
     threads
+
+let run ?jobs ?makers ?threads ?duration ?step ?seed () =
+  Runner.Sweep.values
+    (Runner.Sweep.run ?jobs (cells ?makers ?threads ?duration ?step ?seed ()))
 
 let to_table ?(makers = Collect.all) results =
   let columns = List.map (fun (m : Collect.Intf.maker) -> m.algo_name) makers in

@@ -8,7 +8,18 @@ val total_budget : int
 val initial_registered : int
 val default_threads : int list
 
+val cells :
+  ?makers:Collect.Intf.maker list ->
+  ?threads:int list ->
+  ?duration:int ->
+  ?step:Collect.Intf.step_policy ->
+  ?seed:int ->
+  unit ->
+  result Runner.Cell.t list
+(** One cell per (thread count x algorithm), in canonical sweep order. *)
+
 val run :
+  ?jobs:int ->
   ?makers:Collect.Intf.maker list ->
   ?threads:int list ->
   ?duration:int ->

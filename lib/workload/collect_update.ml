@@ -94,8 +94,9 @@ let fig4_algos () =
     [ "ArrayDynAppendDereg"; "ArrayStatAppendDereg"; "ListFastCollect";
       "ArrayDynSearchResize"; "ArrayStatSearchNo"; "StaticBaseline" ]
 
-let run_fig4 ?(updaters = 15) ?(periods = default_periods) ?(duration = 400_000) ?(seed = 41)
-    () =
+(* One cell per (period x algorithm), in canonical sweep order. *)
+let cells_fig4 ?(updaters = 15) ?(periods = default_periods) ?(duration = 400_000)
+    ?(seed = 41) () =
   List.concat_map
     (fun period ->
       List.map
@@ -103,48 +104,83 @@ let run_fig4 ?(updaters = 15) ?(periods = default_periods) ?(duration = 400_000)
           let step =
             if mk.uses_htm then Collect.Intf.Adaptive else Collect.Intf.Fixed 1
           in
-          run_one mk ~updaters ~period ~duration ~step ~seed)
+          Runner.Cell.v ~label:(Printf.sprintf "fig4/%s/p%d" mk.algo_name period) (fun () ->
+              run_one mk ~updaters ~period ~duration ~step ~seed))
         (fig4_algos ()))
     periods
+
+let run_fig4 ?jobs ?updaters ?periods ?duration ?seed () =
+  Runner.Sweep.values
+    (Runner.Sweep.run ?jobs (cells_fig4 ?updaters ?periods ?duration ?seed ()))
 
 (* Figure 5: fixed steps 8/16/32, the adaptive controller, and "Best
    (adapt cost)" — the best instrumented fixed step per period. *)
 let fig5_steps = [ 8; 16; 32 ]
 let fig5_best_candidates = [ 4; 8; 16; 32 ]
 
-let run_fig5 ?(updaters = 15) ?(periods = default_periods) ?(duration = 400_000) ?(seed = 51)
-    () =
+(* The fig-5 step line-up per period: the plotted fixed steps, the
+   instrumented candidates "Best (adapt cost)" is folded from, then the
+   adaptive controller. *)
+let fig5_cell_steps () =
+  List.map (fun s -> Collect.Intf.Fixed s) fig5_steps
+  @ List.map (fun s -> Collect.Intf.Fixed_instrumented s) fig5_best_candidates
+  @ [ Collect.Intf.Adaptive ]
+
+(* One cell per (period x step policy), in canonical sweep order.
+   {!fig5_collate} reduces the raw results to the plotted series. *)
+let cells_fig5 ?(updaters = 15) ?(periods = default_periods) ?(duration = 400_000)
+    ?(seed = 51) () =
   let maker = Option.get (Collect.find_maker "ArrayDynAppendDereg") in
   List.concat_map
     (fun period ->
-      let fixed =
-        List.map
-          (fun s -> run_one maker ~updaters ~period ~duration ~step:(Collect.Intf.Fixed s) ~seed)
-          fig5_steps
-      in
-      let adaptive =
-        run_one maker ~updaters ~period ~duration ~step:Collect.Intf.Adaptive ~seed
-      in
-      let best =
-        List.map
-          (fun s ->
-            run_one maker ~updaters ~period ~duration
-              ~step:(Collect.Intf.Fixed_instrumented s) ~seed)
-          fig5_best_candidates
-        |> List.fold_left (fun acc r -> if r.throughput > acc.throughput then r else acc)
-             { algo = ""; label = ""; period; throughput = neg_infinity; histogram = [];
-               commits = 0; aborts = 0 }
-      in
-      fixed @ [ { best with label = "Best (adapt cost)" }; adaptive ])
+      List.map
+        (fun step ->
+          Runner.Cell.v
+            ~label:(Printf.sprintf "fig5/%s/p%d" (step_label step) period)
+            (fun () -> run_one maker ~updaters ~period ~duration ~step ~seed))
+        (fig5_cell_steps ()))
     periods
 
+(* Collate raw fig-5 cell results (in cell order) into the plotted series:
+   per period, the fixed steps, then "Best (adapt cost)" — the best
+   instrumented candidate — then the adaptive run. *)
+let fig5_collate results =
+  let stride = List.length (fig5_cell_steps ()) in
+  let nfixed = List.length fig5_steps in
+  let arr = Array.of_list results in
+  let periods = Array.length arr / stride in
+  List.concat
+    (List.init periods (fun p ->
+         let at i = arr.((p * stride) + i) in
+         let fixed = List.init nfixed at in
+         let period = (at 0).period in
+         let best =
+           List.init (List.length fig5_best_candidates) (fun i -> at (nfixed + i))
+           |> List.fold_left (fun acc r -> if r.throughput > acc.throughput then r else acc)
+                { algo = ""; label = ""; period; throughput = neg_infinity; histogram = [];
+                  commits = 0; aborts = 0 }
+         in
+         fixed @ [ { best with label = "Best (adapt cost)" }; at (stride - 1) ]))
+
+let run_fig5 ?jobs ?updaters ?periods ?duration ?seed () =
+  fig5_collate
+    (Runner.Sweep.values
+       (Runner.Sweep.run ?jobs (cells_fig5 ?updaters ?periods ?duration ?seed ())))
+
 (* Figure 6: step-size usage distribution of the adaptive controller. *)
-let run_fig6 ?(updaters = 15) ?(periods = [ 8_000; 6_000; 4_000; 2_000; 1_000; 800; 600; 400 ])
-    ?(duration = 400_000) ?(seed = 61) () =
+let cells_fig6 ?(updaters = 15)
+    ?(periods = [ 8_000; 6_000; 4_000; 2_000; 1_000; 800; 600; 400 ]) ?(duration = 400_000)
+    ?(seed = 61) () =
   let maker = Option.get (Collect.find_maker "ArrayDynAppendDereg") in
   List.map
-    (fun period -> run_one maker ~updaters ~period ~duration ~step:Collect.Intf.Adaptive ~seed)
+    (fun period ->
+      Runner.Cell.v ~label:(Printf.sprintf "fig6/adapt/p%d" period) (fun () ->
+          run_one maker ~updaters ~period ~duration ~step:Collect.Intf.Adaptive ~seed))
     periods
+
+let run_fig6 ?jobs ?updaters ?periods ?duration ?seed () =
+  Runner.Sweep.values
+    (Runner.Sweep.run ?jobs (cells_fig6 ?updaters ?periods ?duration ?seed ()))
 
 let period_label p = if p >= 1000 then Printf.sprintf "%dk" (p / 1000) else string_of_int p
 

@@ -30,19 +30,68 @@ val fig4_algos : unit -> Collect.Intf.maker list
 (** The Figure 4 line-up: the four telescoping algorithms plus the two
     whose collects use no transactions. *)
 
+val cells_fig4 :
+  ?updaters:int ->
+  ?periods:int list ->
+  ?duration:int ->
+  ?seed:int ->
+  unit ->
+  result Runner.Cell.t list
+(** One cell per (period x algorithm), in canonical sweep order. *)
+
 val run_fig4 :
-  ?updaters:int -> ?periods:int list -> ?duration:int -> ?seed:int -> unit -> result list
+  ?jobs:int ->
+  ?updaters:int ->
+  ?periods:int list ->
+  ?duration:int ->
+  ?seed:int ->
+  unit ->
+  result list
 
 val fig5_steps : int list
 val fig5_best_candidates : int list
 
+val cells_fig5 :
+  ?updaters:int ->
+  ?periods:int list ->
+  ?duration:int ->
+  ?seed:int ->
+  unit ->
+  result Runner.Cell.t list
+(** One cell per (period x step policy): the plotted fixed steps, the
+    instrumented best-candidates, then the adaptive controller. *)
+
+val fig5_collate : result list -> result list
+(** Reduce raw {!cells_fig5} results (in cell order) to the plotted
+    series: fixed steps, "Best (adapt cost)", adaptive — per period. *)
+
 val run_fig5 :
-  ?updaters:int -> ?periods:int list -> ?duration:int -> ?seed:int -> unit -> result list
+  ?jobs:int ->
+  ?updaters:int ->
+  ?periods:int list ->
+  ?duration:int ->
+  ?seed:int ->
+  unit ->
+  result list
 (** Fixed steps, the adaptive controller, and "Best (adapt cost)" — the
     best instrumented fixed step per period. *)
 
+val cells_fig6 :
+  ?updaters:int ->
+  ?periods:int list ->
+  ?duration:int ->
+  ?seed:int ->
+  unit ->
+  result Runner.Cell.t list
+
 val run_fig6 :
-  ?updaters:int -> ?periods:int list -> ?duration:int -> ?seed:int -> unit -> result list
+  ?jobs:int ->
+  ?updaters:int ->
+  ?periods:int list ->
+  ?duration:int ->
+  ?seed:int ->
+  unit ->
+  result list
 (** Adaptive runs whose histograms regenerate Figure 6. *)
 
 val to_table : title:string -> result list -> Report.table

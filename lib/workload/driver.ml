@@ -28,24 +28,43 @@ type obs = {
 }
 
 let no_obs = { obs_tracer = None; obs_metrics = None; obs_profile = false }
-let current_obs = ref no_obs
-let machine_seq = ref 0
-let rev_profilers : (string * Obs.Profiler.t) list ref = ref []
+
+(* All ambient harness state is domain-local: the sweep runner
+   ({!Runner.Sweep}) executes benchmark cells on worker domains, each of
+   which installs its own sinks and value supply without racing any
+   other. The runner's hooks (registered below) reset this state before
+   every cell, which is what makes a cell's result independent of which
+   domain ran it and what ran before — the determinism contract behind
+   [bench all --jobs N]. *)
+type state = {
+  mutable st_obs : obs;
+  mutable st_seq : int;
+  mutable st_profs : (string * Obs.Profiler.t) list;
+  mutable st_value : int;
+}
+
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { st_obs = no_obs; st_seq = 0; st_profs = []; st_value = 0 })
+
+let state () = Domain.DLS.get state_key
 
 let set_obs o =
-  current_obs := o;
-  machine_seq := 0;
-  rev_profilers := [];
+  let st = state () in
+  st.st_obs <- o;
+  st.st_seq <- 0;
+  st.st_profs <- [];
   if o.obs_tracer = None then Sim.set_default_tracer None
 
-let obs () = !current_obs
-let profilers () = List.rev !rev_profilers
+let obs () = (state ()).st_obs
+let profilers () = List.rev (state ()).st_profs
 
 let machine ?(htm_config = Htm.default_config) ?(seed = 1) ?label () =
-  let o = !current_obs in
-  incr machine_seq;
+  let st = state () in
+  let o = st.st_obs in
+  st.st_seq <- st.st_seq + 1;
   let name =
-    match label with Some l -> l | None -> Printf.sprintf "machine-%d" !machine_seq
+    match label with Some l -> l | None -> Printf.sprintf "machine-%d" st.st_seq
   in
   let mem = Simmem.create ?metrics:o.obs_metrics () in
   (match o.obs_tracer with
@@ -54,18 +73,19 @@ let machine ?(htm_config = Htm.default_config) ?(seed = 1) ?label () =
   if o.obs_profile then begin
     let p = Obs.Profiler.create () in
     Simmem.set_profiler mem (Some p);
-    rev_profilers := (name, p) :: !rev_profilers
+    st.st_profs <- (name, p) :: st.st_profs
   end;
   let htm = Htm.create ~config:htm_config ?metrics:o.obs_metrics mem in
   { mem; htm; boot = Sim.boot ~seed () }
 
-(* Globally unique non-zero values: the spec checker in the test suite
-   relies on every bound value identifying one Register/Update event. *)
-let value_counter = ref 0
-
+(* Unique non-zero values within a run: the spec checker relies on every
+   bound value identifying one Register/Update event. Domain-local, and
+   reset per cell by the sweep runner, so a cell's value stream depends
+   only on the cell itself. *)
 let fresh_value () =
-  incr value_counter;
-  !value_counter
+  let st = state () in
+  st.st_value <- st.st_value + 1;
+  st.st_value
 
 (* Throughput of [ops] operations completed during [duration] cycles, in
    operations per microsecond. *)
@@ -100,3 +120,28 @@ let periodic_loop ctx ~deadline ~period op =
 
 (* Split [total] into [n] parts differing by at most one. *)
 let split_evenly total n = List.init n (fun i -> (total / n) + if i < total mod n then 1 else 0)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep-runner integration: before each cell, reset this domain's
+   ambient state; install the cell's private sinks; afterwards hand the
+   cell's profilers back and return the domain to the unobserved
+   state. *)
+
+let () =
+  Runner.Sweep.set_hooks
+    {
+      h_prepare =
+        (fun () ->
+          let st = state () in
+          st.st_value <- 0;
+          st.st_seq <- 0;
+          st.st_profs <- []);
+      h_install =
+        (fun ~metrics ~profile ~tracer ->
+          set_obs { obs_tracer = tracer; obs_metrics = metrics; obs_profile = profile });
+      h_finish =
+        (fun () ->
+          let ps = profilers () in
+          set_obs no_obs;
+          ps);
+    }

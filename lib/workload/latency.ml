@@ -32,8 +32,16 @@ let run_one (maker : Collect.Intf.maker) ~handles ~updates ~seed =
   inst.destroy m.boot;
   { algo = maker.algo_name; direct = maker.direct_update; ns_per_update = !latency }
 
-let run ?(makers = Collect.all) ?(handles = 16) ?(updates = 2000) ?(seed = 21) () =
-  List.map (fun mk -> run_one mk ~handles ~updates ~seed) makers
+(* One cell per algorithm, in canonical sweep order. *)
+let cells ?(makers = Collect.all) ?(handles = 16) ?(updates = 2000) ?(seed = 21) () =
+  List.map
+    (fun (mk : Collect.Intf.maker) ->
+      Runner.Cell.v ~label:("latency/" ^ mk.algo_name) (fun () ->
+          run_one mk ~handles ~updates ~seed))
+    makers
+
+let run ?jobs ?makers ?handles ?updates ?seed () =
+  Runner.Sweep.values (Runner.Sweep.run ?jobs (cells ?makers ?handles ?updates ?seed ()))
 
 let to_table results =
   {

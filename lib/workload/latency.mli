@@ -8,7 +8,20 @@ type result = {
   ns_per_update : float;
 }
 
+val run_one :
+  Collect.Intf.maker -> handles:int -> updates:int -> seed:int -> result
+
+val cells :
+  ?makers:Collect.Intf.maker list ->
+  ?handles:int ->
+  ?updates:int ->
+  ?seed:int ->
+  unit ->
+  result Runner.Cell.t list
+(** One cell per algorithm, in canonical sweep order. *)
+
 val run :
+  ?jobs:int ->
   ?makers:Collect.Intf.maker list ->
   ?handles:int ->
   ?updates:int ->

@@ -96,13 +96,19 @@ let fig8_algos () =
     [ "ArrayStatAppendDereg"; "ArrayDynAppendDereg"; "ListFastCollect";
       "ArrayStatSearchNo"; "StaticBaseline" ]
 
-let run ?(updaters = 15) ?(phase_len = 1_000_000) ?(phases = 6) ?(bucket_len = 200_000)
+(* One cell per algorithm, in canonical sweep order. *)
+let cells ?(updaters = 15) ?(phase_len = 1_000_000) ?(phases = 6) ?(bucket_len = 200_000)
     ?(seed = 81) () =
   List.map
     (fun (mk : Collect.Intf.maker) ->
       let step = if mk.uses_htm then Collect.Intf.Fixed 32 else Collect.Intf.Fixed 1 in
-      run_one mk ~updaters ~phase_len ~phases ~bucket_len ~step ~seed)
+      Runner.Cell.v ~label:(Printf.sprintf "fig8/%s" mk.algo_name) (fun () ->
+          run_one mk ~updaters ~phase_len ~phases ~bucket_len ~step ~seed))
     (fig8_algos ())
+
+let run ?jobs ?updaters ?phase_len ?phases ?bucket_len ?seed () =
+  Runner.Sweep.values
+    (Runner.Sweep.run ?jobs (cells ?updaters ?phase_len ?phases ?bucket_len ?seed ()))
 
 let to_table results =
   let columns = List.map (fun r -> r.algo) results in

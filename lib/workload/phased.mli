@@ -14,7 +14,18 @@ val update_period : int
 
 val fig8_algos : unit -> Collect.Intf.maker list
 
+val cells :
+  ?updaters:int ->
+  ?phase_len:int ->
+  ?phases:int ->
+  ?bucket_len:int ->
+  ?seed:int ->
+  unit ->
+  result Runner.Cell.t list
+(** One cell per algorithm, in canonical sweep order. *)
+
 val run :
+  ?jobs:int ->
   ?updaters:int ->
   ?phase_len:int ->
   ?phases:int ->

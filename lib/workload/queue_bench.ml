@@ -29,10 +29,20 @@ let run_one (maker : Hqueue.Intf.maker) ~threads ~duration ~prefill ~seed =
 
 let default_threads = [ 2; 4; 6; 8; 10; 12; 14; 16 ]
 
-let run ?(threads = default_threads) ?(duration = 400_000) ?(prefill = 64) ?(seed = 11) () =
+(* One cell per (thread count x queue), in canonical sweep order. *)
+let cells ?(threads = default_threads) ?(duration = 400_000) ?(prefill = 64) ?(seed = 11) () =
   List.concat_map
-    (fun n -> List.map (fun mk -> run_one mk ~threads:n ~duration ~prefill ~seed) Hqueue.all)
+    (fun n ->
+      List.map
+        (fun (mk : Hqueue.Intf.maker) ->
+          Runner.Cell.v ~label:(Printf.sprintf "fig1/%s/x%d" mk.queue_name n) (fun () ->
+              run_one mk ~threads:n ~duration ~prefill ~seed))
+        Hqueue.all)
     threads
+
+let run ?jobs ?threads ?duration ?prefill ?seed () =
+  Runner.Sweep.values
+    (Runner.Sweep.run ?jobs (cells ?threads ?duration ?prefill ?seed ()))
 
 let to_table results =
   let columns = List.map (fun (m : Hqueue.Intf.maker) -> m.queue_name) Hqueue.all in

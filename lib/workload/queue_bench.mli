@@ -8,7 +8,17 @@ val run_one :
 (** One (queue, thread-count) cell; also used standalone by the
     contention experiment. *)
 
+val cells :
+  ?threads:int list ->
+  ?duration:int ->
+  ?prefill:int ->
+  ?seed:int ->
+  unit ->
+  result Runner.Cell.t list
+(** One cell per (thread count x queue), in canonical sweep order. *)
+
 val run :
+  ?jobs:int ->
   ?threads:int list ->
   ?duration:int ->
   ?prefill:int ->

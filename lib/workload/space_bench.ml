@@ -15,10 +15,8 @@ type result = {
   quiescent_words : int;  (** still live after drain/deregister-all *)
 }
 
-let queue_space ?(peak_len = 1000) ?(seed = 91) () =
-  List.map
-    (fun (mk : Hqueue.Intf.maker) ->
-      let m = Driver.machine ~seed ~label:("space/" ^ mk.queue_name) () in
+let queue_space_one ?(peak_len = 1000) ?(seed = 91) (mk : Hqueue.Intf.maker) =
+  let m = Driver.machine ~seed ~label:("space/" ^ mk.queue_name) () in
       let base = (Simmem.stats m.mem).live_words in
       let q = mk.make m.htm m.boot ~num_threads:4 in
       (* Drive from simulated threads so per-thread pools/retired lists see
@@ -46,13 +44,21 @@ let queue_space ?(peak_len = 1000) ?(seed = 91) () =
         }
       in
       q.destroy m.boot;
-      r)
+      r
+
+(* One cell per queue, in canonical sweep order. *)
+let queue_cells ?peak_len ?seed () =
+  List.map
+    (fun (mk : Hqueue.Intf.maker) ->
+      Runner.Cell.v ~label:("space/queue/" ^ mk.queue_name) (fun () ->
+          queue_space_one ?peak_len ?seed mk))
     Hqueue.all
 
-let collect_space ?(peak = 256) ?(seed = 92) () =
-  List.map
-    (fun (mk : Collect.Intf.maker) ->
-      let m = Driver.machine ~seed ~label:("space/" ^ mk.algo_name) () in
+let queue_space ?jobs ?peak_len ?seed () =
+  Runner.Sweep.values (Runner.Sweep.run ?jobs (queue_cells ?peak_len ?seed ()))
+
+let collect_space_one ?(peak = 256) ?(seed = 92) (mk : Collect.Intf.maker) =
+  let m = Driver.machine ~seed ~label:("space/" ^ mk.algo_name) () in
       let base = (Simmem.stats m.mem).live_words in
       let cfg =
         { Collect.Intf.max_slots = peak; num_threads = 1; step = Collect.Intf.Fixed 8;
@@ -75,8 +81,18 @@ let collect_space ?(peak = 256) ?(seed = 92) () =
         }
       in
       inst.destroy m.boot;
-      r)
+      r
+
+(* One cell per algorithm, in canonical sweep order. *)
+let collect_cells ?peak ?seed () =
+  List.map
+    (fun (mk : Collect.Intf.maker) ->
+      Runner.Cell.v ~label:("space/collect/" ^ mk.algo_name) (fun () ->
+          collect_space_one ?peak ?seed mk))
     Collect.all
+
+let collect_space ?jobs ?peak ?seed () =
+  Runner.Sweep.values (Runner.Sweep.run ?jobs (collect_cells ?peak ?seed ()))
 
 let to_table ~title results =
   {

@@ -8,6 +8,8 @@ type result = {
   quiescent_words : int;  (** still live after drain/deregister-all *)
 }
 
-val queue_space : ?peak_len:int -> ?seed:int -> unit -> result list
-val collect_space : ?peak:int -> ?seed:int -> unit -> result list
+val queue_cells : ?peak_len:int -> ?seed:int -> unit -> result Runner.Cell.t list
+val collect_cells : ?peak:int -> ?seed:int -> unit -> result Runner.Cell.t list
+val queue_space : ?jobs:int -> ?peak_len:int -> ?seed:int -> unit -> result list
+val collect_space : ?jobs:int -> ?peak:int -> ?seed:int -> unit -> result list
 val to_table : title:string -> result list -> Report.table

@@ -42,6 +42,96 @@ let test_json_parse_errors () =
       | Error _ -> ())
     [ "{"; "tru"; "[1,]"; "{\"a\":1} x"; ""; "\"unterminated"; "{'a':1}" ]
 
+(* Property: print -> parse is the identity on arbitrary documents.
+   Floats print through %.12g, so the generator sticks to dyadic
+   rationals with few significant digits — the only floats whose decimal
+   rendering is exact at that precision (BENCH artifacts only ever carry
+   measured throughputs, where shape comparison tolerates the last-digit
+   rounding; the *structural* round-trip is what must be exact). *)
+let json_gen =
+  let open QCheck.Gen in
+  let exact_float =
+    map2
+      (fun m k -> float_of_int m /. float_of_int (1 lsl k))
+      (int_range (-9999) 9999) (int_range 0 8)
+  in
+  let key = string_size ~gen:(char_range 'a' 'z') (int_range 1 6) in
+  let scalar =
+    oneof
+      [
+        return Obs.Json.Null;
+        map (fun b -> Obs.Json.Bool b) bool;
+        map (fun i -> Obs.Json.Int i) (int_range (-1_000_000) 1_000_000);
+        map (fun f -> Obs.Json.Float f) exact_float;
+        map (fun s -> Obs.Json.Str s) (string_size ~gen:printable (int_bound 10));
+      ]
+  in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then scalar
+          else
+            oneof
+              [
+                scalar;
+                map (fun l -> Obs.Json.List l)
+                  (list_size (int_bound 4) (self (n / 2)));
+                map (fun kvs -> Obs.Json.Obj kvs)
+                  (list_size (int_bound 4) (pair key (self (n / 2))));
+              ])
+        (min n 6))
+
+let test_json_roundtrip_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"print -> parse = id"
+       (QCheck.make json_gen)
+       (fun v ->
+         match Obs.Json.parse (Obs.Json.to_string v) with
+         | Ok v' -> v' = v
+         | Error _ -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Table rendering: golden outputs, pinned byte for byte.              *)
+
+let golden_table : Obs.Table.table =
+  {
+    title = "Golden";
+    xlabel = "x";
+    unit = "ops/us";
+    columns = [ "A"; "B" ];
+    rows = [ ("1", [ Some 0.5; Some 1234.0 ]); ("2", [ Some 12.5; None ]) ];
+  }
+
+let test_table_print_golden () =
+  let rendered = Format.asprintf "%a" Obs.Table.print golden_table in
+  let expected =
+    String.concat "\n"
+      [
+        "== Golden [ops/us] ==";
+        "x  A      B     ";
+        "1  0.500  1234  ";
+        "2  12.5   -     ";
+        "";
+        "";
+      ]
+  in
+  Alcotest.(check string) "aligned table renders exactly" expected rendered
+
+let test_table_csv_golden () =
+  let rendered = Format.asprintf "%a" Obs.Table.print_csv golden_table in
+  let expected =
+    String.concat "\n"
+      [
+        "# Golden [ops/us]"; "x,A,B"; "1,0.500000,1234.000000"; "2,12.500000,"; ""; "";
+      ]
+  in
+  Alcotest.(check string) "CSV renders exactly" expected rendered
+
+let test_table_json_roundtrip () =
+  match Obs.Table.of_json (Obs.Table.to_json golden_table) with
+  | Ok t -> Alcotest.(check bool) "table survives to_json/of_json" true (t = golden_table)
+  | Error e -> Alcotest.failf "of_json rejected to_json output: %s" e
+
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
 
@@ -282,6 +372,13 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          test_json_roundtrip_prop;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "print golden" `Quick test_table_print_golden;
+          Alcotest.test_case "csv golden" `Quick test_table_csv_golden;
+          Alcotest.test_case "json roundtrip" `Quick test_table_json_roundtrip;
         ] );
       ( "metrics",
         [
