@@ -182,6 +182,23 @@ let chaos =
         (Workload.Chaos_bench.tables s))
 
 (* ------------------------------------------------------------------ *)
+(* The degradation lattice: fallback policy x thread count on big
+   transactions, hybrid-TM interference, and mid-commit-crash liveness.
+   The chaos piece's duration is fixed by its fault schedule; --duration
+   scales the throughput sweeps. *)
+
+let fallback =
+  exp "fallback" "fallback policies: HTM -> STM -> TLE degradation" 300_000
+    (fun ~duration ~seed -> Workload.Fallback_bench.cells ~duration ~seed ())
+    (fun ctx ocs ->
+      let s = Workload.Fallback_bench.summary_of_pieces (values ocs) in
+      List.iter
+        (fun (table, note) ->
+          ctx.emit table;
+          if note <> "" then Format.fprintf ctx.ppf "@.%s@." note)
+        (Workload.Fallback_bench.tables s))
+
+(* ------------------------------------------------------------------ *)
 (* The coherence-contention profile: run the paper's two extremes of
    reclamation-induced cache traffic — hand-over-hand reference counting
    (every traversal writes reference counts, starting at the list header,
@@ -711,8 +728,8 @@ let micro =
 (* ------------------------------------------------------------------ *)
 
 let all =
-  [ fig1; latency; fig3; fig4; fig5; fig6; fig7; fig8; space; contend; chaos; aborts;
-    ablate; ext; micro ]
+  [ fig1; latency; fig3; fig4; fig5; fig6; fig7; fig8; space; contend; chaos; fallback;
+    aborts; ablate; ext; micro ]
 
 let find name = List.find_opt (fun e -> e.name = name) all
 

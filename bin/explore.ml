@@ -147,7 +147,9 @@ let list_algorithms () =
     (List.map
        (fun (key, oracle) -> [ key; oracle ])
        ([ ("racy", "final counter value (seeded known-bad)");
-          ("broken-rop", "linearizability (seeded known-bad queue)") ]
+          ("broken-rop", "linearizability (seeded known-bad queue)");
+          ("stm-queue", "linearizability (HTM queue forced onto the STM path)");
+          ("stm-collect", "Dynamic Collect spec (ListFastCollect on the STM path)") ]
        @ List.map
            (fun (m : Hqueue.Intf.maker) -> ("queue:" ^ m.queue_name, "linearizability"))
            Hqueue.all_with_extensions

@@ -43,9 +43,20 @@ let faults_to_string = function
     let kills_at =
       String.concat "," (List.map (fun (tid, t) -> Printf.sprintf "%d@%d" tid t) f.kills_at)
     in
-    Printf.sprintf "seed=%d;stall=%h,%d;kill=%h,%d;kills_at=%s;spurious=%h" f.fault_seed
-      f.stall_rate f.stall_cycles f.kill_rate f.max_random_kills kills_at
-      f.spurious_abort_rate
+    let base =
+      Printf.sprintf "seed=%d;stall=%h,%d;kill=%h,%d;kills_at=%s;spurious=%h" f.fault_seed
+        f.stall_rate f.stall_cycles f.kill_rate f.max_random_kills kills_at
+        f.spurious_abort_rate
+    in
+    (* Named kill points ride as an optional trailing field so plans
+       without them round-trip byte-identically with v1 artifacts. *)
+    if f.kills_at_point = [] then base
+    else
+      base ^ ";kills_at_point="
+      ^ String.concat ","
+          (List.map
+             (fun (tid, p, at) -> Printf.sprintf "%d@%s@%d" tid p at)
+             f.kills_at_point)
 
 let faults_of_string s =
   if s = "none" then Ok None
@@ -56,7 +67,23 @@ let faults_of_string s =
         | [ k; v ] when k = name -> v
         | _ -> failwith ("expected " ^ name ^ "=...")
       in
-      match String.split_on_char ';' s with
+      let parts, kills_at_point =
+        match String.split_on_char ';' s with
+        | [ _; _; _; _; _; kap ] as all -> (
+          match String.split_on_char '=' kap with
+          | [ "kills_at_point"; "" ] -> (List.filteri (fun i _ -> i < 5) all, [])
+          | [ "kills_at_point"; v ] ->
+            ( List.filteri (fun i _ -> i < 5) all,
+              List.map
+                (fun part ->
+                  match String.split_on_char '@' part with
+                  | [ tid; p; at ] -> (int_of_string tid, p, int_of_string at)
+                  | _ -> failwith "kills_at_point")
+                (String.split_on_char ',' v) )
+          | _ -> failwith "expected kills_at_point=...")
+        | parts -> (parts, [])
+      in
+      match parts with
       | [ seed; stall; kill; kills_at; spurious ] ->
         let fault_seed = int_of_string (field "seed" seed) in
         let stall_rate, stall_cycles =
@@ -90,6 +117,7 @@ let faults_of_string s =
                kill_rate;
                max_random_kills;
                kills_at;
+               kills_at_point;
                spurious_abort_rate;
              })
       | _ -> failwith "expected 5 ;-separated fields"

@@ -27,6 +27,8 @@ let catch_run f =
   | exception Sim.Watchdog msg -> Fail ("watchdog: " ^ truncate_to 400 msg)
   | exception Htm.Retry_exhausted r ->
     Fail (Format.asprintf "transaction retries exhausted: %a" Htm.pp_abort_reason r)
+  | exception Stm.Retry_exhausted r ->
+    Fail (Format.asprintf "software transaction retries exhausted: %a" Stm.pp_abort_reason r)
   | exception Collect_spec.Violation msg -> Fail ("collect spec violated: " ^ msg)
   | exception Collect.Intf.Capacity_exceeded msg -> Fail ("capacity exceeded: " ^ msg)
   | exception Lin_violation msg -> Fail msg
@@ -37,16 +39,18 @@ let catch_run f =
 let without_kills = function
   | None -> None
   | Some (f : Sim.Fault.spec) ->
-    Some { f with kill_rate = 0.; max_random_kills = 0; kills_at = [] }
+    Some { f with kill_rate = 0.; max_random_kills = 0; kills_at = []; kills_at_point = [] }
 
 let has_kills = function
   | None -> false
   | Some (f : Sim.Fault.spec) ->
-    (f.kill_rate > 0. && f.max_random_kills > 0) || f.kills_at <> []
+    (f.kill_rate > 0. && f.max_random_kills > 0)
+    || f.kills_at <> [] || f.kills_at_point <> []
 
 let watchdog_budget = 10_000_000
 
-let queue_lin ?key (mk : Hqueue.Intf.maker) ~threads ~ops =
+let queue_lin ?key ?(htm_config = Htm.default_config) (mk : Hqueue.Intf.maker) ~threads
+    ~ops =
   let key = match key with Some k -> k | None -> "queue:" ^ mk.queue_name in
   if threads * ops > Lin.max_ops then
     invalid_arg
@@ -56,7 +60,7 @@ let queue_lin ?key (mk : Hqueue.Intf.maker) ~threads ~ops =
     let faults = without_kills faults in
     catch_run (fun () ->
       let mem = Simmem.create () in
-      let htm = Htm.create mem in
+      let htm = Htm.create ~config:htm_config mem in
       let boot = Sim.boot ~seed () in
       let q = mk.make htm boot ~num_threads:threads in
       let hist = Lin.create () in
@@ -145,11 +149,13 @@ let racy_counter ~threads ~ops =
     scn_run = run;
   }
 
-let collect_spec (mk : Collect.Intf.maker) ~threads ~ops =
+let collect_spec ?key ?(htm_config = Htm.default_config) (mk : Collect.Intf.maker)
+    ~threads ~ops =
+  let key = match key with Some k -> k | None -> "collect:" ^ mk.algo_name in
   let run ~strategy ~seed ~faults ~record ~trace =
     catch_run (fun () ->
       let mem = Simmem.create () in
-      let htm = Htm.create mem in
+      let htm = Htm.create ~config:htm_config mem in
       let boot = Sim.boot ~seed () in
       let cfg =
         {
@@ -190,7 +196,7 @@ let collect_spec (mk : Collect.Intf.maker) ~threads ~ops =
       if not (has_kills faults) then inst.destroy boot)
   in
   {
-    scn_key = "collect:" ^ mk.algo_name;
+    scn_key = key;
     scn_descr =
       Printf.sprintf "Dynamic Collect spec of %s, %d threads x %d ops" mk.algo_name
         threads ops;
@@ -211,10 +217,25 @@ let strip_prefix p s =
     Some (String.sub s lp (String.length s - lp))
   else None
 
+(* Everything on the software path: escalate every transaction immediately
+   ([Stm_after 0]), retry forever (budget 0, no TLE) — so the explorer and
+   the linearizability checker drive the TL2 layer itself, not the
+   hardware fast path. *)
+let stm_forced = { Htm.default_config with stm = Htm.Stm_after 0 }
+
 let build ~key ~threads ~ops =
   match key with
   | "racy" -> Ok (racy_counter ~threads ~ops)
   | "broken-rop" -> Ok (queue_lin ~key:"broken-rop" Mutant.maker ~threads ~ops)
+  | "stm-queue" -> (
+    match Hqueue.find_maker "HTM" with
+    | Some mk -> Ok (queue_lin ~key:"stm-queue" ~htm_config:stm_forced mk ~threads ~ops)
+    | None -> Error "queue maker \"HTM\" missing")
+  | "stm-collect" -> (
+    match Collect.find_maker "ListFastCollect" with
+    | Some mk ->
+      Ok (collect_spec ~key:"stm-collect" ~htm_config:stm_forced mk ~threads ~ops)
+    | None -> Error "collect maker \"ListFastCollect\" missing")
   | _ -> (
     match strip_prefix "queue:" key with
     | Some name -> (
@@ -231,5 +252,5 @@ let build ~key ~threads ~ops =
         Error
           (Printf.sprintf
              "unknown scenario %S (expected \"queue:NAME\", \"collect:NAME\", \
-              \"racy\" or \"broken-rop\")"
+              \"racy\", \"broken-rop\", \"stm-queue\" or \"stm-collect\")"
              key)))

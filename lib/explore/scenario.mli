@@ -26,11 +26,14 @@ type t = {
     outcome;
 }
 
-val queue_lin : ?key:string -> Hqueue.Intf.maker -> threads:int -> ops:int -> t
+val queue_lin :
+  ?key:string -> ?htm_config:Htm.config -> Hqueue.Intf.maker -> threads:int -> ops:int -> t
 (** Mixed enqueue/dequeue load with every operation recorded into a {!Lin}
     history and checked after the run. Kills are stripped from the fault
     plan (a killed thread's half-performed operation would make the
     history unjudgeable); stalls and spurious aborts pass through.
+    [htm_config] selects the transaction machinery — e.g. an [Stm_after]
+    policy drives the same oracle through the TL2 software path.
     @raise Invalid_argument if [threads * ops > Lin.max_ops]. *)
 
 val racy_counter : threads:int -> ops:int -> t
@@ -39,7 +42,8 @@ val racy_counter : threads:int -> ops:int -> t
     that reorder across windows — the seeded known-bad specimen the
     explorer's own tests calibrate against. *)
 
-val collect_spec : Collect.Intf.maker -> threads:int -> ops:int -> t
+val collect_spec :
+  ?key:string -> ?htm_config:Htm.config -> Collect.Intf.maker -> threads:int -> ops:int -> t
 (** Register/update/collect/deregister load checked against the Dynamic
     Collect specification. Kill-carrying fault plans are allowed
     ([Collect_spec] is crash-aware); [destroy] is skipped for them. *)
@@ -51,5 +55,8 @@ val collects : threads:int -> ops:int -> t list
 (** {!collect_spec} over [Collect.all_with_extensions]. *)
 
 val build : key:string -> threads:int -> ops:int -> (t, string) result
-(** Resolve a registry key: ["queue:NAME"], ["collect:NAME"], ["racy"] or
-    ["broken-rop"] (the {!Mutant} queue). *)
+(** Resolve a registry key: ["queue:NAME"], ["collect:NAME"], ["racy"],
+    ["broken-rop"] (the {!Mutant} queue), or the STM-forced variants
+    ["stm-queue"] / ["stm-collect"], which run the HTM queue and
+    ListFastCollect entirely on the {!Stm} software path
+    ([Stm_after 0]). *)

@@ -27,6 +27,7 @@ let on_fault t (ev : Sim.Fault.event) =
     match ev.ev_kind with
     | Sim.Fault.Stalled d -> Printf.sprintf "stalled %d cycles" d
     | Sim.Fault.Killed -> "killed"
+    | Sim.Fault.Killed_at p -> "killed at " ^ p
     | Sim.Fault.Spurious_abort -> "spurious abort armed"
   in
   note t (Format.asprintf "t%-2d @%-9d flt  %s" ev.ev_tid ev.ev_clock what)

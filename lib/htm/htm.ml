@@ -13,6 +13,7 @@ let abort_label = function
 let pp_abort_reason ppf r = Format.pp_print_string ppf (abort_label r)
 
 type tle_mode = Tle_never | Tle_after of int
+type stm_mode = Stm_never | Stm_after of int
 
 type config = {
   store_buffer : int;
@@ -24,6 +25,9 @@ type config = {
   backoff_max : int;
   sandboxed : bool;
   tle : tle_mode;
+  stm : stm_mode;
+  stm_attempts : int;
+  stm_config : Stm.config;
   max_attempts : int;
 }
 
@@ -41,8 +45,26 @@ let default_config =
     backoff_max = 16384;
     sandboxed = true;
     tle = Tle_never;
+    stm = Stm_never;
+    stm_attempts = 0;
+    stm_config = Stm.default_config;
     max_attempts = 0;
   }
+
+let hybrid_config =
+  {
+    default_config with
+    stm = Stm_after 2;
+    stm_attempts = 8;
+    (* With an STM policy installed the TLE count is ignored: the lock is
+       reachable only through STM budget exhaustion, so [Tle_after 0] just
+       means "last resort enabled". *)
+    tle = Tle_after 0;
+  }
+
+type tx_path = P_hw | P_stm | P_tle
+
+let path_label = function P_hw -> "hw" | P_stm -> "stm" | P_tle -> "tle"
 
 type stats = {
   commits : int;
@@ -54,18 +76,33 @@ type stats = {
   aborts_spurious : int;
   lock_fallbacks : int;
   max_consecutive_aborts : int;
+  attempts_hw : int;
+  attempts_stm : int;
+  attempts_tle : int;
+  escalations_stm : int;
+  stm_commits : int;
+  stm_aborts : int;
+  stm_steals : int;
 }
 
 type tx_event =
-  | Tx_commit of { tx_reads : int; tx_writes : int }
-  | Tx_abort of abort_reason
+  | Tx_commit of { tx_reads : int; tx_writes : int; tx_path : tx_path; tx_attempt : int }
+  | Tx_abort of { ab_reason : abort_reason; ab_path : tx_path; ab_attempt : int }
   | Tx_fallback
+  | Tx_escalate of { esc_to : tx_path; esc_attempt : int }
+  | Tx_steal of { st_victim : int }
 
 let pp_tx_event ppf = function
-  | Tx_commit { tx_reads; tx_writes } ->
-    Format.fprintf ppf "commit (%d reads, %d writes)" tx_reads tx_writes
-  | Tx_abort r -> Format.fprintf ppf "abort: %a" pp_abort_reason r
+  | Tx_commit { tx_reads; tx_writes; tx_path; tx_attempt } ->
+    Format.fprintf ppf "commit[%s] (%d reads, %d writes, attempt %d)"
+      (path_label tx_path) tx_reads tx_writes tx_attempt
+  | Tx_abort { ab_reason; ab_path; ab_attempt } ->
+    Format.fprintf ppf "abort[%s]: %a (attempt %d)" (path_label ab_path)
+      pp_abort_reason ab_reason ab_attempt
   | Tx_fallback -> Format.pp_print_string ppf "TLE lock fallback"
+  | Tx_escalate { esc_to; esc_attempt } ->
+    Format.fprintf ppf "escalate to %s (attempt %d)" (path_label esc_to) esc_attempt
+  | Tx_steal { st_victim } -> Format.fprintf ppf "stm lock stolen from t%d" st_victim
 
 (* Stats live in the metrics registry. The [stats] record type survives as
    a read-only snapshot assembled from the handles, so per-run consumers
@@ -84,15 +121,26 @@ type t = {
   c_spurious : Obs.Metrics.counter;
   c_fallbacks : Obs.Metrics.counter;
   c_cycles : Obs.Metrics.counter;
+  c_att_hw : Obs.Metrics.counter;
+  c_att_stm : Obs.Metrics.counter;
+  c_att_tle : Obs.Metrics.counter;
+  c_esc_stm : Obs.Metrics.counter;
   g_consec : Obs.Metrics.gauge;
   h_commit : Obs.Metrics.hist;
   h_stores : Obs.Metrics.hist;
   lock_addr : int;
+  stm : Stm.t option;
   mutable tap : (tid:int -> clock:int -> tx_event -> unit) option;
 }
 
 exception Aborted of abort_reason
 exception Retry_exhausted of abort_reason
+
+let of_stm_reason = function
+  | Stm.Conflict -> Conflict
+  | Stm.Locked -> Lock_held
+  | Stm.Illegal -> Illegal
+  | Stm.Explicit -> Explicit
 
 let create ?(config = default_config) ?metrics mem =
   (* The TLE lock gets its own cache line so lock traffic does not
@@ -100,30 +148,79 @@ let create ?(config = default_config) ?metrics mem =
   let boot = Sim.boot () in
   let lock_addr = Simmem.malloc mem boot 8 in
   Simmem.label mem ~name:"Htm.tle_lock" ~base:lock_addr ~words:8;
+  (* The STM side table is only allocated when a policy can reach it, so
+     default-configured machines keep their exact heap layout (and hence
+     their committed benchmark baselines) bit-for-bit. *)
+  let stm =
+    match config.stm with
+    | Stm_never -> None
+    | Stm_after _ ->
+      let s = Stm.create ~config:config.stm_config ?metrics mem in
+      Stm.set_fence s lock_addr;
+      Some s
+  in
   let mreg = Obs.Metrics.create ?parent:metrics () in
-  {
-    hmem = mem;
-    cfg = config;
-    mreg;
-    c_commits = Obs.Metrics.counter ~per_thread:true mreg "htm.commits";
-    c_conflict = Obs.Metrics.counter ~per_thread:true mreg "htm.aborts.conflict";
-    c_overflow = Obs.Metrics.counter ~per_thread:true mreg "htm.aborts.overflow";
-    c_illegal = Obs.Metrics.counter ~per_thread:true mreg "htm.aborts.illegal";
-    c_explicit = Obs.Metrics.counter ~per_thread:true mreg "htm.aborts.explicit";
-    c_lock = Obs.Metrics.counter ~per_thread:true mreg "htm.aborts.lock_held";
-    c_spurious = Obs.Metrics.counter ~per_thread:true mreg "htm.aborts.spurious";
-    c_fallbacks = Obs.Metrics.counter mreg "htm.fallbacks";
-    c_cycles = Obs.Metrics.counter mreg "htm.commit_cycles_total";
-    g_consec = Obs.Metrics.gauge mreg "htm.max_consecutive_aborts";
-    h_commit = Obs.Metrics.hist mreg "htm.commit_cycles";
-    h_stores = Obs.Metrics.hist mreg "htm.stores_per_tx";
-    lock_addr;
-    tap = None;
-  }
+  let h =
+    {
+      hmem = mem;
+      cfg = config;
+      mreg;
+      c_commits = Obs.Metrics.counter ~per_thread:true mreg "htm.commits";
+      c_conflict = Obs.Metrics.counter ~per_thread:true mreg "htm.aborts.conflict";
+      c_overflow = Obs.Metrics.counter ~per_thread:true mreg "htm.aborts.overflow";
+      c_illegal = Obs.Metrics.counter ~per_thread:true mreg "htm.aborts.illegal";
+      c_explicit = Obs.Metrics.counter ~per_thread:true mreg "htm.aborts.explicit";
+      c_lock = Obs.Metrics.counter ~per_thread:true mreg "htm.aborts.lock_held";
+      c_spurious = Obs.Metrics.counter ~per_thread:true mreg "htm.aborts.spurious";
+      c_fallbacks = Obs.Metrics.counter mreg "htm.fallbacks";
+      c_cycles = Obs.Metrics.counter mreg "htm.commit_cycles_total";
+      c_att_hw = Obs.Metrics.counter ~per_thread:true mreg "htm.attempts.hw";
+      c_att_stm = Obs.Metrics.counter ~per_thread:true mreg "htm.attempts.stm";
+      c_att_tle = Obs.Metrics.counter ~per_thread:true mreg "htm.attempts.tle";
+      c_esc_stm = Obs.Metrics.counter mreg "htm.escalations.stm";
+      g_consec = Obs.Metrics.gauge mreg "htm.max_consecutive_aborts";
+      h_commit = Obs.Metrics.hist mreg "htm.commit_cycles";
+      h_stores = Obs.Metrics.hist mreg "htm.stores_per_tx";
+      lock_addr;
+      stm;
+      tap = None;
+    }
+  in
+  (* Forward STM transaction events into this domain's tap, path-tagged,
+     so one stream carries the whole escalation story. *)
+  (match stm with
+   | None -> ()
+   | Some s ->
+     Stm.set_tap s
+       (Some
+          (fun ~tid ~clock ev ->
+            match h.tap with
+            | None -> ()
+            | Some f ->
+              f ~tid ~clock
+                (match ev with
+                 | Stm.Ev_commit { ev_reads; ev_writes; ev_attempt } ->
+                   Tx_commit
+                     {
+                       tx_reads = ev_reads;
+                       tx_writes = ev_writes;
+                       tx_path = P_stm;
+                       tx_attempt = ev_attempt;
+                     }
+                 | Stm.Ev_abort { ev_reason; ev_attempt } ->
+                   Tx_abort
+                     {
+                       ab_reason = of_stm_reason ev_reason;
+                       ab_path = P_stm;
+                       ab_attempt = ev_attempt;
+                     }
+                 | Stm.Ev_steal { ev_victim } -> Tx_steal { st_victim = ev_victim }))));
+  h
 
 let mem t = t.hmem
 let config t = t.cfg
 let metrics t = t.mreg
+let stm t = t.stm
 let set_tap t f = t.tap <- f
 
 let emit t ctx ev =
@@ -132,6 +229,7 @@ let emit t ctx ev =
   | Some f -> f ~tid:(Sim.tid ctx) ~clock:(Sim.clock ctx) ev
 
 let stats t =
+  let s_stats = Option.map Stm.stats t.stm in
   {
     commits = Obs.Metrics.value t.c_commits;
     aborts_conflict = Obs.Metrics.value t.c_conflict;
@@ -142,6 +240,18 @@ let stats t =
     aborts_spurious = Obs.Metrics.value t.c_spurious;
     lock_fallbacks = Obs.Metrics.value t.c_fallbacks;
     max_consecutive_aborts = Obs.Metrics.gauge_max t.g_consec;
+    attempts_hw = Obs.Metrics.value t.c_att_hw;
+    attempts_stm = Obs.Metrics.value t.c_att_stm;
+    attempts_tle = Obs.Metrics.value t.c_att_tle;
+    escalations_stm = Obs.Metrics.value t.c_esc_stm;
+    stm_commits = (match s_stats with None -> 0 | Some s -> s.Stm.commits);
+    stm_aborts =
+      (match s_stats with
+       | None -> 0
+       | Some s ->
+         s.Stm.aborts_conflict + s.Stm.aborts_locked + s.Stm.aborts_illegal
+         + s.Stm.aborts_explicit);
+    stm_steals = (match s_stats with None -> 0 | Some s -> s.Stm.steals);
   }
 
 let reset_stats t =
@@ -154,13 +264,18 @@ let reset_stats t =
   Obs.Metrics.reset_counter t.c_spurious;
   Obs.Metrics.reset_counter t.c_fallbacks;
   Obs.Metrics.reset_counter t.c_cycles;
+  Obs.Metrics.reset_counter t.c_att_hw;
+  Obs.Metrics.reset_counter t.c_att_stm;
+  Obs.Metrics.reset_counter t.c_att_tle;
+  Obs.Metrics.reset_counter t.c_esc_stm;
   Obs.Metrics.reset_gauge t.g_consec;
   Obs.Metrics.reset_hist t.h_commit;
-  Obs.Metrics.reset_hist t.h_stores
+  Obs.Metrics.reset_hist t.h_stores;
+  Option.iter Stm.reset_stats t.stm
 
 let commit_cycles_histogram t = Obs.Metrics.buckets t.h_commit
 
-type mode = Hw | Locked
+type mode = Hw | Sw of Stm.tx | Locked
 
 type tx = {
   h : t;
@@ -240,6 +355,7 @@ let illegal tx addr =
 let read tx addr =
   match tx.mode with
   | Locked -> Simmem.read tx.h.hmem tx.ctx addr
+  | Sw stx -> Stm.read stx addr
   | Hw ->
     (match find_buffered tx addr with
      | Some v -> v
@@ -259,6 +375,7 @@ let consume_store_slot tx =
 let write tx addr v =
   match tx.mode with
   | Locked -> Simmem.write tx.h.hmem tx.ctx addr v
+  | Sw stx -> Stm.write stx addr v
   | Hw ->
     if not (Simmem.is_allocated tx.h.hmem addr) then illegal tx addr;
     consume_store_slot tx;
@@ -277,14 +394,19 @@ let write tx addr v =
 let record tx =
   match tx.mode with
   | Locked -> Sim.tick tx.ctx tx.h.cfg.tx_store_cost
+  | Sw stx -> Stm.record stx
   | Hw -> consume_store_slot tx
 
 let abort tx =
   match tx.mode with
   | Hw -> raise (Aborted Explicit)
+  | Sw stx -> Stm.abort stx
   | Locked -> invalid_arg "Htm.abort: cannot abort under the TLE lock"
 
-let defer_free tx base = tx.frees <- base :: tx.frees
+let defer_free tx base =
+  match tx.mode with
+  | Sw stx -> Stm.defer_free stx base
+  | Hw | Locked -> tx.frees <- base :: tx.frees
 
 (* Commit: validate, then apply the write buffer without yielding so the
    transaction is atomic in virtual time. *)
@@ -314,10 +436,8 @@ let count_abort h ~tid = function
   | Spurious -> Obs.Metrics.incr ~tid h.c_spurious
 
 let backoff h ctx n =
-  let shift = min n 9 in
-  let hi = min h.cfg.backoff_max (h.cfg.backoff_base lsl shift) in
-  let d = (hi / 2) + Sim.Rng.int (Sim.rng ctx) (max 1 (hi / 2)) in
-  Sim.tick ctx d
+  Sim.tick ctx
+    (Sim.Backoff.delay ~base:h.cfg.backoff_base ~cap:h.cfg.backoff_max (Sim.rng ctx) n)
 
 let acquire_lock h ctx =
   let rec spin n =
@@ -333,6 +453,7 @@ let release_lock h ctx = Simmem.write h.hmem ctx h.lock_addr 0
 let run_locked h ctx tx attempt f =
   acquire_lock h ctx;
   Obs.Metrics.incr h.c_fallbacks;
+  Obs.Metrics.incr ~tid:(Sim.tid ctx) h.c_att_tle;
   emit h ctx Tx_fallback;
   let t_lock = Sim.clock ctx in
   (match Sim.tracer ctx with
@@ -364,15 +485,46 @@ let run_locked h ctx tx attempt f =
       let v = f tx in
       release ();
       run_frees tx;
+      emit h ctx
+        (Tx_commit { tx_reads = 0; tx_writes = 0; tx_path = P_tle; tx_attempt = attempt });
       v)
+
+(* The software slow path: run the block as an STM transaction (same [tx]
+   surface, [Sw] mode), with the configured attempt budget. If the budget
+   runs dry and TLE is enabled, the lock is the last resort. *)
+let run_stm h s ctx tx n f on_abort =
+  Obs.Metrics.incr h.c_esc_stm;
+  emit h ctx (Tx_escalate { esc_to = P_stm; esc_attempt = n });
+  (match Sim.tracer ctx with
+   | None -> ()
+   | Some sink ->
+     Obs.Tracer.instant sink ~tid:(Sim.tid ctx) ~name:"stm.escalate" ~cat:"tx"
+       ~args:[ ("attempt", Obs.Json.Int n) ]
+       (Sim.clock ctx));
+  let tid = Sim.tid ctx in
+  match
+    Stm.atomic s ctx ~max_attempts:h.cfg.stm_attempts
+      ~on_abort:(fun r -> on_abort (of_stm_reason r))
+      (fun stx ->
+        Obs.Metrics.incr ~tid h.c_att_stm;
+        reset_tx tx (Sw stx) n;
+        f tx)
+  with
+  | v -> v
+  | exception Stm.Retry_exhausted r ->
+    if h.cfg.tle <> Tle_never then begin
+      emit h ctx (Tx_escalate { esc_to = P_tle; esc_attempt = n });
+      run_locked h ctx tx n f
+    end
+    else raise (Retry_exhausted (of_stm_reason r))
 
 let atomic h ctx ?(on_abort = fun (_ : abort_reason) -> ()) f =
   let tx = fresh_tx h ctx in
   let t0 = Sim.clock ctx in
   let tid = Sim.tid ctx in
   let tr = Sim.tracer ctx in
-  (* Success bookkeeping, shared by the hardware-commit and locked paths:
-     escalation stats, cycles-to-commit, and a liveness-watchdog note. *)
+  (* Success bookkeeping, shared by all three paths: escalation stats,
+     cycles-to-commit, and a liveness-watchdog note. *)
   let finish n v =
     if n > Obs.Metrics.gauge_max h.g_consec then Obs.Metrics.set h.g_consec n;
     Obs.Metrics.observe h.h_commit (Sim.clock ctx - t0);
@@ -381,10 +533,30 @@ let atomic h ctx ?(on_abort = fun (_ : abort_reason) -> ()) f =
     v
   in
   let rec attempt n last =
-    let use_lock = match h.cfg.tle with Tle_never -> false | Tle_after k -> n >= k in
-    if use_lock then finish n (run_locked h ctx tx n f)
+    (* Escalation policy. Capacity aborts go straight to the software
+       path — no hardware retry can ever fit an overflowing write set —
+       while conflicts buy [m] backed-off hardware retries first. *)
+    let esc_stm =
+      match h.cfg.stm, h.stm with
+      | Stm_after m, Some _ -> n >= m || last = Overflow
+      | _ -> false
+    in
+    (* With an STM policy the lock is reachable only through STM budget
+       exhaustion (see [run_stm]); without one, [Tle_after k] escalates
+       directly from hardware aborts as before. *)
+    let use_lock =
+      match h.cfg.stm, h.cfg.tle with
+      | Stm_after _, _ -> false
+      | Stm_never, Tle_never -> false
+      | Stm_never, Tle_after k -> n >= k
+    in
+    if esc_stm then
+      match h.stm with
+      | Some s -> finish n (run_stm h s ctx tx n f on_abort)
+      | None -> assert false
+    else if use_lock then finish n (run_locked h ctx tx n f)
     else if h.cfg.max_attempts > 0 && n >= h.cfg.max_attempts then
-      (* Retry budget exhausted with no TLE escalation left to rescue us:
+      (* Retry budget exhausted with no escalation left to rescue us:
          fail fast with the last abort reason instead of spinning. *)
       raise (Retry_exhausted last)
     else begin
@@ -395,6 +567,7 @@ let atomic h ctx ?(on_abort = fun (_ : abort_reason) -> ()) f =
       Sim.tick ctx (h.cfg.tx_begin_cost + Sim.Rng.int (Sim.rng ctx) 16);
       let t_att = Sim.clock ctx in
       reset_tx tx Hw n;
+      Obs.Metrics.incr ~tid h.c_att_hw;
       match
         (* An environmental abort (interrupt, TLB miss, register-window
            spill — Rock's whole catalogue) can strike any attempt. *)
@@ -411,7 +584,9 @@ let atomic h ctx ?(on_abort = fun (_ : abort_reason) -> ()) f =
       | v ->
         Obs.Metrics.incr ~tid h.c_commits;
         Obs.Metrics.observe h.h_stores tx.nstores;
-        emit h ctx (Tx_commit { tx_reads = tx.nreads; tx_writes = tx.nwrites });
+        emit h ctx
+          (Tx_commit
+             { tx_reads = tx.nreads; tx_writes = tx.nwrites; tx_path = P_hw; tx_attempt = n });
         (match tr with
          | None -> ()
          | Some sink ->
@@ -427,7 +602,7 @@ let atomic h ctx ?(on_abort = fun (_ : abort_reason) -> ()) f =
         finish n v
       | exception Aborted r ->
         count_abort h ~tid r;
-        emit h ctx (Tx_abort r);
+        emit h ctx (Tx_abort { ab_reason = r; ab_path = P_hw; ab_attempt = n });
         (match tr with
          | None -> ()
          | Some sink ->

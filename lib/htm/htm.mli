@@ -12,11 +12,21 @@
       — the ablation showing why the paper's footnote 1 matters;
     - {b strong atomicity}: non-transactional stores bump word versions, so
       any transaction that has read the word aborts ([Conflict]);
-    - {b no progress guarantee / TLE}: by default transactions retry with
-      randomized exponential backoff. With [tle = After n], the [n]-th
-      consecutive abort falls back to a global lock, executing the block
-      non-transactionally while every hardware transaction monitors the
-      lock word (the paper's §6 TLE construction);
+    - {b no progress guarantee}: by default transactions retry with
+      randomized exponential backoff. The escalation policy decides what
+      happens when retrying stops paying:
+    - {b TLE} ([tle = Tle_after n]): the [n]-th consecutive abort falls
+      back to a global lock, executing the block non-transactionally while
+      every hardware transaction monitors the lock word (the paper's §6
+      TLE construction) — correct, but serializing;
+    - {b hybrid STM slow path} ([stm = Stm_after m]): aborts escalate to
+      the {!Stm} software path instead — capacity aborts immediately
+      (hardware can never fit them), conflicts after [m] backed-off
+      hardware retries. The software path runs the {e same block} through
+      the same {!tx} surface, commits transactions of any size, keeps
+      threads parallel, and falls back to the TLE lock only if its own
+      attempt budget ([stm_attempts]) runs dry and [tle <> Tle_never].
+      The degradation lattice is hardware → backoff → STM → lock;
     - {b opacity}: the read set is fully revalidated on every transactional
       access, so a doomed transaction never observes an inconsistent
       snapshot (on Rock, eager hardware conflict detection gives the same
@@ -35,7 +45,7 @@ type abort_reason =
   | Overflow  (** store-buffer capacity exceeded *)
   | Illegal  (** sandboxed access to freed/unmapped memory *)
   | Explicit  (** the block called {!abort} *)
-  | Lock_held  (** a TLE lock holder was observed *)
+  | Lock_held  (** a TLE lock holder (or a live STM lock owner) was observed *)
   | Spurious
       (** environmental abort injected by the fault plan — interrupts, TLB
           misses, register-window spills: Rock's catalogue of aborts that
@@ -44,8 +54,20 @@ type abort_reason =
 val pp_abort_reason : Format.formatter -> abort_reason -> unit
 
 type tle_mode =
-  | Tle_never  (** pure HTM; retry with backoff forever *)
-  | Tle_after of int  (** fall back to the global lock after [n] aborts *)
+  | Tle_never  (** no global-lock fallback *)
+  | Tle_after of int
+      (** fall back to the global lock after [n] aborts. With an STM
+          policy installed ([Stm_after _]) the count is ignored: any
+          non-[Tle_never] value enables the lock as the {e last} resort,
+          reached only when the STM attempt budget is exhausted. *)
+
+(** Escalation from hardware to the {!Stm} software path. *)
+type stm_mode =
+  | Stm_never  (** hardware (plus TLE, if configured) only *)
+  | Stm_after of int
+      (** escalate to STM after [m] aborted hardware attempts — or after
+          the {e first} [Overflow], which no hardware retry can fix.
+          [Stm_after 0] runs every transaction on the software path. *)
 
 type config = {
   store_buffer : int;  (** stores per transaction; Rock: 32 *)
@@ -57,17 +79,35 @@ type config = {
   backoff_max : int;
   sandboxed : bool;
   tle : tle_mode;
+  stm : stm_mode;
+  stm_attempts : int;
+      (** STM attempt budget before falling to the TLE lock; [0] = the
+          software path retries forever (never reaches the lock) *)
+  stm_config : Stm.config;
+      (** configuration of the STM side table when [stm <> Stm_never] *)
   max_attempts : int;
       (** retry budget: abandon the operation with {!Retry_exhausted} after
-          this many consecutive aborted hardware attempts, unless TLE
-          escalates to the lock first ([Tle_after k] with [k <= budget]
-          guarantees completion). [0] = unlimited (the default). *)
+          this many consecutive aborted hardware attempts, unless TLE or
+          STM escalates first ([Tle_after k] with [k <= budget] guarantees
+          completion). [0] = unlimited (the default). *)
 }
 
 val default_config : config
+(** Pure HTM: [stm = Stm_never], [tle = Tle_never]. A machine built with
+    this config allocates no STM side table — heap layout is identical to
+    pre-hybrid builds. *)
+
+val hybrid_config : config
+(** The full degradation lattice: [Stm_after 2] (capacity immediately),
+    [stm_attempts = 8], TLE as last resort. *)
+
+(** Which of the three execution paths an event happened on. *)
+type tx_path = P_hw | P_stm | P_tle
+
+val path_label : tx_path -> string
 
 type stats = {
-  commits : int;
+  commits : int;  (** hardware commits *)
   aborts_conflict : int;
   aborts_overflow : int;
   aborts_illegal : int;
@@ -77,42 +117,61 @@ type stats = {
   lock_fallbacks : int;  (** TLE lock acquisitions *)
   max_consecutive_aborts : int;
       (** worst retry chain any single {!atomic} needed before committing *)
+  attempts_hw : int;  (** hardware transaction attempts started *)
+  attempts_stm : int;  (** software (STM) attempts started *)
+  attempts_tle : int;  (** blocks run under the TLE lock *)
+  escalations_stm : int;  (** operations that left the hardware path *)
+  stm_commits : int;  (** software-path commits (from {!Stm.stats}) *)
+  stm_aborts : int;  (** software-path aborts, all reasons *)
+  stm_steals : int;  (** STM locks recovered from crashed owners *)
 }
 
 type t
-(** An HTM domain: a {!Simmem.t} plus configuration, statistics and the TLE
-    lock word. *)
+(** An HTM domain: a {!Simmem.t} plus configuration, statistics, the TLE
+    lock word and (when [stm <> Stm_never]) the {!Stm} side table. *)
 
 val create : ?config:config -> ?metrics:Obs.Metrics.t -> Simmem.t -> t
 (** [metrics] chains this domain's registry to a parent aggregate (see
-    {!Obs.Metrics.create}). Statistics now live in that registry — the
-    {!stats} record is a snapshot assembled from it, kept for per-run
-    delta measurements. *)
+    {!Obs.Metrics.create}); the STM side table, when configured, chains
+    its [stm.*] registry to the same parent. Statistics live in that
+    registry — the {!stats} record is a snapshot assembled from it, kept
+    for per-run delta measurements. *)
 
 val mem : t -> Simmem.t
 val config : t -> config
 
+val stm : t -> Stm.t option
+(** The software-path domain, present iff [config.stm <> Stm_never]. *)
+
 val metrics : t -> Obs.Metrics.t
-(** The domain's registry: [htm.commits] and the [htm.aborts.*] breakdown
-    (all with per-thread attribution), [htm.fallbacks],
-    [htm.max_consecutive_aborts], and the [htm.commit_cycles] /
-    [htm.stores_per_tx] log2 histograms. *)
+(** The domain's registry: [htm.commits] and the [htm.aborts.*] breakdown,
+    per-path attempt attribution ([htm.attempts.hw] / [.stm] / [.tle],
+    all with per-thread attribution), [htm.fallbacks],
+    [htm.escalations.stm], [htm.max_consecutive_aborts], and the
+    [htm.commit_cycles] / [htm.stores_per_tx] log2 histograms. *)
 
 val stats : t -> stats
 
 val reset_stats : t -> unit
-(** Reset this domain's local metrics (a parent registry, if chained,
-    keeps its accumulated totals). *)
+(** Reset this domain's local metrics, including the STM side table's (a
+    parent registry, if chained, keeps its accumulated totals). *)
 
 (** Transaction-event tap, for trace capture by the schedule explorer
     ([lib/explore]): commits (with read/write-set sizes), aborts (with
-    reason) and TLE lock fallbacks, stamped with the issuing thread and
-    clock. Costs nothing when unset. *)
+    reason), escalations and TLE lock fallbacks, each attributed to the
+    execution path it happened on — the tap stream is exact, so per-path
+    histograms can be built from it alone. STM-path events (including
+    lock steals) are forwarded into this stream automatically. Costs
+    nothing when unset. *)
 
 type tx_event =
-  | Tx_commit of { tx_reads : int; tx_writes : int }
-  | Tx_abort of abort_reason
-  | Tx_fallback
+  | Tx_commit of { tx_reads : int; tx_writes : int; tx_path : tx_path; tx_attempt : int }
+  | Tx_abort of { ab_reason : abort_reason; ab_path : tx_path; ab_attempt : int }
+  | Tx_fallback  (** TLE lock acquired *)
+  | Tx_escalate of { esc_to : tx_path; esc_attempt : int }
+  | Tx_steal of { st_victim : int }
+      (** an STM versioned lock was stolen from (crashed) thread
+          [st_victim] *)
 
 val pp_tx_event : Format.formatter -> tx_event -> unit
 
@@ -121,15 +180,16 @@ val set_tap : t -> (tid:int -> clock:int -> tx_event -> unit) option -> unit
 val commit_cycles_histogram : t -> (int * int) list
 (** Log-2 histogram of cycles-to-commit: [(2{^i}, count)] pairs, where a
     completed {!atomic} whose total latency (first attempt through final
-    commit, retries and backoff included) was in [\[2{^i}, 2{^i+1})] counts
-    toward bucket [2{^i}]. Empty buckets are omitted; counts sum to
-    [commits + lock_fallbacks] (minus any operations crash-interrupted
-    after their commit point). The escalation tail under faults lives
-    here. *)
+    commit, retries, backoff and escalation included) was in
+    [\[2{^i}, 2{^i+1})] counts toward bucket [2{^i}]. Empty buckets are
+    omitted; counts sum to completed operations across all three paths
+    (minus any crash-interrupted after their commit point). The
+    escalation tail under faults lives here. *)
 
 exception Retry_exhausted of abort_reason
-(** Raised by {!atomic} when [max_attempts] consecutive hardware attempts
-    aborted and TLE did not escalate; carries the last abort reason. *)
+(** Raised by {!atomic} when the retry budget ran out with no escalation
+    configured to rescue the operation (hardware [max_attempts], or the
+    STM budget with [tle = Tle_never]); carries the last abort reason. *)
 
 type tx
 (** An in-flight transaction attempt. Valid only inside the callback of
@@ -137,10 +197,11 @@ type tx
 
 val atomic : t -> Sim.tctx -> ?on_abort:(abort_reason -> unit) -> (tx -> 'a) -> 'a
 (** [atomic h ctx f] runs [f] transactionally, retrying on abort until it
-    commits (possibly via the TLE lock), and returns its result.
-    [on_abort] is called after each aborted attempt, before the backoff —
-    the adaptive step-size controller hooks in here. Transactions must not
-    nest. *)
+    commits (possibly escalated to the STM path or the TLE lock), and
+    returns its result. [on_abort] is called after each aborted attempt
+    on {e any} path, before the backoff — the adaptive step-size
+    controller hooks in here (STM abort reasons are mapped onto
+    {!abort_reason}). Transactions must not nest. *)
 
 val read : tx -> int -> int
 (** Transactional load. *)
@@ -151,7 +212,9 @@ val write : tx -> int -> int -> unit
 val record : tx -> unit
 (** Consume one store-buffer slot without touching simulated memory: models
     the store that writes a collected element into the (process-local)
-    result set, which is what bounds telescoping step sizes on Rock. *)
+    result set, which is what bounds telescoping step sizes on Rock. On
+    the STM path it pays the instrumentation cost but consumes no
+    capacity. *)
 
 val abort : tx -> 'a
 (** Explicitly abort this attempt; {!atomic} will retry the block. *)
@@ -162,7 +225,10 @@ val defer_free : tx -> int -> unit
     attempt aborts. *)
 
 val attempt_number : tx -> int
-(** 0 for the first attempt of this [atomic], incremented per retry. *)
+(** 0 for the first attempt of this [atomic], incremented per hardware
+    retry; frozen at the escalation attempt on the software path (use
+    {!Stm.attempt_number} via the side table for software retries). *)
 
 val in_fallback : tx -> bool
-(** Whether this attempt runs under the TLE lock (non-transactionally). *)
+(** Whether this attempt runs under the TLE lock (non-transactionally).
+    [false] on the STM path, which is transactional. *)

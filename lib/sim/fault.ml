@@ -15,6 +15,7 @@ type spec = {
   kill_rate : float;
   max_random_kills : int;
   kills_at : (int * int) list;
+  kills_at_point : (int * string * int) list;
   spurious_abort_rate : float;
 }
 
@@ -26,10 +27,11 @@ let none =
     kill_rate = 0.0;
     max_random_kills = 0;
     kills_at = [];
+    kills_at_point = [];
     spurious_abort_rate = 0.0;
   }
 
-type event_kind = Stalled of int | Killed | Spurious_abort
+type event_kind = Stalled of int | Killed | Killed_at of string | Spurious_abort
 
 type event = { ev_tid : int; ev_clock : int; ev_kind : event_kind }
 
@@ -37,6 +39,7 @@ let pp_event ppf e =
   match e.ev_kind with
   | Stalled d -> Format.fprintf ppf "t%d@%d stalled %d" e.ev_tid e.ev_clock d
   | Killed -> Format.fprintf ppf "t%d@%d killed" e.ev_tid e.ev_clock
+  | Killed_at p -> Format.fprintf ppf "t%d@%d killed at %s" e.ev_tid e.ev_clock p
   | Spurious_abort -> Format.fprintf ppf "t%d@%d spurious" e.ev_tid e.ev_clock
 
 type decision = Nothing | Stall of int | Kill
@@ -45,6 +48,7 @@ type thread_state = {
   point_rng : Rng.t; (* one draw per scheduling point *)
   spurious_rng : Rng.t; (* one draw per transaction attempt *)
   mutable kill_at : int option;
+  mutable point_kills : (string * int) list; (* pending named-point kills *)
   mutable dead : bool;
 }
 
@@ -67,10 +71,16 @@ let make spec =
             (fun acc (t, at) -> if t = tid then Some (match acc with None -> at | Some a -> min a at) else acc)
             None spec.kills_at
         in
+        let point_kills =
+          List.filter_map
+            (fun (t, p, at) -> if t = tid then Some (p, at) else None)
+            spec.kills_at_point
+        in
         {
           point_rng = Rng.create (spec.fault_seed lxor (0x9e3779b9 * (tid + 1)));
           spurious_rng = Rng.create (spec.fault_seed lxor (0x85ebca6b * (tid + 1)));
           kill_at;
+          point_kills;
           dead = false;
         })
   in
@@ -112,6 +122,30 @@ let decide t ~tid ~clock =
         end
   end
 
+(* Named code points ([Sim.fault_point]): layers register semantically
+   interesting windows — e.g. the STM commit between lock acquisition and
+   write-back — and a plan kills a thread at its first arrival there once
+   its clock has passed the trigger time. Deterministic like [kills_at],
+   but aimed at a code location instead of a raw virtual time. *)
+let at_point t ~tid ~clock ~point =
+  if tid < 0 || tid >= n_states then false
+  else begin
+    let st = t.states.(tid) in
+    if st.dead then false
+    else begin
+      let fires, rest =
+        List.partition (fun (p, at) -> p = point && clock >= at) st.point_kills
+      in
+      match fires with
+      | [] -> false
+      | _ :: _ ->
+        st.point_kills <- rest;
+        st.dead <- true;
+        log t tid clock (Killed_at point);
+        true
+    end
+  end
+
 let spurious t ~tid ~clock =
   if t.spec.spurious_abort_rate <= 0.0 || tid < 0 || tid >= n_states then false
   else begin
@@ -124,7 +158,7 @@ let spurious t ~tid ~clock =
 let events t = List.rev t.rev_events
 
 let count kindp t = List.length (List.filter (fun e -> kindp e.ev_kind) t.rev_events)
-let kills t = count (function Killed -> true | _ -> false) t
+let kills t = count (function Killed | Killed_at _ -> true | _ -> false) t
 let stalls t = count (function Stalled _ -> true | _ -> false) t
 let spurious_fired t = count (function Spurious_abort -> true | _ -> false) t
 

@@ -25,6 +25,13 @@ type spec = {
   kills_at : (int * int) list;
       (** [(tid, t)]: crash thread [tid] at its first scheduling point with
           clock >= [t] — the deterministic way to kill mid-operation *)
+  kills_at_point : (int * string * int) list;
+      (** [(tid, point, t)]: crash thread [tid] at its first arrival at the
+          named {!Sim.fault_point} once its clock is >= [t]. Layers register
+          their semantically dangerous windows as named points — e.g.
+          ["stm.commit"], the STM slow path between lock acquisition and
+          write-back — so a plan can aim a crash at a code location rather
+          than a raw virtual time. *)
   spurious_abort_rate : float;
       (** probability that a hardware transaction attempt is aborted for an
           environmental (non-data) reason, as on Rock *)
@@ -33,7 +40,7 @@ type spec = {
 val none : spec
 (** No faults at all; the identity plan. *)
 
-type event_kind = Stalled of int | Killed | Spurious_abort
+type event_kind = Stalled of int | Killed | Killed_at of string | Spurious_abort
 
 type event = { ev_tid : int; ev_clock : int; ev_kind : event_kind }
 
@@ -52,6 +59,12 @@ val decide : t -> tid:int -> clock:int -> decision
 (** Called by the scheduler at each scheduling point; logs and returns the
     injection for this point. A thread that was killed never receives
     further faults. *)
+
+val at_point : t -> tid:int -> clock:int -> point:string -> bool
+(** Called by {!Sim.fault_point} when a thread passes a named code point:
+    whether a pending [kills_at_point] entry for this thread and point has
+    triggered (its clock condition met). Consumes the entry, marks the
+    thread dead and logs a {!Killed_at} event when it fires. *)
 
 val spurious : t -> tid:int -> clock:int -> bool
 (** Called by {!Htm} once per hardware transaction attempt: whether this

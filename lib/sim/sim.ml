@@ -120,6 +120,7 @@ let observe_fault ctx kind =
        match kind with
        | Fault.Stalled d -> ("fault.stall", [ ("cycles", Obs.Json.Int d) ])
        | Fault.Killed -> ("fault.kill", [])
+       | Fault.Killed_at p -> ("fault.kill", [ ("point", Obs.Json.Str p) ])
        | Fault.Spurious_abort -> ("fault.spurious", [])
      in
      Obs.Tracer.instant sink ~tid:ctx.ctx_tid ~name ~cat:"fault" ~args ctx.clock);
@@ -140,6 +141,23 @@ let inject ctx =
       | Fault.Kill ->
         observe_fault ctx Fault.Killed;
         raise Stop_thread
+    end
+
+(* A named code point: layers mark semantically dangerous windows (e.g.
+   the STM commit while versioned locks are held) and a fault plan's
+   [kills_at_point] entries fire exactly there. Charges nothing and never
+   yields — it is a kill point, not a scheduling point — so registering
+   one cannot perturb a fault-free schedule. *)
+let fault_point ctx name =
+  match ctx.faults with
+  | None -> ()
+  | Some f ->
+    if
+      ctx.shield_depth = 0
+      && Fault.at_point f ~tid:ctx.ctx_tid ~clock:ctx.clock ~point:name
+    then begin
+      observe_fault ctx (Fault.Killed_at name);
+      raise Stop_thread
     end
 
 let tick ctx cost =
@@ -468,4 +486,17 @@ module Backoff = struct
     b.bound <- min b.cap (b.bound * 2)
 
   let reset b = b.bound <- b.base
+
+  (* The pure retry-backoff envelope shared by the transaction layers
+     ({!Htm}, {!Stm}): exponential in the attempt number, clamped at [cap]
+     (the shift itself saturates at 9 so the envelope is total for any
+     [n]). Exposed as functions of their inputs so qcheck can state the
+     monotone-until-cap property without driving a scheduler. *)
+  let bound ~base ~cap n = min cap (base lsl min n 9)
+
+  (* One randomized delay inside the envelope: uniform in
+     [bound/2, bound). Deterministic in (rng state, base, cap, n). *)
+  let delay ~base ~cap rng n =
+    let hi = bound ~base ~cap n in
+    (hi / 2) + Rng.int rng (max 1 (hi / 2))
 end

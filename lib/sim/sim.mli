@@ -176,6 +176,15 @@ val shield : tctx -> (unit -> unit) -> unit
     OS-level teardown path); costs are still charged and scheduling still
     happens. Nestable. *)
 
+val fault_point : tctx -> string -> unit
+(** [fault_point ctx name] marks the thread's passage through the named
+    code point and fires any pending [kills_at_point] entry of the
+    installed fault plan ({!Fault.spec}) aimed at it, raising
+    {!Stop_thread}. Free (no cycles, no yield, no RNG) and inert under
+    {!shield} or without a plan, so registering a point never perturbs a
+    fault-free run. {!Stm} registers ["stm.commit"] — the window between
+    versioned-lock acquisition and write-back. *)
+
 val spurious_fires : tctx -> bool
 (** Consult the installed fault plan's per-thread spurious-event stream
     (one draw per call). False when no plan is installed, the rate is
@@ -218,4 +227,17 @@ module Backoff : sig
 
   val reset : t -> unit
   (** Restore the initial bound (call after a success). *)
+
+  val bound : base:int -> cap:int -> int -> int
+  (** [bound ~base ~cap n] is the pure backoff envelope for retry attempt
+      [n]: [min cap (base lsl min n 9)]. Monotone in [n] until it reaches
+      [cap], then constant — the property the transaction layers' retry
+      loops rely on, stated as a function so it is testable without a
+      scheduler. *)
+
+  val delay : base:int -> cap:int -> Rng.t -> int -> int
+  (** One randomized delay inside the attempt-[n] envelope: uniform in
+      [\[bound/2, bound)]. Pure in the RNG state — the same stream yields
+      the same sequence, which is what keeps backoff byte-identical
+      across [--jobs] under the sweep runner. *)
 end

@@ -16,7 +16,12 @@
     - {b spurious aborts}: a 15% per-attempt environmental abort rate
       plus preemption stalls, with [Tle_after 6]; every algorithm must
       keep completing operations (the liveness watchdog stays silent)
-      and the escalation shows up in {!Htm.stats}.
+      and the escalation shows up in {!Htm.stats};
+    - {b STM commit-window crashes}: ListFastCollect runs entirely on
+      the TL2 software path ([Stm_after 0]) and the plan kills threads
+      at the ["stm.commit"] fault point — holding versioned write-locks,
+      after validation, before write-back. Survivors must steal the
+      stale locks (heartbeat timeout) and keep the machine live.
 
     [bench/main.exe chaos] runs {!run_all} and renders {!report}. *)
 
@@ -72,10 +77,24 @@ type spurious_result = {
 
 val spurious_one : ?seed:int -> ?rate:float -> Collect.Intf.maker -> spurious_result
 
+type stm_crash_result = {
+  st_kills : int;  (** threads killed while holding STM versioned locks *)
+  st_ops : int;  (** operations completed by survivors *)
+  st_steals : int;  (** locks recovered from the corpses *)
+  st_checked_collects : int;  (** spec-checked collects (all passed) *)
+  st_stm_commits : int;
+}
+
+val stm_crash_one : ?seed:int -> unit -> stm_crash_result
+(** Scenario D on ListFastCollect.
+    @raise Collect_spec.Violation if any collect broke the specification.
+    @raise Sim.Watchdog if stealing failed to keep the machine live. *)
+
 type summary = {
   crashes : crash_result list;
   queues : queue_result list;
   spurious : spurious_result list;
+  stm_crashes : stm_crash_result list;
 }
 
 (** One scenario run against one algorithm — the unit of parallelism. *)
@@ -83,6 +102,7 @@ type piece =
   | Crash of crash_result
   | Queue of queue_result
   | Spurious of spurious_result
+  | Stm_crash of stm_crash_result
 
 val cells : ?seed:int -> unit -> piece Runner.Cell.t list
 (** One cell per (scenario x algorithm), in canonical sweep order. *)
@@ -94,7 +114,6 @@ val run_all : ?jobs:int -> ?seed:int -> unit -> summary
     {!Hqueue.all_with_extensions} under crashes. *)
 
 val tables : summary -> (Report.table * string) list
-(** The three rendered tables with their explanatory notes, in report
-    order. *)
+(** The rendered tables with their explanatory notes, in report order. *)
 
 val report : Format.formatter -> summary -> unit

@@ -13,3 +13,4 @@ module Collect_dereg = Collect_dereg
 module Phased = Phased
 module Space_bench = Space_bench
 module Chaos_bench = Chaos_bench
+module Fallback_bench = Fallback_bench

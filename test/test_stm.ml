@@ -1,0 +1,414 @@
+(* Tests for the TL2 software path and the HTM→STM escalation policy:
+   serializability under both clock schemes, opacity, hybrid conflict
+   detection, unbounded write sets without global-lock serialization,
+   crash-safe versioned-lock recovery (stealing), per-path attempt
+   attribution, backoff envelope properties, and sweep determinism. *)
+
+let stm_forced = { Htm.default_config with stm = Htm.Stm_after 0 }
+
+let make_stm ?(stm_config = Stm.default_config) () =
+  let mem = Simmem.create () in
+  let htm = Htm.create ~config:{ stm_forced with stm_config } mem in
+  (mem, htm, Sim.boot ())
+
+(* ------------------------------------------------------------------ *)
+(* Serializability: contended counter on the pure software path.       *)
+
+let counter_no_lost_updates scheme () =
+  let mem, htm, _boot =
+    make_stm ~stm_config:{ Stm.default_config with clock_scheme = scheme } ()
+  in
+  let boot = Sim.boot () in
+  let a = Simmem.malloc mem boot 1 in
+  let n = 400 and nt = 6 in
+  Sim.run ~seed:3
+    (Array.init nt (fun _ ->
+         fun ctx ->
+           for _ = 1 to n do
+             Htm.atomic htm ctx (fun tx -> Htm.write tx a (Htm.read tx a + 1))
+           done));
+  Alcotest.(check int) "no lost updates" (n * nt) (Simmem.peek mem a);
+  let st = Htm.stats htm in
+  Alcotest.(check int) "no hardware commits" 0 st.commits;
+  Alcotest.(check int) "no lock fallbacks" 0 st.lock_fallbacks;
+  Alcotest.(check int) "every op committed in software" (n * nt) st.stm_commits;
+  match Htm.stm htm with
+  | None -> Alcotest.fail "stm side table missing"
+  | Some s ->
+    let ss = Stm.stats s in
+    Alcotest.(check bool) "attempts cover commits" true (ss.attempts >= ss.commits);
+    (match scheme with
+     | Stm.Gv1 ->
+       Alcotest.(check int) "GV1 never needs reader-side bumps" 0 ss.clock_bumps
+     | Stm.Gv5 ->
+       Alcotest.(check bool) "GV5 readers bumped the clock" true (ss.clock_bumps > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance: transactions beyond the store buffer complete on the STM
+   path with every thread progressing — no global-lock serialization.   *)
+
+let test_big_tx_parallel_stm () =
+  let mem = Simmem.create () in
+  let htm = Htm.create ~config:Htm.hybrid_config mem in
+  let boot = Sim.boot () in
+  let nt = 4 and ops = 12 and span = 48 in
+  (* disjoint regions: escalation is driven purely by capacity *)
+  let regions = Array.init nt (fun _ -> Simmem.malloc mem boot span) in
+  let done_ops = Array.make nt 0 in
+  Sim.run ~seed:7
+    (Array.init nt (fun i ->
+         fun ctx ->
+           for k = 1 to ops do
+             Htm.atomic htm ctx (fun tx ->
+                 for j = 0 to span - 1 do
+                   Htm.write tx (regions.(i) + j) k
+                 done);
+             done_ops.(i) <- done_ops.(i) + 1
+           done));
+  Array.iteri
+    (fun i d -> Alcotest.(check int) (Printf.sprintf "thread %d completed" i) ops d)
+    done_ops;
+  let st = Htm.stats htm in
+  Alcotest.(check int) "no global-lock serialization" 0 st.lock_fallbacks;
+  Alcotest.(check int) "48-store transactions committed in software" (nt * ops)
+    st.stm_commits;
+  Alcotest.(check int) "capacity escalated after one hw attempt each" (nt * ops)
+    st.attempts_hw;
+  Alcotest.(check int) "one escalation per op" (nt * ops) st.escalations_stm;
+  Alcotest.(check int) "every hw attempt overflowed" (nt * ops) st.aborts_overflow;
+  for i = 0 to nt - 1 do
+    for j = 0 to span - 1 do
+      if Simmem.peek mem (regions.(i) + j) <> ops then
+        Alcotest.failf "region %d word %d: %d" i j (Simmem.peek mem (regions.(i) + j))
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Opacity: a doomed software transaction never observes a snapshot
+   violating the x + y = 0 invariant — against STM writers and against
+   hardware-path writers (hybrid strong atomicity).                     *)
+
+let invariant_pair writer_config () =
+  let mem = Simmem.create () in
+  let htm = Htm.create ~config:stm_forced mem in
+  let whtm = Htm.create ~config:writer_config mem in
+  let boot = Sim.boot () in
+  let x = Simmem.malloc mem boot 1 and y = Simmem.malloc mem boot 1 in
+  let violated = ref false in
+  let writer ctx =
+    for k = 1 to 150 do
+      Htm.atomic whtm ctx (fun tx ->
+          Htm.write tx x k;
+          Htm.write tx y (-k))
+    done
+  in
+  let reader ctx =
+    for _ = 1 to 150 do
+      let s =
+        Htm.atomic htm ctx (fun tx ->
+            let s = Htm.read tx x + Htm.read tx y in
+            (* opacity: even an attempt doomed to abort must never have
+               let us compute on a mixed snapshot *)
+            if s <> 0 then violated := true;
+            s)
+      in
+      if s <> 0 then violated := true
+    done
+  in
+  Sim.run ~seed:11 [| writer; reader; reader |];
+  Alcotest.(check bool) "x + y = 0 always" false !violated
+
+(* ------------------------------------------------------------------ *)
+(* Crash-safe lock recovery: a thread killed between versioned-lock
+   acquisition and write-back leaves locks that survivors steal; its
+   write set is never half-applied.                                     *)
+
+let test_crash_steal_recovers () =
+  let mem = Simmem.create () in
+  let htm = Htm.create ~config:stm_forced mem in
+  let boot = Sim.boot () in
+  let a = Simmem.malloc mem boot 2 in
+  Simmem.write mem boot a 1;
+  Simmem.write mem boot (a + 1) 1;
+  let faults =
+    Sim.Fault.make
+      { Sim.Fault.none with kills_at_point = [ (0, "stm.commit", 0) ] }
+  in
+  let survivor_ops = ref 0 in
+  let victim_survived = ref false in
+  Sim.run ~seed:17 ~faults ~watchdog:2_000_000
+    [|
+      (fun ctx ->
+        (* dies holding the stripes of both words, pre-write-back *)
+        Htm.atomic htm ctx (fun tx ->
+            Htm.write tx a 999;
+            Htm.write tx (a + 1) 999);
+        victim_survived := true);
+      (fun ctx ->
+        for _ = 1 to 20 do
+          Htm.atomic htm ctx (fun tx ->
+              let u = Htm.read tx a and v = Htm.read tx (a + 1) in
+              if u <> v then Alcotest.failf "torn state observed: %d <> %d" u v;
+              Htm.write tx a (u + 1);
+              Htm.write tx (a + 1) (v + 1));
+          incr survivor_ops
+        done);
+      (fun ctx ->
+        for _ = 1 to 20 do
+          Htm.atomic htm ctx (fun tx ->
+              let u = Htm.read tx a and v = Htm.read tx (a + 1) in
+              if u <> v then Alcotest.failf "torn state observed: %d <> %d" u v;
+              Htm.write tx a (u + 1);
+              Htm.write tx (a + 1) (v + 1));
+          incr survivor_ops
+        done);
+    |];
+  Alcotest.(check bool) "victim was killed mid-commit" false !victim_survived;
+  Alcotest.(check int) "the kill fired" 1 (Sim.Fault.kills faults);
+  Alcotest.(check int) "both survivors completed all ops" 40 !survivor_ops;
+  Alcotest.(check int) "victim's write set never applied (pairs intact)"
+    (Simmem.peek mem a)
+    (Simmem.peek mem (a + 1));
+  Alcotest.(check int) "40 increments landed" 41 (Simmem.peek mem a);
+  let st = Htm.stats htm in
+  Alcotest.(check bool) "locks were stolen from the corpse" true (st.stm_steals >= 1)
+
+(* A steal from a live-but-slow owner must be harmless: the owner
+   re-verifies ownership at its commit point and retries. *)
+let test_live_owner_steal_harmless () =
+  let mem = Simmem.create () in
+  let config =
+    { stm_forced with
+      stm_config = { Stm.default_config with steal_timeout = 200 } }
+  in
+  let htm = Htm.create ~config mem in
+  let boot = Sim.boot () in
+  let a = Simmem.malloc mem boot 1 in
+  let n = 150 and nt = 4 in
+  Sim.run ~seed:23 ~watchdog:5_000_000
+    (Array.init nt (fun _ ->
+         fun ctx ->
+           for _ = 1 to n do
+             Htm.atomic htm ctx (fun tx -> Htm.write tx a (Htm.read tx a + 1))
+           done));
+  Alcotest.(check int) "aggressive stealing loses no update" (n * nt)
+    (Simmem.peek mem a)
+
+(* ------------------------------------------------------------------ *)
+(* Escalation attribution: per-path attempt counters are exact.         *)
+
+let test_attribution_spurious () =
+  let mem = Simmem.create () in
+  (* GV1 gives exact attempt counts: under GV5 a commit stamps words at
+     clock+1 without advancing the clock, so every subsequent op pays one
+     reader-side bump-and-retry attempt. *)
+  let config =
+    { Htm.hybrid_config with
+      stm_config = { Stm.default_config with clock_scheme = Stm.Gv1 } }
+  in
+  let htm = Htm.create ~config mem in
+  let boot = Sim.boot () in
+  let a = Simmem.malloc mem boot 1 in
+  let faults = Sim.Fault.make { Sim.Fault.none with spurious_abort_rate = 1.0 } in
+  let escalations = ref 0 and stm_commits = ref 0 and hw_aborts = ref 0 in
+  Htm.set_tap htm
+    (Some
+       (fun ~tid:_ ~clock:_ ev ->
+         match ev with
+         | Htm.Tx_escalate { esc_to = Htm.P_stm; _ } -> incr escalations
+         | Htm.Tx_commit { tx_path = Htm.P_stm; _ } -> incr stm_commits
+         | Htm.Tx_abort { ab_path = Htm.P_hw; _ } -> incr hw_aborts
+         | _ -> ()));
+  let ops = 5 in
+  Sim.run ~seed:29 ~faults
+    [|
+      (fun ctx ->
+        for _ = 1 to ops do
+          Htm.atomic htm ctx (fun tx -> Htm.write tx a (Htm.read tx a + 1))
+        done);
+    |];
+  let st = Htm.stats htm in
+  (* hybrid policy: 2 spuriously-doomed hardware attempts, then software *)
+  Alcotest.(check int) "hw attempts: exactly 2 per op" (2 * ops) st.attempts_hw;
+  Alcotest.(check int) "stm attempts: 1 per op" ops st.attempts_stm;
+  Alcotest.(check int) "no hardware commits" 0 st.commits;
+  Alcotest.(check int) "software commits carried every op" ops st.stm_commits;
+  Alcotest.(check int) "escalations counted" ops st.escalations_stm;
+  Alcotest.(check int) "no lock fallbacks" 0 st.lock_fallbacks;
+  Alcotest.(check int) "tap saw the escalations" ops !escalations;
+  Alcotest.(check int) "tap saw the stm commits" ops !stm_commits;
+  Alcotest.(check int) "tap saw the hw aborts" (2 * ops) !hw_aborts;
+  Alcotest.(check int) "all ops applied" ops (Simmem.peek mem a)
+
+(* STM budget exhaustion with TLE enabled falls to the lock; with TLE
+   disabled it raises Retry_exhausted. *)
+let test_stm_budget_to_tle () =
+  let mem = Simmem.create () in
+  let config =
+    { Htm.hybrid_config with
+      stm_attempts = 2;
+      stm_config =
+        { Stm.default_config with
+          (* live contenders are not steal candidates under the huge
+             default timeout; shrink the budget path instead *)
+          steal_timeout = 1_000_000 } }
+  in
+  let htm = Htm.create ~config mem in
+  let boot = Sim.boot () in
+  let a = Simmem.malloc mem boot 64 in
+  (* Force software-path aborts via capacity escalation plus contention:
+     every thread writes the whole shared region. *)
+  let nt = 4 and ops = 8 and span = 40 in
+  Sim.run ~seed:31 ~watchdog:20_000_000
+    (Array.init nt (fun _ ->
+         fun ctx ->
+           for k = 1 to ops do
+             Htm.atomic htm ctx (fun tx ->
+                 for j = 0 to span - 1 do
+                   Htm.write tx (a + j) k
+                 done)
+           done));
+  let st = Htm.stats htm in
+  Alcotest.(check int) "every op completed somewhere"
+    (nt * ops)
+    (st.stm_commits + st.lock_fallbacks);
+  Alcotest.(check bool) "contention pushed some ops through the lock" true
+    (st.lock_fallbacks > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Backoff envelope: monotone until cap, then constant; delays land in
+   [bound/2, bound) and are a pure function of the RNG stream.          *)
+
+let prop_backoff_monotone =
+  QCheck.Test.make ~name:"backoff bound monotone until cap" ~count:200
+    QCheck.(triple (int_range 1 2000) (int_range 1 100_000) (int_range 0 40))
+    (fun (base, cap, n) ->
+      let b = Sim.Backoff.bound ~base ~cap n in
+      let b' = Sim.Backoff.bound ~base ~cap (n + 1) in
+      b <= b' || b = cap)
+
+let prop_backoff_caps =
+  QCheck.Test.make ~name:"backoff bound reaches and holds the cap" ~count:100
+    QCheck.(pair (int_range 1 2000) (int_range 1 100_000))
+    (fun (base, cap) ->
+      Sim.Backoff.bound ~base ~cap 60 = min cap (Sim.Backoff.bound ~base ~cap 60)
+      && Sim.Backoff.bound ~base ~cap 60 = Sim.Backoff.bound ~base ~cap 61)
+
+let prop_backoff_delay_in_envelope =
+  QCheck.Test.make ~name:"backoff delay within [bound/2, bound)" ~count:200
+    QCheck.(triple (int_range 1 2000) (int_range 2 100_000) (int_range 0 20))
+    (fun (base, cap, n) ->
+      let rng = Sim.Rng.create 42 in
+      let hi = Sim.Backoff.bound ~base ~cap n in
+      let d = Sim.Backoff.delay ~base ~cap rng n in
+      d >= hi / 2 && d < max (hi / 2 + 1) hi)
+
+let prop_backoff_stream_pure =
+  QCheck.Test.make ~name:"backoff delay sequence is a pure function of the seed"
+    ~count:100 QCheck.small_int (fun seed ->
+      let seq s =
+        let rng = Sim.Rng.create s in
+        List.init 24 (fun n -> Sim.Backoff.delay ~base:60 ~cap:16384 rng n)
+      in
+      seq seed = seq seed)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep determinism: a contended hybrid workload fingerprint must be
+   byte-identical whatever [jobs] is — backoff, stealing and escalation
+   included.                                                            *)
+
+let hybrid_fingerprint seed () =
+  let mem = Simmem.create () in
+  let htm = Htm.create ~config:Htm.hybrid_config mem in
+  let boot = Sim.boot () in
+  let a = Simmem.malloc mem boot 48 in
+  Sim.run ~seed
+    (Array.init 4 (fun _ ->
+         fun ctx ->
+           for k = 1 to 6 do
+             Htm.atomic htm ctx (fun tx ->
+                 for j = 0 to 39 do
+                   Htm.write tx (a + j) (Htm.read tx (a + j) + k)
+                 done)
+           done));
+  let st = Htm.stats htm in
+  Printf.sprintf "w0=%d hw=%d stm=%d tle=%d esc=%d steals=%d" (Simmem.peek mem a)
+    st.attempts_hw st.attempts_stm st.attempts_tle st.escalations_stm st.stm_steals
+
+let test_sweep_jobs_identical () =
+  let cells =
+    List.map
+      (fun seed -> Runner.Cell.v ~label:(Printf.sprintf "fp/%d" seed) (hybrid_fingerprint seed))
+      [ 1; 2; 3; 4 ]
+  in
+  let fp jobs = Runner.Sweep.values (Runner.Sweep.run ~jobs cells) in
+  Alcotest.(check (list string)) "fingerprints byte-identical across jobs" (fp 1) (fp 2)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule exploration: the STM-forced scenarios hold up under
+   adversarial strategies, faults included.                             *)
+
+let explore_scenario key strategy ~faults () =
+  match Explore.Scenario.build ~key ~threads:3 ~ops:5 with
+  | Error msg -> Alcotest.fail msg
+  | Ok scn -> (
+    match scn.scn_run ~strategy ~seed:5 ~faults ~record:None ~trace:None with
+    | Explore.Scenario.Pass -> ()
+    | Explore.Scenario.Fail msg -> Alcotest.failf "%s under %s: %s" key "strategy" msg)
+
+let stall_faults =
+  Some { Sim.Fault.none with stall_rate = 0.001; stall_cycles = 2_000 }
+
+let () =
+  Alcotest.run "stm"
+    [
+      ( "serializability",
+        [
+          Alcotest.test_case "counter GV1" `Quick (counter_no_lost_updates Stm.Gv1);
+          Alcotest.test_case "counter GV5" `Quick (counter_no_lost_updates Stm.Gv5);
+        ] );
+      ( "capacity",
+        [ Alcotest.test_case "48-store txs, parallel, no lock" `Quick
+            test_big_tx_parallel_stm ] );
+      ( "opacity",
+        [
+          Alcotest.test_case "invariant pair vs STM writers" `Quick
+            (invariant_pair stm_forced);
+          Alcotest.test_case "invariant pair vs HW writers" `Quick
+            (invariant_pair Htm.default_config);
+        ] );
+      ( "crash recovery",
+        [
+          Alcotest.test_case "kill at stm.commit; locks stolen" `Quick
+            test_crash_steal_recovers;
+          Alcotest.test_case "live-owner steal harmless" `Quick
+            test_live_owner_steal_harmless;
+        ] );
+      ( "escalation",
+        [
+          Alcotest.test_case "per-path attribution exact" `Quick
+            test_attribution_spurious;
+          Alcotest.test_case "stm budget falls to TLE" `Quick test_stm_budget_to_tle;
+        ] );
+      ( "backoff",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_backoff_monotone;
+            prop_backoff_caps;
+            prop_backoff_delay_in_envelope;
+            prop_backoff_stream_pure;
+          ] );
+      ("determinism", [ Alcotest.test_case "sweep jobs" `Quick test_sweep_jobs_identical ]);
+      ( "explore",
+        [
+          Alcotest.test_case "stm-queue random-walk" `Quick
+            (explore_scenario "stm-queue" (Sim.Random_walk { rw_seed = 9 }) ~faults:None);
+          Alcotest.test_case "stm-queue pct + stalls" `Quick
+            (explore_scenario "stm-queue"
+               (Sim.Pct { pct_seed = 9; pct_depth = 3; pct_length = 4000 })
+               ~faults:stall_faults);
+          Alcotest.test_case "stm-collect random-walk" `Quick
+            (explore_scenario "stm-collect" (Sim.Random_walk { rw_seed = 13 })
+               ~faults:None);
+        ] );
+    ]
