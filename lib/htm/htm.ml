@@ -616,7 +616,12 @@ let atomic h ctx ?(on_abort = fun (_ : abort_reason) -> ()) f =
              t_ab);
         Sim.tick ctx h.cfg.tx_abort_cost;
         on_abort r;
-        backoff h ctx n;
+        (* A capacity overflow cannot succeed on hardware retry; when the
+           STM slow path will take the next attempt anyway, escalate
+           without paying a pointless backoff. *)
+        (match r, h.cfg.stm, h.stm with
+         | Overflow, Stm_after _, Some _ -> ()
+         | _ -> backoff h ctx n);
         attempt (n + 1) r
     end
   in

@@ -489,8 +489,13 @@ let commit tx =
   let me = Sim.tid ctx in
   if tx.nwrites = 0 then begin
     (* Read-only: the per-read revalidation kept the snapshot consistent;
-       one final atomic validation pins its linearization point. *)
+       one final atomic validation pins its linearization point. The TLE
+       fence must hold here too — a reader linearizing while the lock is
+       held could observe a half-applied critical section that per-word
+       validation cannot detect. *)
     Sim.charge ctx s.cfg.commit_cost;
+    let fenced = s.fence <> 0 && Simmem.peek s.smem s.fence <> 0 in
+    if fenced then raise (Aborted Locked);
     if not (validate_reads tx && read_locks_clear tx) then raise (Aborted Conflict)
   end
   else begin
