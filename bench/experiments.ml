@@ -199,6 +199,23 @@ let fallback =
         (Workload.Fallback_bench.tables s))
 
 (* ------------------------------------------------------------------ *)
+(* The memory-ordering matrix: the linearizability search and the litmus
+   enumeration re-run under every Sim.Memmodel variant. Duration is
+   fixed by the search budgets and the exhaustive litmus enumeration, so
+   --duration is ignored; --seed shifts the search seed sequence. *)
+
+let memorder =
+  exp "memorder" "memory models: fence hunting and litmus per variant" 0
+    (fun ~duration:_ ~seed -> Workload.Memorder_bench.cells ~seed ())
+    (fun ctx ocs ->
+      let s = Workload.Memorder_bench.summary_of_pieces (values ocs) in
+      List.iter
+        (fun (table, note) ->
+          ctx.emit table;
+          Format.fprintf ctx.ppf "@.%s@." note)
+        (Workload.Memorder_bench.tables s))
+
+(* ------------------------------------------------------------------ *)
 (* The coherence-contention profile: run the paper's two extremes of
    reclamation-induced cache traffic — hand-over-hand reference counting
    (every traversal writes reference counts, starting at the list header,
@@ -729,7 +746,7 @@ let micro =
 
 let all =
   [ fig1; latency; fig3; fig4; fig5; fig6; fig7; fig8; space; contend; chaos; fallback;
-    aborts; ablate; ext; micro ]
+    memorder; aborts; ablate; ext; micro ]
 
 let find name = List.find_opt (fun e -> e.name = name) all
 

@@ -20,32 +20,43 @@ let err fmt = Printf.ksprintf (fun s -> prerr_endline s) fmt
 let sanitize key =
   String.map (fun c -> match c with ':' | '+' | '/' | ' ' -> '-' | c -> c) key
 
-let resolve_scenarios spec ~threads ~ops =
+let resolve_scenarios spec ~model ~threads ~ops =
   match spec with
-  | "queues" -> Ok (Explore.Scenario.queues ~threads ~ops)
-  | "collects" -> Ok (Explore.Scenario.collects ~threads ~ops)
+  | "queues" -> Ok (Explore.Scenario.queues ~model ~threads ~ops ())
+  | "collects" -> Ok (Explore.Scenario.collects ~model ~threads ~ops ())
   | "all" ->
-    Ok (Explore.Scenario.queues ~threads ~ops @ Explore.Scenario.collects ~threads ~ops)
+    Ok
+      (Explore.Scenario.queues ~model ~threads ~ops ()
+      @ Explore.Scenario.collects ~model ~threads ~ops ())
   | keys ->
     let rec go acc = function
       | [] -> Ok (List.rev acc)
       | key :: tl -> (
-        match Explore.Scenario.build ~key ~threads ~ops with
+        match Explore.Scenario.build ~key ~model ~threads ~ops () with
         | Ok scn -> go (scn :: acc) tl
         | Error e -> Error e)
     in
     go [] (String.split_on_char ',' keys)
 
-let run_search jobs budget scenarios threads ops seed with_faults max_violations out =
-  match resolve_scenarios scenarios ~threads ~ops with
+let run_search jobs budget scenarios model threads ops seed with_faults max_violations out
+    =
+  match Sim.Memmodel.of_string model with
+  | None ->
+    err "explore search: unknown memory model %S (expected %s)" model
+      (String.concat ", " (List.map fst Sim.Memmodel.all));
+    1
+  | Some model -> (
+  match resolve_scenarios scenarios ~model ~threads ~ops with
   | Error e ->
     err "explore search: %s" e;
     1
   | Ok scns ->
-    Printf.printf "searching %d schedules over %d scenario(s), base seed %d%s%s\n%!"
+    Printf.printf "searching %d schedules over %d scenario(s), base seed %d%s%s%s\n%!"
       budget (List.length scns) seed
       (if with_faults then ", fault rounds on" else "")
-      (if jobs > 1 then Printf.sprintf ", %d domains" jobs else "");
+      (if jobs > 1 then Printf.sprintf ", %d domains" jobs else "")
+      (if model = Sim.Memmodel.sc then ""
+       else Printf.sprintf ", memory model %s" (Sim.Memmodel.to_string model));
     let summary =
       Explore.Search.search_sharded ~jobs ~base_seed:seed ~with_faults ~max_violations
         ~log:print_endline ~budget scns
@@ -70,7 +81,7 @@ let run_search jobs budget scenarios threads ops seed with_faults max_violations
             path)
         summary.res_violations;
       1
-    end
+    end)
 
 (* ------------------------------------------------------------------ *)
 (* replay                                                             *)
@@ -148,6 +159,8 @@ let list_algorithms () =
        (fun (key, oracle) -> [ key; oracle ])
        ([ ("racy", "final counter value (seeded known-bad)");
           ("broken-rop", "linearizability (seeded known-bad queue)");
+          ("ms-nofence", "linearizability (fence-dropping mutant; run with --model sb)");
+          ("htm-memorder", "linearizability (HTM queue; clean under every --model)");
           ("stm-queue", "linearizability (HTM queue forced onto the STM path)");
           ("stm-collect", "Dynamic Collect spec (ListFastCollect on the STM path)") ]
        @ List.map
@@ -301,6 +314,15 @@ let search_cmd =
              ~doc:"$(b,queues), $(b,collects), $(b,all), or comma-separated scenario \
                    keys (see the list subcommand).")
   in
+  let model =
+    Arg.(
+      value & opt string "sc"
+      & info [ "model" ]
+          ~doc:
+            "Memory-consistency variant: $(b,sc) (default), $(b,sb) (TSO store \
+             buffers), $(b,sb-bypass) (no store-to-load forwarding), or \
+             $(b,sb-fence-nop) (fences drain nothing). See docs/MEMORY_ORDERING.md.")
+  in
   let threads = Arg.(value & opt int 3 & info [ "t"; "threads" ] ~doc:"Simulated threads.") in
   let ops = Arg.(value & opt int 5 & info [ "ops" ] ~doc:"Operations per thread.") in
   let seed = Arg.(value & opt int 1 & info [ "s"; "seed" ] ~doc:"Base seed.") in
@@ -316,8 +338,8 @@ let search_cmd =
   Cmd.v
     (Cmd.info "search"
        ~doc:"Systematically explore schedules; exit 1 iff a violation was found")
-    Term.(const run_search $ jobs $ budget $ scenarios $ threads $ ops $ seed $ faults
-          $ max_violations $ out)
+    Term.(const run_search $ jobs $ budget $ scenarios $ model $ threads $ ops $ seed
+          $ faults $ max_violations $ out)
 
 let replay_cmd =
   let file =

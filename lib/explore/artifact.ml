@@ -3,6 +3,7 @@ type t = {
   art_threads : int;
   art_ops : int;
   art_seed : int;
+  art_model : string;
   art_deviations : (int * int) list;
   art_faults : Sim.Fault.spec option;
   art_message : string;
@@ -150,6 +151,10 @@ let to_string a =
   Buffer.add_string b (Printf.sprintf "threads=%d\n" a.art_threads);
   Buffer.add_string b (Printf.sprintf "ops=%d\n" a.art_ops);
   Buffer.add_string b (Printf.sprintf "seed=%d\n" a.art_seed);
+  (* The memory model rides as an optional field: [sc] artifacts stay
+     byte-identical with v1 files, and v1 files parse as [sc]. *)
+  if a.art_model <> "sc" then
+    Buffer.add_string b (Printf.sprintf "model=%s\n" a.art_model);
   Buffer.add_string b (Printf.sprintf "deviations=%s\n" (deviations_to_string a.art_deviations));
   Buffer.add_string b (Printf.sprintf "faults=%s\n" (faults_to_string a.art_faults));
   Buffer.add_string b (Printf.sprintf "message=%s\n" (escape a.art_message));
@@ -200,6 +205,9 @@ let of_string s =
   let* art_threads = int "threads" in
   let* art_ops = int "ops" in
   let* art_seed = int "seed" in
+  let art_model =
+    match Hashtbl.find_opt tbl "model" with Some m -> m | None -> "sc"
+  in
   let* devs = get "deviations" in
   let* art_deviations = deviations_of_string devs in
   let* flts = get "faults" in
@@ -211,6 +219,7 @@ let of_string s =
       art_threads;
       art_ops;
       art_seed;
+      art_model;
       art_deviations;
       art_faults;
       art_message = unescape msg;

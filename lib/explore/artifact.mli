@@ -13,6 +13,10 @@ type t = {
   art_threads : int;
   art_ops : int;
   art_seed : int;
+  art_model : string;
+      (** memory-consistency variant name ({!Sim.Memmodel.to_string});
+          written only when not ["sc"], so [sc] artifacts stay
+          byte-identical with v1 files and v1 files parse as ["sc"] *)
   art_deviations : (int * int) list;
   art_faults : Sim.Fault.spec option;
   art_message : string;

@@ -6,8 +6,10 @@
       the FIFO queues;
     - {!Trace}: pretty-printed interleaving capture off the [Simmem] and
       [Htm] event taps;
-    - {!Mutant}: the deliberately broken ROP queue used to validate that
+    - {!Mutant}: the deliberately broken ROP queues used to validate that
       the explorer actually finds bugs;
+    - {!Litmus}: memory-model litmus programs (SB/MP/LB/CoRR) with an
+      exhaustive schedule enumerator;
     - {!Scenario}: programs + oracles packaged as pure functions of
       (strategy, seed, fault plan);
     - {!Shrink}: ddmin over deviation lists;
@@ -21,6 +23,7 @@
 module Lin = Lin
 module Trace = Trace
 module Mutant = Mutant
+module Litmus = Litmus
 module Scenario = Scenario
 module Shrink = Shrink
 module Artifact = Artifact

@@ -1,0 +1,175 @@
+(* Classic memory-model litmus tests over the raw [Simmem] plane, with an
+   exhaustive schedule enumerator built on the recorder's choice log.
+
+   A litmus program is a tiny fixed thread set over one or two shared
+   locations whose final register values separate memory models: the
+   outcome set reachable under exhaustive scheduling is the model's
+   fingerprint (SB distinguishes TSO from SC, MP checks FIFO drain order,
+   LB and CoRR must be forbidden everywhere on a machine that only delays
+   stores). test/test_memorder.ml pins the golden sets per variant. *)
+
+type outcome = int list
+
+module Outcomes = Set.Make (struct
+  type t = outcome
+
+  let compare = compare
+end)
+
+type program = {
+  prog_name : string;
+  (* Fresh machine + bodies + readback for one run. Rebuilt per schedule:
+     runs must not share state. *)
+  prog_setup : model:Sim.Memmodel.t -> (Sim.tctx -> unit) array * (unit -> outcome);
+}
+
+exception Budget_exceeded of int
+
+(* Exhaustively enumerate every schedule of a program under a model by DFS
+   over deviation prefixes. Each run is recorded; at every counted
+   decision at or past the current depth, every runnable alternative to
+   the chosen thread spawns a child run whose [Deviate] list is the
+   parent's prefix plus that one forced pick. Sharing the prefix
+   guarantees the child reaches the same machine state (and so the same
+   runnable mask) at the branch index, so each schedule is visited exactly
+   once: the tree of (prefix, alternative) choices is exactly the tree of
+   schedules. *)
+let enumerate ?(budget = 20_000) ~model prog =
+  let outcomes = ref Outcomes.empty in
+  let runs = ref 0 in
+  let run devs =
+    if !runs >= budget then raise (Budget_exceeded budget);
+    incr runs;
+    let r = Sim.recorder () in
+    let bodies, readback = prog.prog_setup ~model in
+    Sim.run ~seed:0 ~strategy:(Sim.Deviate devs) ~record:r bodies;
+    outcomes := Outcomes.add (readback ()) !outcomes;
+    Sim.choices r
+  in
+  let rec explore devs depth =
+    let chs = run devs in
+    List.iter
+      (fun (k, mask, chosen) ->
+        if k >= depth then begin
+          let rest = ref (mask land lnot (1 lsl chosen)) in
+          let tid = ref 0 in
+          while !rest <> 0 do
+            if !rest land 1 <> 0 then explore (devs @ [ (k, !tid) ]) (k + 1);
+            rest := !rest lsr 1;
+            incr tid
+          done
+        end)
+      chs
+  in
+  match explore [] 0 with
+  | () -> Ok (Outcomes.elements !outcomes)
+  | exception Budget_exceeded b ->
+    Error (Printf.sprintf "%s: schedule budget %d exceeded" prog.prog_name b)
+
+(* Allocate a fresh location on its own cache line so litmus outcomes are
+   a pure ordering question, never a false-sharing artifact. *)
+let fresh_loc mem boot = Simmem.malloc mem boot 8
+
+let two_thread name body0 body1 nregs =
+  {
+    prog_name = name;
+    prog_setup =
+      (fun ~model ->
+        let mem = Simmem.create ~model () in
+        let boot = Sim.boot () in
+        let x = fresh_loc mem boot and y = fresh_loc mem boot in
+        let regs = Array.make nregs (-1) in
+        ( [| (fun ctx -> body0 mem ctx ~x ~y ~regs);
+             (fun ctx -> body1 mem ctx ~x ~y ~regs) |],
+          fun () -> Array.to_list regs ));
+  }
+
+(* SB (store buffering): T0: x:=1; r0:=y   T1: y:=1; r1:=x.
+   (0,0) — both loads missing both stores — requires each store to hide
+   in its thread's buffer past the other's load: reachable iff stores are
+   buffered, forbidden under sc. *)
+let sb =
+  two_thread "SB"
+    (fun mem ctx ~x ~y ~regs ->
+      Simmem.write mem ctx x 1;
+      regs.(0) <- Simmem.read mem ctx y)
+    (fun mem ctx ~x ~y ~regs ->
+      Simmem.write mem ctx y 1;
+      regs.(1) <- Simmem.read mem ctx x)
+    2
+
+(* SB with a fence between each store and load: the TSO repair. (0,0)
+   becomes forbidden again — except under sb-fence-nop, whose fences
+   drain nothing (the control that proves the harness actually tests
+   fence semantics, not accidental timing). *)
+let sb_fenced =
+  two_thread "SB+fence"
+    (fun mem ctx ~x ~y ~regs ->
+      Simmem.write mem ctx x 1;
+      Sim.fence ctx;
+      regs.(0) <- Simmem.read mem ctx y)
+    (fun mem ctx ~x ~y ~regs ->
+      Simmem.write mem ctx y 1;
+      Sim.fence ctx;
+      regs.(1) <- Simmem.read mem ctx x)
+    2
+
+(* MP (message passing): T0: x:=1; y:=1   T1: r0:=y; r1:=x.
+   The forbidden outcome (r0,r1)=(1,0) — flag visible before payload —
+   needs the two stores to drain out of order. A FIFO buffer never
+   reorders stores, so MP is forbidden under every variant here. *)
+let mp =
+  two_thread "MP"
+    (fun mem ctx ~x ~y ~regs:_ ->
+      Simmem.write mem ctx x 1;
+      Simmem.write mem ctx y 1)
+    (fun mem ctx ~x ~y ~regs ->
+      regs.(0) <- Simmem.read mem ctx y;
+      regs.(1) <- Simmem.read mem ctx x)
+    2
+
+(* LB (load buffering): T0: r0:=x; y:=1   T1: r1:=y; x:=1.
+   (1,1) needs loads to move after program-order-later stores; a store
+   buffer only delays stores, so it is forbidden under every variant. *)
+let lb =
+  two_thread "LB"
+    (fun mem ctx ~x ~y ~regs ->
+      regs.(0) <- Simmem.read mem ctx x;
+      Simmem.write mem ctx y 1)
+    (fun mem ctx ~x ~y ~regs ->
+      regs.(1) <- Simmem.read mem ctx y;
+      Simmem.write mem ctx x 1)
+    2
+
+(* CoRR (coherence of read-read): T0: x:=1   T1: r0:=x; r1:=x.
+   New-then-old ((1,0)) would violate per-location coherence; forbidden
+   under every variant. *)
+let corr =
+  two_thread "CoRR"
+    (fun mem ctx ~x ~y:_ ~regs:_ -> Simmem.write mem ctx x 1)
+    (fun mem ctx ~x ~y:_ ~regs ->
+      regs.(0) <- Simmem.read mem ctx x;
+      regs.(1) <- Simmem.read mem ctx x)
+    2
+
+(* RoW (read own write): one thread, x:=1; r0:=x. Forwarding models (and
+   sc, where the store is already visible) read 1; sb-bypass — buffering
+   without store-to-load forwarding — reads the stale 0 from memory. *)
+let row =
+  {
+    prog_name = "RoW";
+    prog_setup =
+      (fun ~model ->
+        let mem = Simmem.create ~model () in
+        let boot = Sim.boot () in
+        let x = fresh_loc mem boot in
+        let regs = Array.make 1 (-1) in
+        ( [|
+            (fun ctx ->
+              Simmem.write mem ctx x 1;
+              regs.(0) <- Simmem.read mem ctx x);
+          |],
+          fun () -> Array.to_list regs ));
+  }
+
+let all = [ sb; sb_fenced; mp; lb; corr; row ]

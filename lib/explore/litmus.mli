@@ -1,0 +1,58 @@
+(** Memory-model litmus tests with exhaustive schedule enumeration.
+
+    A litmus program is a tiny fixed thread set over one or two shared
+    locations; the set of final register vectors reachable under {e every}
+    schedule is a memory model's fingerprint. The enumerator runs the
+    program under [Sim.Deviate] replay, reads the recorder's
+    {!Sim.choices} log, and branches depth-first on every runnable
+    alternative at every counted decision — visiting each schedule exactly
+    once. [test/test_memorder.ml] pins the golden allowed/forbidden
+    outcome sets per {!Sim.Memmodel} variant (the litmus table in
+    docs/MEMORY_ORDERING.md). *)
+
+type outcome = int list
+(** Final register values in register order. *)
+
+type program = {
+  prog_name : string;
+  prog_setup : model:Sim.Memmodel.t -> (Sim.tctx -> unit) array * (unit -> outcome);
+      (** Build a fresh machine, the thread bodies, and the readback
+          closure. Called once per explored schedule: runs must not share
+          state. *)
+}
+
+val enumerate :
+  ?budget:int -> model:Sim.Memmodel.t -> program -> (outcome list, string) result
+(** All outcomes reachable under any schedule, sorted and deduplicated.
+    [budget] (default 20_000) caps the number of runs; exceeding it
+    returns [Error]. Deterministic: the DFS order and the simulator are
+    both seeded and side-effect-free across runs. *)
+
+val sb : program
+(** Store buffering: [T0: x:=1; r0:=y] vs [T1: y:=1; r1:=x]. Outcome
+    [(0,0)] is reachable iff stores are buffered (forbidden under [sc]). *)
+
+val sb_fenced : program
+(** SB with a {!Sim.fence} between each store and load: [(0,0)] forbidden
+    again under [sb] — but still reachable under [sb-fence-nop], the
+    control proving the harness tests fence {e semantics}. *)
+
+val mp : program
+(** Message passing: payload then flag vs flag-read then payload-read.
+    The stale-payload outcome [(1,0)] requires store-store reordering; a
+    FIFO buffer never reorders stores, so it is forbidden everywhere. *)
+
+val lb : program
+(** Load buffering: [(1,1)] requires load-store reordering; forbidden
+    under every variant here (only stores are delayed). *)
+
+val corr : program
+(** Read-read coherence: reading [x] as new-then-old is forbidden under
+    every variant. *)
+
+val row : program
+(** Read-own-write, single thread: [1] with forwarding (or under [sc]);
+    the stale [0] under [sb-bypass] (buffering without store-to-load
+    forwarding). *)
+
+val all : program list

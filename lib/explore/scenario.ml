@@ -5,6 +5,7 @@ type t = {
   scn_descr : string;
   scn_threads : int;
   scn_ops : int;
+  scn_model : Sim.Memmodel.t;
   scn_run :
     strategy:Sim.strategy ->
     seed:int ->
@@ -49,8 +50,8 @@ let has_kills = function
 
 let watchdog_budget = 10_000_000
 
-let queue_lin ?key ?(htm_config = Htm.default_config) (mk : Hqueue.Intf.maker) ~threads
-    ~ops =
+let queue_lin ?key ?(htm_config = Htm.default_config) ?(model = Sim.Memmodel.sc)
+    (mk : Hqueue.Intf.maker) ~threads ~ops =
   let key = match key with Some k -> k | None -> "queue:" ^ mk.queue_name in
   if threads * ops > Lin.max_ops then
     invalid_arg
@@ -59,7 +60,7 @@ let queue_lin ?key ?(htm_config = Htm.default_config) (mk : Hqueue.Intf.maker) ~
   let run ~strategy ~seed ~faults ~record ~trace =
     let faults = without_kills faults in
     catch_run (fun () ->
-      let mem = Simmem.create () in
+      let mem = Simmem.create ~model () in
       let htm = Htm.create ~config:htm_config mem in
       let boot = Sim.boot ~seed () in
       let q = mk.make htm boot ~num_threads:threads in
@@ -103,6 +104,7 @@ let queue_lin ?key ?(htm_config = Htm.default_config) (mk : Hqueue.Intf.maker) ~
         threads ops;
     scn_threads = threads;
     scn_ops = ops;
+    scn_model = model;
     scn_run = run;
   }
 
@@ -110,11 +112,11 @@ let queue_lin ?key ?(htm_config = Htm.default_config) (mk : Hqueue.Intf.maker) ~
    virtual-time windows: correct under min-clock, racy under any strategy
    that reorders across windows. The explorer's smoke target: a seeded bug
    whose finding, shrinking and replay the tests assert on. *)
-let racy_counter ~threads ~ops =
+let racy_counter ?(model = Sim.Memmodel.sc) ~threads ~ops () =
   let run ~strategy ~seed ~faults ~record ~trace =
     let faults = without_kills faults in
     catch_run (fun () ->
-      let mem = Simmem.create () in
+      let mem = Simmem.create ~model () in
       let boot = Sim.boot ~seed () in
       let addr = Simmem.malloc mem boot 1 in
       (match trace with Some tr -> Trace.attach_mem tr mem | None -> ());
@@ -146,15 +148,16 @@ let racy_counter ~threads ~ops =
       Printf.sprintf "unsynchronised counter, %d threads x %d increments" threads ops;
     scn_threads = threads;
     scn_ops = ops;
+    scn_model = model;
     scn_run = run;
   }
 
-let collect_spec ?key ?(htm_config = Htm.default_config) (mk : Collect.Intf.maker)
-    ~threads ~ops =
+let collect_spec ?key ?(htm_config = Htm.default_config) ?(model = Sim.Memmodel.sc)
+    (mk : Collect.Intf.maker) ~threads ~ops =
   let key = match key with Some k -> k | None -> "collect:" ^ mk.algo_name in
   let run ~strategy ~seed ~faults ~record ~trace =
     catch_run (fun () ->
-      let mem = Simmem.create () in
+      let mem = Simmem.create ~model () in
       let htm = Htm.create ~config:htm_config mem in
       let boot = Sim.boot ~seed () in
       let cfg =
@@ -202,14 +205,15 @@ let collect_spec ?key ?(htm_config = Htm.default_config) (mk : Collect.Intf.make
         threads ops;
     scn_threads = threads;
     scn_ops = ops;
+    scn_model = model;
     scn_run = run;
   }
 
-let queues ~threads ~ops =
-  List.map (fun mk -> queue_lin mk ~threads ~ops) Hqueue.all_with_extensions
+let queues ?model ~threads ~ops () =
+  List.map (fun mk -> queue_lin ?model mk ~threads ~ops) Hqueue.all_with_extensions
 
-let collects ~threads ~ops =
-  List.map (fun mk -> collect_spec mk ~threads ~ops) Collect.all_with_extensions
+let collects ?model ~threads ~ops () =
+  List.map (fun mk -> collect_spec ?model mk ~threads ~ops) Collect.all_with_extensions
 
 let strip_prefix p s =
   let lp = String.length p in
@@ -223,34 +227,46 @@ let strip_prefix p s =
    hardware fast path. *)
 let stm_forced = { Htm.default_config with stm = Htm.Stm_after 0 }
 
-let build ~key ~threads ~ops =
+let build ~key ?model ~threads ~ops () =
   match key with
-  | "racy" -> Ok (racy_counter ~threads ~ops)
-  | "broken-rop" -> Ok (queue_lin ~key:"broken-rop" Mutant.maker ~threads ~ops)
+  | "racy" -> Ok (racy_counter ?model ~threads ~ops ())
+  | "broken-rop" -> Ok (queue_lin ~key:"broken-rop" ?model Mutant.maker ~threads ~ops)
+  | "ms-nofence" ->
+    (* The StoreLoad-fence-dropping mutant: correct under [sc], unsafe
+       under a buffered model — the memory-ordering hunting target. *)
+    Ok (queue_lin ~key:"ms-nofence" ?model Mutant.nofence_maker ~threads ~ops)
+  | "htm-memorder" -> (
+    (* The HTM queue under whatever model the caller picked: strong
+       atomicity must keep it violation-free under every variant. *)
+    match Hqueue.find_maker "HTM" with
+    | Some mk -> Ok (queue_lin ~key:"htm-memorder" ?model mk ~threads ~ops)
+    | None -> Error "queue maker \"HTM\" missing")
   | "stm-queue" -> (
     match Hqueue.find_maker "HTM" with
-    | Some mk -> Ok (queue_lin ~key:"stm-queue" ~htm_config:stm_forced mk ~threads ~ops)
+    | Some mk ->
+      Ok (queue_lin ~key:"stm-queue" ~htm_config:stm_forced ?model mk ~threads ~ops)
     | None -> Error "queue maker \"HTM\" missing")
   | "stm-collect" -> (
     match Collect.find_maker "ListFastCollect" with
     | Some mk ->
-      Ok (collect_spec ~key:"stm-collect" ~htm_config:stm_forced mk ~threads ~ops)
+      Ok (collect_spec ~key:"stm-collect" ~htm_config:stm_forced ?model mk ~threads ~ops)
     | None -> Error "collect maker \"ListFastCollect\" missing")
   | _ -> (
     match strip_prefix "queue:" key with
     | Some name -> (
       match Hqueue.find_maker name with
-      | Some mk -> Ok (queue_lin mk ~threads ~ops)
+      | Some mk -> Ok (queue_lin ?model mk ~threads ~ops)
       | None -> Error (Printf.sprintf "unknown queue %S" name))
     | None -> (
       match strip_prefix "collect:" key with
       | Some name -> (
         match Collect.find_maker name with
-        | Some mk -> Ok (collect_spec mk ~threads ~ops)
+        | Some mk -> Ok (collect_spec ?model mk ~threads ~ops)
         | None -> Error (Printf.sprintf "unknown collect algorithm %S" name))
       | None ->
         Error
           (Printf.sprintf
              "unknown scenario %S (expected \"queue:NAME\", \"collect:NAME\", \
-              \"racy\", \"broken-rop\", \"stm-queue\" or \"stm-collect\")"
+              \"racy\", \"broken-rop\", \"ms-nofence\", \"htm-memorder\", \
+              \"stm-queue\" or \"stm-collect\")"
              key)))

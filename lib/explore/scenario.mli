@@ -17,6 +17,7 @@ type t = {
   scn_descr : string;
   scn_threads : int;
   scn_ops : int;  (** operations per thread *)
+  scn_model : Sim.Memmodel.t;  (** memory-consistency variant the machine runs *)
   scn_run :
     strategy:Sim.strategy ->
     seed:int ->
@@ -27,36 +28,58 @@ type t = {
 }
 
 val queue_lin :
-  ?key:string -> ?htm_config:Htm.config -> Hqueue.Intf.maker -> threads:int -> ops:int -> t
+  ?key:string ->
+  ?htm_config:Htm.config ->
+  ?model:Sim.Memmodel.t ->
+  Hqueue.Intf.maker ->
+  threads:int ->
+  ops:int ->
+  t
 (** Mixed enqueue/dequeue load with every operation recorded into a {!Lin}
     history and checked after the run. Kills are stripped from the fault
     plan (a killed thread's half-performed operation would make the
     history unjudgeable); stalls and spurious aborts pass through.
     [htm_config] selects the transaction machinery — e.g. an [Stm_after]
-    policy drives the same oracle through the TL2 software path.
+    policy drives the same oracle through the TL2 software path. [model]
+    selects the memory-consistency variant (default [sc]).
     @raise Invalid_argument if [threads * ops > Lin.max_ops]. *)
 
-val racy_counter : threads:int -> ops:int -> t
+val racy_counter : ?model:Sim.Memmodel.t -> threads:int -> ops:int -> unit -> t
 (** Unsynchronised counter whose threads increment in disjoint
     virtual-time windows: passes under [Min_clock], fails under schedules
     that reorder across windows — the seeded known-bad specimen the
     explorer's own tests calibrate against. *)
 
 val collect_spec :
-  ?key:string -> ?htm_config:Htm.config -> Collect.Intf.maker -> threads:int -> ops:int -> t
+  ?key:string ->
+  ?htm_config:Htm.config ->
+  ?model:Sim.Memmodel.t ->
+  Collect.Intf.maker ->
+  threads:int ->
+  ops:int ->
+  t
 (** Register/update/collect/deregister load checked against the Dynamic
     Collect specification. Kill-carrying fault plans are allowed
     ([Collect_spec] is crash-aware); [destroy] is skipped for them. *)
 
-val queues : threads:int -> ops:int -> t list
+val queues : ?model:Sim.Memmodel.t -> threads:int -> ops:int -> unit -> t list
 (** {!queue_lin} over [Hqueue.all_with_extensions]. *)
 
-val collects : threads:int -> ops:int -> t list
+val collects : ?model:Sim.Memmodel.t -> threads:int -> ops:int -> unit -> t list
 (** {!collect_spec} over [Collect.all_with_extensions]. *)
 
-val build : key:string -> threads:int -> ops:int -> (t, string) result
+val build :
+  key:string ->
+  ?model:Sim.Memmodel.t ->
+  threads:int ->
+  ops:int ->
+  unit ->
+  (t, string) result
 (** Resolve a registry key: ["queue:NAME"], ["collect:NAME"], ["racy"],
-    ["broken-rop"] (the {!Mutant} queue), or the STM-forced variants
+    ["broken-rop"] (the {!Mutant} queue), ["ms-nofence"] (the
+    StoreLoad-fence-dropping mutant — correct under [sc], unsafe under a
+    buffered [model]), ["htm-memorder"] (the HTM queue, for checking
+    strong atomicity under every variant), or the STM-forced variants
     ["stm-queue"] / ["stm-collect"], which run the HTM queue and
-    ListFastCollect entirely on the {!Stm} software path
-    ([Stm_after 0]). *)
+    ListFastCollect entirely on the {!Stm} software path ([Stm_after 0]).
+    [model] applies to every scenario; it is not baked into the key. *)

@@ -62,6 +62,7 @@ let shrink_and_package (scn : Scenario.t) ~seed ~faults ~deviations ~message =
         art_threads = scn.scn_threads;
         art_ops = scn.scn_ops;
         art_seed = seed;
+        art_model = Sim.Memmodel.to_string scn.scn_model;
         art_deviations = shr.shr_deviations;
         art_faults = shr.shr_faults;
         art_message = message;
@@ -155,10 +156,15 @@ let search_sharded ?(jobs = 1) ?(base_seed = 1) ?(with_faults = false) ?(max_vio
   end
 
 let replay_artifact ?trace (a : Artifact.t) =
-  match Scenario.build ~key:a.art_scenario ~threads:a.art_threads ~ops:a.art_ops with
-  | Error e -> Error e
-  | Ok scn ->
-    Ok
-      (scn.scn_run
-         ~strategy:(Sim.Deviate a.art_deviations)
-         ~seed:a.art_seed ~faults:a.art_faults ~record:None ~trace)
+  match Sim.Memmodel.of_string a.art_model with
+  | None -> Error (Printf.sprintf "unknown memory model %S" a.art_model)
+  | Some model -> (
+    match
+      Scenario.build ~key:a.art_scenario ~model ~threads:a.art_threads ~ops:a.art_ops ()
+    with
+    | Error e -> Error e
+    | Ok scn ->
+      Ok
+        (scn.scn_run
+           ~strategy:(Sim.Deviate a.art_deviations)
+           ~seed:a.art_seed ~faults:a.art_faults ~record:None ~trace))

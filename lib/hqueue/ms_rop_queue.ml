@@ -46,12 +46,17 @@ let hazard_addr t ctx i = t.hz + (hazards_per_thread * slot_index t ctx) + i
 (* An announcement must be globally visible before the validating re-read,
    which requires a store-load fence (membar #StoreLoad on SPARC). This
    fence, paid on every traversal step, is the heart of the 35–75 %
-   overhead the paper measures for ROP-style reclamation. *)
+   overhead the paper measures for ROP-style reclamation. [Sim.fence]
+   drains the thread's store buffer under a weak memory model — without
+   it, the announcement can sit invisible in the buffer while a reclaimer
+   scans, misses it, and frees the node (the `ms-nofence` mutant in
+   lib/explore demonstrates exactly that). Under [sc] it is a pure
+   [fence_cost] tick, as before. *)
 let fence_cost = 60
 
 let announce t ctx i node =
   Simmem.write (Htm.mem t.htm) ctx (hazard_addr t ctx i) node;
-  Sim.tick ctx fence_cost
+  Sim.fence ~cost:fence_cost ctx
 
 let clear_announcements t ctx =
   announce t ctx 0 0;

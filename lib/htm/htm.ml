@@ -448,7 +448,12 @@ let acquire_lock h ctx =
   in
   spin 0
 
-let release_lock h ctx = Simmem.write h.hmem ctx h.lock_addr 0
+(* Lock release is a store with release semantics: every critical-section
+   store must be globally visible before the lock word clears, or a
+   hardware transaction could observe the lock free while the section's
+   stores still sit in the releaser's buffer. [fenced_write] is exactly
+   [Simmem.write] under the [sc] model. *)
+let release_lock h ctx = Simmem.fenced_write h.hmem ctx h.lock_addr 0
 
 let run_locked h ctx tx attempt f =
   acquire_lock h ctx;
@@ -565,6 +570,11 @@ let atomic h ctx ?(on_abort = fun (_ : abort_reason) -> ()) f =
          into conflict-free lockstep that a real machine's pipeline and
          interrupt noise would constantly break. *)
       Sim.tick ctx (h.cfg.tx_begin_cost + Sim.Rng.int (Sim.rng ctx) 16);
+      (* Strong atomicity (paper §6): transaction begin drains the
+         thread's store buffer so tx reads never miss its own pre-tx
+         stores, and commit writes through [Tx_plane] — tx stores never
+         linger in a buffer. No-op under the [sc] model. *)
+      Simmem.drain h.hmem ctx;
       let t_att = Sim.clock ctx in
       reset_tx tx Hw n;
       Obs.Metrics.incr ~tid h.c_att_hw;

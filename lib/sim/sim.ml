@@ -5,6 +5,36 @@ module Fault = Fault
 exception Stop_thread
 exception Watchdog of string
 
+(* The memory-consistency variant matrix (see docs/MEMORY_ORDERING.md).
+   [Sim] owns the type so that layers above ([Simmem], the explorer, the
+   CLI) agree on one vocabulary, but the semantics live entirely in
+   [Simmem]'s store buffers; the scheduler itself is model-agnostic. *)
+module Memmodel = struct
+  type t = {
+    buffered : bool;  (* per-thread FIFO store buffer active *)
+    sb_depth : int;  (* buffer capacity; a full buffer drains its oldest entry *)
+    forward_loads : bool;  (* loads see the newest own-buffer entry *)
+    fence_drains : bool;  (* fences drain the buffer (off = bug-finding control) *)
+  }
+
+  let sc = { buffered = false; sb_depth = 0; forward_loads = false; fence_drains = true }
+  let sb = { buffered = true; sb_depth = 8; forward_loads = true; fence_drains = true }
+  let sb_bypass = { sb with forward_loads = false }
+  let sb_fence_nop = { sb with fence_drains = false }
+
+  let all =
+    [ ("sc", sc); ("sb", sb); ("sb-bypass", sb_bypass); ("sb-fence-nop", sb_fence_nop) ]
+
+  let to_string m =
+    match List.find_opt (fun (_, v) -> v = m) all with
+    | Some (name, _) -> name
+    | None ->
+      Printf.sprintf "custom[depth=%d,forward=%b,fence=%b]" m.sb_depth m.forward_loads
+        m.fence_drains
+
+  let of_string s = List.assoc_opt s all
+end
+
 (* Sharer sets in Simmem are bitmasks in a 63-bit int; one bit is reserved
    for boot contexts, so at most 61 runnable threads. *)
 let max_threads = 61
@@ -31,6 +61,13 @@ and tctx = {
      mode, so a traced run is cycle-identical to an untraced one. *)
   mutable ctx_tracer : Obs.Tracer.sink option;
   mutable ctx_on_fault : (Fault.event -> unit) option;
+  (* Drain hooks installed by memory layers with store buffers ({!Simmem}):
+     [fence] runs them with [~terminal:false]; thread termination (normal
+     return or a kill) runs them with [~terminal:true], where they must not
+     tick or yield — the fiber is past its last scheduling point. Under the
+     [sc] model no hook is ever registered, so [fence] degenerates to a
+     plain [tick] and stays cycle-identical to the pre-weak-memory code. *)
+  mutable ctx_drains : (terminal:bool -> unit) list;
 }
 
 and sched = {
@@ -72,6 +109,11 @@ and pct_state = {
 and recorder = {
   mutable rev_picks : int list;
   mutable rev_devs : (int * int) list;
+  (* Every counted decision as (choice index, runnable-tid bitmask, chosen
+     tid): the raw material for exhaustive schedule enumeration — a DFS can
+     branch on every runnable alternative at every index (lib/explore's
+     litmus enumerator). *)
+  mutable rev_choices : (int * int * int) list;
 }
 
 (* The ambient tracer sink: consulted by [run] and [boot] when no explicit
@@ -97,6 +139,7 @@ let boot ?(seed = 0) () =
     last_progress = 0;
     ctx_tracer = Domain.DLS.get ambient_tracer;
     ctx_on_fault = None;
+    ctx_drains = [];
   }
 
 let tid ctx = ctx.ctx_tid
@@ -169,6 +212,24 @@ let tick ctx cost =
 
 let charge ctx cost = ctx.clock <- ctx.clock + cost
 
+(* A full memory fence. Drain hooks run first (oldest registration first)
+   so the fence cost is charged after the buffered stores have paid their
+   own write costs; with no hooks registered (the [sc] model, or a thread
+   that never buffered a store) this is exactly [tick ctx cost]. *)
+let register_drain ctx f = ctx.ctx_drains <- ctx.ctx_drains @ [ f ]
+
+let fence ?(cost = 60) ctx =
+  List.iter (fun f -> f ~terminal:false) ctx.ctx_drains;
+  tick ctx cost
+
+(* Thread teardown: flush what the dying thread already issued. Runs in
+   terminal mode — hooks charge rather than tick, because the fiber has no
+   further scheduling points. A TSO machine does not lose the contents of
+   a store buffer when its core halts; a crash-kill flushing its buffer is
+   the hardware-faithful reading of [Fault.Kill] (the buffered stores were
+   executed instructions, only their visibility was pending). *)
+let drain_terminal ctx = List.iter (fun f -> f ~terminal:true) ctx.ctx_drains
+
 let advance_to ctx t =
   if t > ctx.clock then ctx.clock <- t;
   inject ctx;
@@ -226,9 +287,10 @@ let pct_change_points ~seed ~depth ~length =
   let rec gen acc k = if k = 0 then acc else gen (Rng.int rng l :: acc) (k - 1) in
   List.sort compare (gen [] n)
 
-let recorder () = { rev_picks = []; rev_devs = [] }
+let recorder () = { rev_picks = []; rev_devs = []; rev_choices = [] }
 let picks r = List.rev r.rev_picks
 let deviations r = List.rev r.rev_devs
+let choices r = List.rev r.rev_choices
 let decision_string r = String.concat ";" (List.rev_map string_of_int r.rev_picks)
 
 (* Pick a runnable thread with the minimal clock; break ties with the
@@ -273,6 +335,13 @@ let count_runnable s =
     if is_runnable s i then incr c
   done;
   !c
+
+let runnable_mask s =
+  let m = ref 0 in
+  for i = 0 to Array.length s.ctxs - 1 do
+    if is_runnable s i then m := !m lor (1 lsl i)
+  done;
+  !m
 
 let nth_runnable s k =
   let seen = ref 0 and found = ref (-1) in
@@ -332,22 +401,38 @@ let pick s =
     (match s.recd with
      | Some r ->
        r.rev_picks <- chosen :: r.rev_picks;
-       if nr >= 2 && chosen <> d then r.rev_devs <- (s.choice_idx, chosen) :: r.rev_devs
+       if nr >= 2 then begin
+         r.rev_choices <- (s.choice_idx, runnable_mask s, chosen) :: r.rev_choices;
+         if chosen <> d then r.rev_devs <- (s.choice_idx, chosen) :: r.rev_devs
+       end
      | None -> ());
     if nr >= 2 then s.choice_idx <- s.choice_idx + 1;
     chosen
   end
 
+(* Exit flush as a scheduler-visible step: a thread that buffered stores
+   (has drain hooks) yields once between its last instruction and its
+   terminal drain. Without this the flush is atomically glued to the last
+   instruction, so no other thread could ever observe the window between
+   a final load and the buffer drain — litmus SB's (0,0) would be
+   unreachable even under [sb]. Runs inside the fiber (it performs
+   [Yield]); under [sc] no hooks are ever registered and this is a no-op,
+   preserving schedules byte-for-byte. Kill paths skip it on purpose:
+   a crash flushes immediately (see [drain_terminal]). *)
+let exit_flush ctx = if ctx.ctx_drains <> [] then yield ()
+
 let handler s t : (unit, unit) Effect.Deep.handler =
   {
     retc =
       (fun () ->
+        drain_terminal t;
         s.statuses.(t.ctx_tid) <- Finished;
         s.live <- s.live - 1);
     exnc =
       (fun e ->
         match e with
         | Stop_thread ->
+          drain_terminal t;
           s.statuses.(t.ctx_tid) <- Finished;
           s.live <- s.live - 1
         | e -> raise e);
@@ -405,6 +490,7 @@ let run ?(seed = 0) ?(strategy = Min_clock) ?record ?faults ?watchdog ?diag ?tra
           last_progress = 0;
           ctx_tracer = sink;
           ctx_on_fault = on_fault;
+          ctx_drains = [];
         })
   in
   let statuses = Array.init n (fun i -> Not_started bodies.(i)) in
@@ -452,7 +538,11 @@ let run ?(seed = 0) ?(strategy = Min_clock) ?record ?faults ?watchdog ?diag ?tra
       (match statuses.(i) with
        | Not_started f ->
          statuses.(i) <- Running;
-         Effect.Deep.match_with (fun () -> f t) () (handler s t)
+         Effect.Deep.match_with
+           (fun () ->
+             f t;
+             exit_flush t)
+           () (handler s t)
        | Ready k ->
          statuses.(i) <- Running;
          Effect.Deep.continue k ()

@@ -34,6 +34,46 @@ exception Watchdog of string
     payload is a full diagnostic: per-thread clocks, run states and
     progress recency, plus the caller's [diag] section. *)
 
+(** The memory-consistency variant matrix (docs/MEMORY_ORDERING.md).
+    [Sim] owns the vocabulary; the semantics live in {!Simmem}'s
+    per-thread FIFO store buffers. The named presets:
+
+    - [sc]: sequential consistency — no buffering; the pre-weak-memory
+      behavior, byte-identical artifacts.
+    - [sb]: TSO-style store buffering — stores enter a bounded FIFO and
+      become visible at drain points (fences, atomics, capacity overflow,
+      thread termination); loads forward from the newest own-buffer entry.
+    - [sb-bypass]: like [sb] but loads ignore the own buffer (a machine
+      with store buffering and no store-to-load forwarding — reads your
+      own stale value).
+    - [sb-fence-nop]: like [sb] but fences drain nothing — the
+      bug-finding control: code whose correctness depends on its fences
+      must fail under this variant. *)
+module Memmodel : sig
+  type t = {
+    buffered : bool;  (** per-thread FIFO store buffer active *)
+    sb_depth : int;  (** capacity; a full buffer drains its oldest entry *)
+    forward_loads : bool;  (** loads see the newest own-buffer entry *)
+    fence_drains : bool;  (** fences drain the buffer *)
+  }
+
+  val sc : t
+  val sb : t
+  val sb_bypass : t
+  val sb_fence_nop : t
+
+  val all : (string * t) list
+  (** The named variants, in canonical order: [sc], [sb], [sb-bypass],
+      [sb-fence-nop]. *)
+
+  val to_string : t -> string
+  (** The canonical name, or a [custom[...]] rendering for models built by
+      hand (e.g. a depth-1 buffer in a litmus test). *)
+
+  val of_string : string -> t option
+  (** Inverse of {!to_string} on the named variants only. *)
+end
+
 val boot : ?seed:int -> unit -> tctx
 (** A context usable outside [run], e.g. to initialise shared structures
     before the threads start. It charges costs to its own clock but never
@@ -106,6 +146,15 @@ val decision_string : recorder -> string
 (** The pick sequence as [";"]-separated decimal tids — a compact
     fingerprint for determinism assertions (same seed and strategy implies
     byte-identical strings). *)
+
+val choices : recorder -> (int * int * int) list
+(** Every counted scheduling decision (>= 2 threads runnable) as
+    [(choice_index, runnable_tid_bitmask, chosen_tid)], in order. The
+    bitmask enumerates the alternatives available at that index, which is
+    exactly what an exhaustive schedule search needs to branch: replaying
+    [Deviate] with the recorded prefix plus one [(index, alt)] forces any
+    runnable alternative, and the prefix guarantees the same machine state
+    (hence the same mask) at that index. *)
 
 val run :
   ?seed:int ->
@@ -205,6 +254,23 @@ val tick : tctx -> int -> unit
 val charge : tctx -> int -> unit
 (** [charge ctx cost] advances the clock {e without} yielding. Used for the
     commit phase of transactions, which must be atomic in virtual time. *)
+
+val fence : ?cost:int -> tctx -> unit
+(** A full memory fence ([membar #StoreLoad] on the paper's SPARC target):
+    runs this thread's registered drain hooks (flushing its store buffer
+    under a buffered {!Memmodel}, unless the model says fences drain
+    nothing), then charges [cost] cycles (default 60) as a scheduling
+    point. With no hooks registered — the [sc] model, or a thread that
+    never buffered a store — this is exactly [tick ctx cost], so fenced
+    code is cycle-identical to the old tick-only fence stubs. *)
+
+val register_drain : tctx -> (terminal:bool -> unit) -> unit
+(** Install a drain hook on this thread, called by {!fence} with
+    [~terminal:false] and at thread termination (normal return or a kill)
+    with [~terminal:true]. Terminal hooks must not tick or yield — the
+    fiber is past its last scheduling point; use {!charge}. Intended for
+    memory layers ({!Simmem} registers one per thread that buffers a
+    store); hooks run in registration order. *)
 
 val advance_to : tctx -> int -> unit
 (** [advance_to ctx t] sleeps until virtual time [t] (no-op if already

@@ -63,8 +63,20 @@ let pp_access ppf = function
   | Malloc { base; words } -> Format.fprintf ppf "malloc %#x (%d words)" base words
   | Free { base; words } -> Format.fprintf ppf "free   %#x (%d words)" base words
 
+(* One thread's FIFO store buffer (active only under a buffered
+   {!Sim.Memmodel}): entries are (addr, value) in issue order. [sb_reg]
+   remembers which [Sim.tctx] currently has our drain hook installed —
+   contexts are recreated per [Sim.run], so a stale registration (physical
+   inequality) means the hook must be installed on the new context. *)
+type sbuf = {
+  sb_q : (int * int) Queue.t;
+  mutable sb_reg : Sim.tctx option;
+}
+
 type t = {
   cost : cost_model;
+  model : Sim.Memmodel.t;
+  sbufs : sbuf array; (* indexed by tid; slot [Sim.boot_tid] stays empty *)
   mutable tap : (access_event -> unit) option;
   mutable values : int array;
   mutable versions : int array;
@@ -108,10 +120,14 @@ type stats = {
 
 let initial_words = 1 lsl 12
 
-let create ?(costs = default_costs) ?metrics () =
+let create ?(costs = default_costs) ?(model = Sim.Memmodel.sc) ?metrics () =
   let mreg = Obs.Metrics.create ?parent:metrics () in
   {
     cost = costs;
+    model;
+    sbufs =
+      Array.init (Sim.max_threads + 1) (fun _ ->
+          { sb_q = Queue.create (); sb_reg = None });
     tap = None;
     values = Array.make initial_words 0;
     versions = Array.make initial_words 0;
@@ -153,6 +169,7 @@ let stats (t : t) =
 
 let metrics t = t.mreg
 let costs t = t.cost
+let model t = t.model
 let null = 0
 
 let set_tap t f = t.tap <- f
@@ -275,15 +292,104 @@ let write_cost t ctx addr =
     cost
   end
 
-let read t ctx addr =
-  check_live t addr;
-  Sim.tick ctx (read_cost t ctx addr);
-  check_live t addr;
-  let v = t.values.(addr) in
-  emit t ctx (Read { addr; value = v });
-  v
+(* ---- Store buffers (weak memory plane) -------------------------------
 
-let write t ctx addr v =
+   Under a buffered {!Sim.Memmodel} every plain store enters the issuing
+   thread's FIFO buffer and becomes globally visible only at a drain
+   point: a fence, an atomic, malloc/free, capacity overflow, or thread
+   termination. All the visibility machinery — coherence state, miss
+   costs, counters, version bumps, and the access tap — fires at drain
+   time, so a drain is a real scheduler-visible step the explorer can
+   interleave. Under [sc] no buffer is ever touched and every code path
+   below collapses to the pre-weak-memory instruction sequence. *)
+
+let buffering t ctx = t.model.Sim.Memmodel.buffered && Sim.tid ctx <> Sim.boot_tid
+let sbuf_of t ctx = t.sbufs.(Sim.tid ctx)
+
+(* Make the oldest buffered store visible. The write instruction already
+   executed at issue time, so an in-fiber drain that finds its target word
+   freed is precisely the delayed-visibility use-after-free the fence
+   discipline exists to prevent — report it. A terminal drain (thread
+   teardown) has no fiber to fault and drops dead-word stores silently.
+   The entry is popped only after the cost is paid: a kill landing inside
+   the in-fiber tick leaves it queued for the terminal flush. *)
+let drain_one t ctx ~terminal sb =
+  match Queue.peek_opt sb.sb_q with
+  | None -> ()
+  | Some (addr, v) ->
+    let dead () = addr <= 0 || addr >= t.extent || word_state t addr <> st_live in
+    if dead () then begin
+      if terminal then ignore (Queue.pop sb.sb_q) else check_live t addr
+    end
+    else begin
+      let cost = write_cost t ctx addr in
+      if terminal then Sim.charge ctx cost else Sim.tick ctx cost;
+      if dead () then begin
+        if terminal then ignore (Queue.pop sb.sb_q) else check_live t addr
+      end
+      else begin
+        ignore (Queue.pop sb.sb_q);
+        t.values.(addr) <- v;
+        t.versions.(addr) <- t.versions.(addr) + 1;
+        emit t ctx (Write { addr; value = v })
+      end
+    end
+
+let drain_all t ctx ~terminal sb =
+  while not (Queue.is_empty sb.sb_q) do
+    drain_one t ctx ~terminal sb
+  done
+
+(* Lazily install this heap's drain hook on the acting context, so
+   [Sim.fence] and thread teardown flush the buffer. Contexts are
+   per-[Sim.run]; a buffer whose registered context is stale re-registers
+   on the new one. Fence hooks honor the model's [fence_drains] switch
+   (the [sb-fence-nop] control); terminal flushes always happen. *)
+let ensure_drain_hook t ctx sb =
+  let current = match sb.sb_reg with Some c -> c == ctx | None -> false in
+  if not current then begin
+    sb.sb_reg <- Some ctx;
+    Sim.register_drain ctx (fun ~terminal ->
+        if terminal || t.model.Sim.Memmodel.fence_drains then
+          drain_all t ctx ~terminal sb)
+  end
+
+let drain t ctx =
+  if buffering t ctx then drain_all t ctx ~terminal:false (sbuf_of t ctx)
+
+let pending_stores t ctx = Queue.length (sbuf_of t ctx).sb_q
+
+(* The newest own-buffer entry for [addr], when the model forwards. *)
+let buffered_value t ctx addr =
+  if buffering t ctx && t.model.Sim.Memmodel.forward_loads then begin
+    let hit = ref None in
+    Queue.iter (fun (a, v) -> if a = addr then hit := Some v) (sbuf_of t ctx).sb_q;
+    !hit
+  end
+  else None
+
+let read t ctx addr =
+  match buffered_value t ctx addr with
+  | Some v ->
+    (* Store-to-load forwarding: served from the own buffer, no coherence
+       traffic, no miss possible. *)
+    check_live t addr;
+    Obs.Metrics.incr ~tid:(Sim.tid ctx) t.c_reads;
+    Sim.tick ctx t.cost.read_hit;
+    check_live t addr;
+    emit t ctx (Read { addr; value = v });
+    v
+  | None ->
+    check_live t addr;
+    Sim.tick ctx (read_cost t ctx addr);
+    check_live t addr;
+    let v = t.values.(addr) in
+    emit t ctx (Read { addr; value = v });
+    v
+
+(* The unbuffered store path — the only one under [sc], and the
+   visibility point shared by drains and fenced writes. *)
+let write_through t ctx addr v =
   check_live t addr;
   Sim.tick ctx (write_cost t ctx addr);
   check_live t addr;
@@ -291,7 +397,26 @@ let write t ctx addr v =
   t.versions.(addr) <- t.versions.(addr) + 1;
   emit t ctx (Write { addr; value = v })
 
+let write t ctx addr v =
+  if buffering t ctx then begin
+    check_live t addr;
+    let sb = sbuf_of t ctx in
+    ensure_drain_hook t ctx sb;
+    if Queue.length sb.sb_q >= t.model.Sim.Memmodel.sb_depth then
+      drain_one t ctx ~terminal:false sb;
+    Queue.add (addr, v) sb.sb_q;
+    (* The issue itself is a cheap local step; the write's real coherence
+       cost is paid when it drains. *)
+    Sim.tick ctx t.cost.write_hit
+  end
+  else write_through t ctx addr v
+
+let fenced_write t ctx addr v =
+  drain t ctx;
+  write_through t ctx addr v
+
 let cas t ctx addr ~expected ~desired =
+  drain t ctx;
   check_live t addr;
   Obs.Metrics.incr t.c_atomics;
   Sim.tick ctx (write_cost t ctx addr + t.cost.cas_extra);
@@ -305,6 +430,7 @@ let cas t ctx addr ~expected ~desired =
   success
 
 let fetch_add t ctx addr d =
+  drain t ctx;
   check_live t addr;
   Obs.Metrics.incr t.c_atomics;
   Sim.tick ctx (write_cost t ctx addr + t.cost.cas_extra);
@@ -335,6 +461,9 @@ let take_free t size =
 
 let malloc t ctx n =
   if n < 1 then invalid_arg "Simmem.malloc: size must be >= 1";
+  (* Allocator entry points are full fences: a pending store must never
+     land on a block the allocator is about to recycle. *)
+  drain t ctx;
   Sim.tick ctx (t.cost.malloc_base + (n * t.cost.malloc_per_word));
   let base =
     match take_free t n with
@@ -358,6 +487,7 @@ let malloc t ctx n =
   base
 
 let free t ctx base =
+  drain t ctx;
   Sim.tick ctx t.cost.free_cost;
   match Hashtbl.find_opt t.blocks base with
   | None ->

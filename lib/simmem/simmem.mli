@@ -66,10 +66,20 @@ type stats = {
   atomics : int;  (** CAS and fetch-add operations *)
 }
 
-val create : ?costs:cost_model -> ?metrics:Obs.Metrics.t -> unit -> t
+val create :
+  ?costs:cost_model -> ?model:Sim.Memmodel.t -> ?metrics:Obs.Metrics.t -> unit -> t
 (** [metrics] chains this heap's metrics registry to a parent (e.g. the
     benchmark harness's fleet-wide aggregate); without it the heap still
-    keeps a private registry, which is what {!stats} reads. *)
+    keeps a private registry, which is what {!stats} reads.
+
+    [model] selects the memory-consistency variant (default
+    {!Sim.Memmodel.sc}, the pre-weak-memory behavior). Under a buffered
+    model every plain {!write} enters the issuing thread's FIFO store
+    buffer and becomes globally visible only at a drain point — a
+    {!Sim.fence}, an atomic ({!cas} / {!fetch_add}), {!malloc} / {!free},
+    capacity overflow, or thread termination. Coherence costs, counters,
+    version bumps and the access tap all fire at drain time, making each
+    drained store a scheduler-visible step. See docs/MEMORY_ORDERING.md. *)
 
 val stats : t -> stats
 
@@ -82,6 +92,9 @@ val metrics : t -> Obs.Metrics.t
     in-flight transfer of the same line. *)
 
 val costs : t -> cost_model
+
+val model : t -> Sim.Memmodel.t
+(** The memory-consistency variant this heap was created with. *)
 
 val set_profiler : t -> Obs.Profiler.t option -> unit
 (** Attach a contention profiler: every coherence transfer (read or write
@@ -139,14 +152,37 @@ val read : t -> Sim.tctx -> int -> int
 
 val write : t -> Sim.tctx -> int -> int -> unit
 (** Non-transactional store; bumps the word version (strong atomicity:
-    it dooms any transaction that has read the word).
+    it dooms any transaction that has read the word). Under a buffered
+    {!Sim.Memmodel} the store enters the thread's FIFO buffer instead and
+    only becomes visible (version bump, coherence traffic, tap event) when
+    it drains; an in-fiber drain whose target word has meanwhile been
+    freed raises the fault at drain time — the delayed-visibility
+    use-after-free that fence disciplines exist to prevent.
     @raise Fault if the word is not allocated. *)
 
+val fenced_write : t -> Sim.tctx -> int -> int -> unit
+(** Store with release semantics: drains the thread's buffer first, then
+    writes through directly (never buffered). Under [sc] this is exactly
+    {!write}. The TLE lock release uses it — every critical-section store
+    must be visible before the lock word clears. *)
+
 val cas : t -> Sim.tctx -> int -> expected:int -> desired:int -> bool
-(** Atomic compare-and-swap; bumps the version only on success. *)
+(** Atomic compare-and-swap; bumps the version only on success. Atomics
+    are implicit full fences: the thread's store buffer drains first. *)
 
 val fetch_add : t -> Sim.tctx -> int -> int -> int
-(** [fetch_add t ctx addr d] atomically adds [d], returning the old value. *)
+(** [fetch_add t ctx addr d] atomically adds [d], returning the old value.
+    An implicit full fence, like {!cas}. *)
+
+val drain : t -> Sim.tctx -> unit
+(** Flush this thread's store buffer (in-fiber: each drained store is a
+    scheduling point and may fault). No-op under [sc] or when the buffer
+    is empty. The transaction layers call this at transaction begin so tx
+    reads never miss the thread's own pre-tx stores. *)
+
+val pending_stores : t -> Sim.tctx -> int
+(** Number of stores currently sitting in this thread's buffer (0 under
+    [sc]). Test/debug introspection; free. *)
 
 val version : t -> int -> int
 (** Current version of a word (no cost, no yield). *)

@@ -575,6 +575,11 @@ let atomic s ctx ?max_attempts ?(on_abort = fun (_ : abort_reason) -> ()) f =
   let rec attempt n last =
     if budget > 0 && n >= budget then raise (Retry_exhausted last);
     Sim.tick ctx (s.cfg.start_cost + Sim.Rng.int (Sim.rng ctx) 16);
+    (* Transaction begin is a full fence: the thread's pre-tx buffered
+       stores must be visible before any tx read, or commit-time
+       validation would validate against state the thread itself is about
+       to overwrite. No-op under the [sc] model. *)
+    Simmem.drain s.smem ctx;
     let t_att = Sim.clock ctx in
     reset_tx tx n;
     Obs.Metrics.incr ~tid s.c_attempts;

@@ -14,3 +14,4 @@ module Phased = Phased
 module Space_bench = Space_bench
 module Chaos_bench = Chaos_bench
 module Fallback_bench = Fallback_bench
+module Memorder_bench = Memorder_bench

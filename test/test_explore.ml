@@ -12,7 +12,7 @@ let run_recorded ~strategy ~seed (scn : E.Scenario.t) =
   in
   (outcome, r)
 
-let racy = E.Scenario.racy_counter ~threads:3 ~ops:5
+let racy = E.Scenario.racy_counter ~threads:3 ~ops:5 ()
 
 (* Same seed and strategy => byte-identical decision strings. *)
 let test_strategy_determinism () =
@@ -105,7 +105,7 @@ let test_broken_rop_passes_min_clock () =
   | E.Scenario.Fail msg -> Alcotest.failf "failed under min-clock: %s" msg
 
 let test_clean_queues () =
-  let scns = E.Scenario.queues ~threads:3 ~ops:5 in
+  let scns = E.Scenario.queues ~threads:3 ~ops:5 () in
   let s = E.Search.search ~base_seed:5 ~budget:60 scns in
   Alcotest.(check int) "violations" 0 (List.length s.res_violations);
   Alcotest.(check int) "runs" 60 s.res_runs
@@ -117,6 +117,7 @@ let test_artifact_roundtrip () =
       art_threads = 3;
       art_ops = 5;
       art_seed = 12345;
+      art_model = "sb";
       art_deviations = [ (3, 1); (17, 0); (29, 2) ];
       art_faults = Some (E.Search.light_faults 99);
       art_message = "memory fault: use-after-free at 0x2b\nsecond line";

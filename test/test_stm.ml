@@ -349,7 +349,7 @@ let test_sweep_jobs_identical () =
    adversarial strategies, faults included.                             *)
 
 let explore_scenario key strategy ~faults () =
-  match Explore.Scenario.build ~key ~threads:3 ~ops:5 with
+  match Explore.Scenario.build ~key ~threads:3 ~ops:5 () with
   | Error msg -> Alcotest.fail msg
   | Ok scn -> (
     match scn.scn_run ~strategy ~seed:5 ~faults ~record:None ~trace:None with
