@@ -228,6 +228,7 @@ let memorder =
 
 type contend_piece =
   | C_hohrc of Workload.Collect_update.result
+  | C_churn of Workload.Collect_update.churn_result
   | C_rop of Workload.Queue_bench.result
 
 let contend =
@@ -240,6 +241,17 @@ let contend =
             C_hohrc
               (Workload.Collect_update.run_one hohrc ~updaters:15 ~period:1_000 ~duration
                  ~step:(Collect.Intf.Fixed 8) ~seed));
+        (* Registration churn is where the header line stops being mere
+           coherence traffic and starts killing transactions: every head
+           insertion that commits invalidates the header word under the
+           collects in flight. Sized (16 threads, half window) so its
+           header conflicts dominate the experiment's witness total —
+           this cell is the known truth `bench doctor contend` exists to
+           attribute. *)
+        Runner.Cell.v ~label:"contend/ListHoHRC-churn" (fun () ->
+            C_churn
+              (Workload.Collect_update.churn_one hohrc ~threads:16
+                 ~duration:(max 40_000 (duration / 2)) ~seed));
         (* Matched operation budget: per queue operation the ROP queue is
            an order of magnitude faster than a HoHRC traversal, so equal
            wall windows would compare 10x the operations and swamp the
@@ -250,11 +262,20 @@ let contend =
             C_rop
               (Workload.Queue_bench.run_one rop ~threads:4
                  ~duration:(max 20_000 (duration / 12)) ~prefill:64 ~seed));
+        (* The hot variant exists for the abort story's other half: at 12
+           threads the queue's CAS retries actually fail, and their
+           witnesses land on the nodes and hazard slots each operation
+           happened to touch — payload spread, the opposite shape of the
+           churn cell's header pile-up. *)
+        Runner.Cell.v ~label:"contend/MichaelScott+ROP-hot" (fun () ->
+            C_rop
+              (Workload.Queue_bench.run_one rop ~threads:12
+                 ~duration:(max 20_000 (duration / 12)) ~prefill:64 ~seed));
       ])
     (fun ctx ocs ->
-      let r, q =
+      let r, c, q, qh =
         match values ocs with
-        | [ C_hohrc r; C_rop q ] -> (r, q)
+        | [ C_hohrc r; C_churn c; C_rop q; C_rop qh ] -> (r, c, q, qh)
         | _ -> assert false
       in
       ctx.emit
@@ -266,7 +287,9 @@ let contend =
           rows =
             [
               ("ListHoHRC collect-update", [ Some r.throughput ]);
+              ("ListHoHRC registration churn", [ Some c.churn_throughput ]);
               ("MichaelScott+ROP queue", [ Some q.throughput ]);
+              ("MichaelScott+ROP queue x12", [ Some qh.throughput ]);
             ];
         };
       (* Per-machine heatmaps, then the merged ranking across machines. *)
@@ -755,18 +778,22 @@ let cell_count e ~duration ~seed =
 
 (* Run one experiment end to end: build its canonical cells, execute them
    on up to [jobs] domains, fold the per-cell metrics into [absorb_into]
-   in canonical order, then present. Serial experiments ignore [jobs]. *)
-let run e ?(jobs = 1) ?tracer ?absorb_into ?(times = false) ctx =
+   in canonical order, then present. Serial experiments ignore [jobs].
+   Returns the per-machine forensics aggregators (labelled, canonical
+   cell order; empty unless [forensics] was set). *)
+let run e ?(jobs = 1) ?(forensics = false) ?tracer ?absorb_into ?(times = false) ctx
+    =
   match e.spec with
   | Spec s ->
     let jobs = if e.serial then 1 else jobs in
     let cells = s.cells ~duration:ctx.duration ~seed:ctx.seed in
     let outcomes =
-      Runner.Sweep.run ~jobs ~metrics:(absorb_into <> None) ~profile:e.profile ?tracer
-        cells
+      Runner.Sweep.run ~jobs ~metrics:(absorb_into <> None) ~profile:e.profile
+        ~forensics ?tracer cells
     in
     (match absorb_into with
     | Some reg -> Runner.Sweep.absorb ~into:reg outcomes
     | None -> ());
     s.present ctx outcomes;
-    if times then Obs.Table.print ctx.ppf (Runner.Sweep.timing_table outcomes)
+    if times then Obs.Table.print ctx.ppf (Runner.Sweep.timing_table outcomes);
+    Runner.Sweep.forensics outcomes

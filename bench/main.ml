@@ -73,6 +73,46 @@ let summary_of_metrics reg =
       );
     ]
 
+(* Same-labeled machines from different cells (or repeated cells) merge
+   in canonical first-occurrence order, which keeps the forensics
+   artifact byte-identical whatever --jobs did. *)
+let merge_forensics fors =
+  let order = ref [] in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (name, f) ->
+      match Hashtbl.find_opt tbl name with
+      | Some dst -> Obs.Forensics.absorb dst f
+      | None ->
+          Hashtbl.add tbl name f;
+          order := name :: !order)
+    fors;
+  List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
+
+(* bench/3: the forensics artifact. Like bench/2 it carries only
+   deterministic products — witnesses, conflict graphs and escalation
+   timelines are virtual-time facts, so the file is byte-identical at
+   any --jobs. *)
+let forensics_json ~experiment ~duration ~seed machines =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str "bench/3");
+      ("experiment", Obs.Json.Str experiment);
+      ( "params",
+        Obs.Json.Obj
+          [ ("duration", Obs.Json.Int duration); ("seed", Obs.Json.Int seed) ] );
+      ( "machines",
+        Obs.Json.List
+          (List.map
+             (fun (name, f) ->
+               Obs.Json.Obj
+                 [
+                   ("machine", Obs.Json.Str name);
+                   ("forensics", Obs.Forensics.to_json f);
+                 ])
+             machines) );
+    ]
+
 (* bench/2: adds deterministic run metadata (the canonical cell count).
    Wall-clock and --jobs deliberately never appear here — the artifact
    must be byte-identical whatever the pool did. *)
@@ -96,20 +136,40 @@ let bench_json ~experiment ~duration ~seed ~cells ~metrics =
    registry per experiment (so `all --json` artifacts stay independent),
    the sweep executor under it, then the artifact files. *)
 let run_experiment (e : Experiments.t) ~jobs ~duration ~seed ~csv ~json ~trace ~metrics
-    ~times =
+    ~forensics ~times =
   let tracer = match trace with None -> None | Some _ -> Some (Obs.Tracer.create ()) in
   let mreg = if json || metrics <> None then Some (Obs.Metrics.create ()) else None in
   captured_tables := [];
   let ctx =
     { Experiments.duration; seed; emit = emit ~csv; ppf = Format.std_formatter }
   in
-  Experiments.run e ~jobs ?tracer ?absorb_into:mreg ~times ctx;
+  let fors = Experiments.run e ~jobs ~forensics ?tracer ?absorb_into:mreg ~times ctx in
+  (* Trace health belongs in the registry too: a truncated trace (ring
+     overflow) silently biases any analysis built on it, so the dropped
+     count rides along with the other counters. *)
+  (match (tracer, mreg) with
+  | Some tr, Some r ->
+      Obs.Metrics.incr ~by:(Obs.Tracer.recorded tr) (Obs.Metrics.counter r "tracer.recorded");
+      Obs.Metrics.incr ~by:(Obs.Tracer.dropped tr) (Obs.Metrics.counter r "tracer.dropped")
+  | _ -> ());
   (match (trace, tracer) with
   | Some file, Some tr ->
       Obs.Tracer.write_file tr file;
       pf "trace: %d events (%d dropped) -> %s@." (Obs.Tracer.recorded tr)
         (Obs.Tracer.dropped tr) file
   | _ -> ());
+  if forensics then begin
+    let merged = merge_forensics fors in
+    List.iter
+      (fun (name, f) ->
+        pf "== Forensics: %s (%d witnesses, %d escalations) ==@." name
+          (Obs.Forensics.count f) (Obs.Forensics.hop_count f);
+        Obs.Forensics.print Format.std_formatter f)
+      merged;
+    let file = Printf.sprintf "BENCH_%s.forensics.json" e.name in
+    Obs.Json.write_file file (forensics_json ~experiment:e.name ~duration ~seed merged);
+    pf "forensics -> %s@." file
+  end;
   (match (metrics, mreg) with
   | Some file, Some r ->
       Obs.Json.write_file file (Obs.Metrics.to_json r);
@@ -134,7 +194,8 @@ let run_all ~jobs ~seed ~csv ~smoke ~json ~times =
     (fun (e : Experiments.t) ->
       if e.in_all then begin
         let duration = if smoke then smoke_duration e else e.default_duration in
-        run_experiment e ~jobs ~duration ~seed ~csv ~json ~trace:None ~metrics:None ~times
+        run_experiment e ~jobs ~duration ~seed ~csv ~json ~trace:None ~metrics:None
+          ~forensics:false ~times
       end)
     Experiments.all
 
@@ -187,6 +248,15 @@ let json_arg =
           "Also write BENCH_<experiment>.json: the printed tables plus the abort breakdown \
            and cycle totals, machine-readable.")
 
+let forensics_arg =
+  Arg.(
+    value & flag
+    & info [ "forensics" ]
+        ~doc:
+          "Capture conflict witnesses and escalation timelines, print the per-machine \
+           diagnosis tables, and write BENCH_<experiment>.forensics.json. Witness capture \
+           charges zero virtual cycles, so results are byte-identical with or without it.")
+
 let times_arg =
   Arg.(
     value & flag
@@ -200,15 +270,48 @@ let smoke_arg =
         ~doc:"CI durations: an eighth of each experiment's default window (floor 50k cycles).")
 
 let cmd_of_experiment (e : Experiments.t) =
-  let action jobs duration seed csv chart trace metrics json times =
+  let action jobs duration seed csv chart trace metrics json forensics times =
     chart_mode := chart;
-    run_experiment e ~jobs ~duration ~seed ~csv ~json ~trace ~metrics ~times
+    run_experiment e ~jobs ~duration ~seed ~csv ~json ~trace ~metrics ~forensics ~times
   in
   Cmd.v
     (Cmd.info e.name ~doc:e.doc)
     Term.(
       const action $ jobs_arg $ duration_arg e.default_duration $ seed_arg $ csv_arg
-      $ chart_arg $ trace_arg $ metrics_arg $ json_arg $ times_arg)
+      $ chart_arg $ trace_arg $ metrics_arg $ json_arg $ forensics_arg $ times_arg)
+
+(* `bench doctor <experiment>`: the forensics pipeline as a first-class
+   verb — rerun the experiment with witness capture on, print the
+   diagnosis tables (who conflicts with whom, over which lines, owned by
+   which region and allocation, and how transactions escalated), and
+   write the bench/3 artifact. Equivalent to `<experiment> --forensics`
+   minus the ordinary report plumbing flags. *)
+let doctor_cmd =
+  let exp_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun (e : Experiments.t) -> (e.name, e)) Experiments.all))) None
+      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment to diagnose.")
+  in
+  let duration_opt =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "duration"; "d" ]
+          ~doc:"Measured window in virtual cycles (default: the experiment's own).")
+  in
+  let action (e : Experiments.t) jobs duration seed =
+    let duration = match duration with Some d -> d | None -> e.default_duration in
+    run_experiment e ~jobs ~duration ~seed ~csv:false ~json:false ~trace:None
+      ~metrics:None ~forensics:true ~times:false
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:
+         "diagnose an experiment's contention: conflict witnesses, abort attribution, \
+          hot-line ranking and escalation timelines; writes \
+          BENCH_<experiment>.forensics.json")
+    Term.(const action $ exp_arg $ jobs_arg $ duration_opt $ seed_arg)
 
 let all_action jobs seed csv chart smoke json times =
   chart_mode := chart;
@@ -306,5 +409,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          (all_cmd :: validate_cmd :: diff_cmd
+          (all_cmd :: doctor_cmd :: validate_cmd :: diff_cmd
           :: List.map cmd_of_experiment Experiments.all)))

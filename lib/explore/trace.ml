@@ -33,6 +33,11 @@ let on_fault t (ev : Sim.Fault.event) =
   note t (Format.asprintf "t%-2d @%-9d flt  %s" ev.ev_tid ev.ev_clock what)
 
 let attach_htm t h =
+  (* With the last-writer journal on, abort events carry a resolved
+     conflict witness (aggressor thread, clock, op) — pp_tx_event renders
+     it, so counterexample traces name the write that doomed each
+     transaction. Free: journalling charges zero virtual cycles. *)
+  Simmem.track_writers (Htm.mem h);
   Htm.set_tap h
     (Some
        (fun ~tid ~clock ev ->

@@ -87,7 +87,12 @@ type stats = {
 
 type tx_event =
   | Tx_commit of { tx_reads : int; tx_writes : int; tx_path : tx_path; tx_attempt : int }
-  | Tx_abort of { ab_reason : abort_reason; ab_path : tx_path; ab_attempt : int }
+  | Tx_abort of {
+      ab_reason : abort_reason;
+      ab_path : tx_path;
+      ab_attempt : int;
+      ab_witness : Obs.Forensics.witness option;
+    }
   | Tx_fallback
   | Tx_escalate of { esc_to : tx_path; esc_attempt : int }
   | Tx_steal of { st_victim : int }
@@ -96,9 +101,12 @@ let pp_tx_event ppf = function
   | Tx_commit { tx_reads; tx_writes; tx_path; tx_attempt } ->
     Format.fprintf ppf "commit[%s] (%d reads, %d writes, attempt %d)"
       (path_label tx_path) tx_reads tx_writes tx_attempt
-  | Tx_abort { ab_reason; ab_path; ab_attempt } ->
+  | Tx_abort { ab_reason; ab_path; ab_attempt; ab_witness } ->
     Format.fprintf ppf "abort[%s]: %a (attempt %d)" (path_label ab_path)
-      pp_abort_reason ab_reason ab_attempt
+      pp_abort_reason ab_reason ab_attempt;
+    (match ab_witness with
+     | None -> ()
+     | Some w -> Format.fprintf ppf " [%a]" Obs.Forensics.pp_witness w)
   | Tx_fallback -> Format.pp_print_string ppf "TLE lock fallback"
   | Tx_escalate { esc_to; esc_attempt } ->
     Format.fprintf ppf "escalate to %s (attempt %d)" (path_label esc_to) esc_attempt
@@ -207,12 +215,13 @@ let create ?(config = default_config) ?metrics mem =
                        tx_path = P_stm;
                        tx_attempt = ev_attempt;
                      }
-                 | Stm.Ev_abort { ev_reason; ev_attempt } ->
+                 | Stm.Ev_abort { ev_reason; ev_attempt; ev_witness } ->
                    Tx_abort
                      {
                        ab_reason = of_stm_reason ev_reason;
                        ab_path = P_stm;
                        ab_attempt = ev_attempt;
+                       ab_witness = ev_witness;
                      }
                  | Stm.Ev_steal { ev_victim } -> Tx_steal { st_victim = ev_victim }))));
   h
@@ -290,6 +299,9 @@ type tx = {
   mutable nwrites : int;
   mutable nstores : int;
   mutable frees : int list;
+  mutable witness : Obs.Forensics.witness option;
+      (* set at the capture site of the conflict that will abort this
+         attempt; consumed (and cleared) by the abort handler *)
 }
 
 let attempt_number tx = tx.attempt
@@ -301,7 +313,8 @@ let reset_tx tx mode attempt =
   tx.nreads <- 0;
   tx.nwrites <- 0;
   tx.nstores <- 0;
-  tx.frees <- []
+  tx.frees <- [];
+  tx.witness <- None
 
 let fresh_tx h ctx =
   {
@@ -317,6 +330,7 @@ let fresh_tx h ctx =
     nwrites = 0;
     nstores = 0;
     frees = [];
+    witness = None;
   }
 
 let validate_reads tx =
@@ -348,6 +362,28 @@ let find_buffered tx addr =
   let rec go i = if i < 0 then None else if tx.waddr.(i) = addr then Some tx.wval.(i) else go (i - 1) in
   go (tx.nwrites - 1)
 
+(* Conflict forensics: the address whose version check failed — scanned
+   only on the (already doomed) abort path, never on success. *)
+let first_invalid tx =
+  let mem = tx.h.hmem in
+  let rec go i =
+    if i >= tx.nreads then None
+    else if not (Simmem.Tx_plane.validate mem tx.raddr.(i) tx.rver.(i)) then
+      Some tx.raddr.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let capture_conflict tx site =
+  match first_invalid tx with
+  | None -> ()
+  | Some addr ->
+    let wrote = find_buffered tx addr <> None in
+    tx.witness <-
+      Some
+        (Simmem.conflict_witness tx.h.hmem tx.ctx ~addr ~victim_wrote:wrote
+           ~in_read_set:true ~in_write_set:wrote ~site ())
+
 let illegal tx addr =
   if tx.h.cfg.sandboxed then raise (Aborted Illegal)
   else raise (Simmem.Fault (Simmem.Use_after_free addr))
@@ -364,7 +400,10 @@ let read tx addr =
         | None -> illegal tx addr
         | Some (v, ver) ->
           note_read tx addr ver;
-          if not (validate_reads tx) then raise (Aborted Conflict);
+          if not (validate_reads tx) then begin
+            capture_conflict tx "htm.read";
+            raise (Aborted Conflict)
+          end;
           v))
 
 let consume_store_slot tx =
@@ -412,7 +451,10 @@ let defer_free tx base =
    transaction is atomic in virtual time. *)
 let commit tx =
   let mem = tx.h.hmem in
-  if not (validate_reads tx) then raise (Aborted Conflict);
+  if not (validate_reads tx) then begin
+    capture_conflict tx "htm.commit";
+    raise (Aborted Conflict)
+  end;
   for i = 0 to tx.nwrites - 1 do
     if not (Simmem.is_allocated mem tx.waddr.(i)) then illegal tx tx.waddr.(i)
   done;
@@ -497,8 +539,10 @@ let run_locked h ctx tx attempt f =
 (* The software slow path: run the block as an STM transaction (same [tx]
    surface, [Sw] mode), with the configured attempt budget. If the budget
    runs dry and TLE is enabled, the lock is the last resort. *)
-let run_stm h s ctx tx n f on_abort =
+let run_stm h s ctx tx n ~last ~lastw f on_abort =
   Obs.Metrics.incr h.c_esc_stm;
+  Simmem.note_hop h.hmem ctx ~from_path:"hw" ~to_path:"stm"
+    ~reason:(abort_label last) lastw;
   emit h ctx (Tx_escalate { esc_to = P_stm; esc_attempt = n });
   (match Sim.tracer ctx with
    | None -> ()
@@ -519,6 +563,9 @@ let run_stm h s ctx tx n f on_abort =
   | exception Stm.Retry_exhausted r ->
     if h.cfg.tle <> Tle_never then begin
       emit h ctx (Tx_escalate { esc_to = P_tle; esc_attempt = n });
+      Simmem.note_hop h.hmem ctx ~from_path:"stm" ~to_path:"tle"
+        ~reason:(abort_label (of_stm_reason r))
+        (Stm.last_witness s ctx);
       run_locked h ctx tx n f
     end
     else raise (Retry_exhausted (of_stm_reason r))
@@ -537,6 +584,9 @@ let atomic h ctx ?(on_abort = fun (_ : abort_reason) -> ()) f =
     Sim.note_progress ctx;
     v
   in
+  (* Witness of the most recent hardware abort, threaded into the
+     escalation hop that it drives. *)
+  let last_w = ref None in
   let rec attempt n last =
     (* Escalation policy. Capacity aborts go straight to the software
        path — no hardware retry can ever fit an overflowing write set —
@@ -557,9 +607,13 @@ let atomic h ctx ?(on_abort = fun (_ : abort_reason) -> ()) f =
     in
     if esc_stm then
       match h.stm with
-      | Some s -> finish n (run_stm h s ctx tx n f on_abort)
+      | Some s -> finish n (run_stm h s ctx tx n ~last ~lastw:!last_w f on_abort)
       | None -> assert false
-    else if use_lock then finish n (run_locked h ctx tx n f)
+    else if use_lock then begin
+      Simmem.note_hop h.hmem ctx ~from_path:"hw" ~to_path:"tle"
+        ~reason:(abort_label last) !last_w;
+      finish n (run_locked h ctx tx n f)
+    end
     else if h.cfg.max_attempts > 0 && n >= h.cfg.max_attempts then
       (* Retry budget exhausted with no escalation left to rescue us:
          fail fast with the last abort reason instead of spinning. *)
@@ -612,7 +666,24 @@ let atomic h ctx ?(on_abort = fun (_ : abort_reason) -> ()) f =
         finish n v
       | exception Aborted r ->
         count_abort h ~tid r;
-        emit h ctx (Tx_abort { ab_reason = r; ab_path = P_hw; ab_attempt = n });
+        (* Attach the witness captured at the validation failure; a
+           lock-held abort synthesizes one against the lock word, whose
+           last writer (the holder's acquiring CAS) is the aggressor. *)
+        let w =
+          match r, tx.witness with
+          | _, (Some _ as w) -> w
+          | Lock_held, None ->
+            Some
+              (Simmem.conflict_witness h.hmem ctx ~addr:h.lock_addr
+                 ~victim_wrote:false ~in_read_set:true ~in_write_set:false
+                 ~site:"htm.begin" ())
+          | _, None -> None
+        in
+        tx.witness <- None;
+        (match w with Some wit -> Simmem.record_witness h.hmem ctx wit | None -> ());
+        last_w := w;
+        emit h ctx
+          (Tx_abort { ab_reason = r; ab_path = P_hw; ab_attempt = n; ab_witness = w });
         (match tr with
          | None -> ()
          | Some sink ->

@@ -166,7 +166,16 @@ val reset_stats : t -> unit
 
 type tx_event =
   | Tx_commit of { tx_reads : int; tx_writes : int; tx_path : tx_path; tx_attempt : int }
-  | Tx_abort of { ab_reason : abort_reason; ab_path : tx_path; ab_attempt : int }
+  | Tx_abort of {
+      ab_reason : abort_reason;
+      ab_path : tx_path;
+      ab_attempt : int;
+      ab_witness : Obs.Forensics.witness option;
+          (** the conflict witness captured at the failing validation (or
+              synthesized against the TLE lock word for lock-held
+              aborts); rendered by {!pp_tx_event}, so explorer
+              counterexample traces carry abort attribution *)
+    }
   | Tx_fallback  (** TLE lock acquired *)
   | Tx_escalate of { esc_to : tx_path; esc_attempt : int }
   | Tx_steal of { st_victim : int }

@@ -112,6 +112,29 @@ let rec observe h v =
   h.h_n <- h.h_n + 1;
   match h.h_parent with None -> () | Some p -> observe p v
 
+let percentile h q =
+  if h.h_n = 0 then 0
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int h.h_n))) in
+    let cum = ref 0 in
+    let res = ref (1 lsl (hist_buckets - 1)) in
+    (try
+       for i = 0 to hist_buckets - 1 do
+         cum := !cum + h.h_counts.(i);
+         if !cum >= rank then begin
+           res := 1 lsl i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !res
+  end
+
+let p50 h = percentile h 0.50
+let p99 h = percentile h 0.99
+let p999 h = percentile h 0.999
+
 let buckets h =
   let acc = ref [] in
   for i = hist_buckets - 1 downto 0 do

@@ -73,6 +73,19 @@ val buckets : hist -> (int * int) list
 val hist_count : hist -> int
 (** Total observations. *)
 
+val percentile : hist -> float -> int
+(** [percentile h q] resolves the [q]-quantile ([0. <= q <= 1.], clamped)
+    to the {e lower bound} of the first bucket whose cumulative count
+    reaches [ceil (q * n)] — the same [lo] values {!buckets} reports, so
+    the result is exact to within one power of two. Returns 0 for an
+    empty histogram. *)
+
+val p50 : hist -> int
+val p99 : hist -> int
+
+val p999 : hist -> int
+(** Tail-latency shorthands: [percentile h 0.5] / [0.99] / [0.999]. *)
+
 (** {1 Reset}
 
     Resets clear the local handle only — parent mirrors keep their

@@ -8,3 +8,4 @@ module Table = Table
 module Metrics = Metrics
 module Tracer = Tracer
 module Profiler = Profiler
+module Forensics = Forensics

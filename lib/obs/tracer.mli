@@ -61,6 +61,40 @@ val instant :
 (** [instant sink ~tid ~name t]: a point event at virtual time [t]
     (ph ["i"], thread scope). *)
 
+(** {1 Flow events}
+
+    Chrome-trace flows draw an arrow between two points on different
+    tracks sharing an [id] — here, from an aggressor thread's committed
+    write to the victim abort it caused. Ids come from {!flow_id}, a
+    deterministic per-tracer counter. *)
+
+val flow_id : sink -> int
+(** Next flow-correlation id (1, 2, ...) — the counter is per-tracer, so
+    ids are unique across all attached processes. *)
+
+val flow_start :
+  sink ->
+  tid:int ->
+  name:string ->
+  ?cat:string ->
+  ?args:(string * Json.t) list ->
+  id:int ->
+  int ->
+  unit
+(** Flow arrow tail (ph ["s"]) at virtual time [t] on thread [tid]. *)
+
+val flow_finish :
+  sink ->
+  tid:int ->
+  name:string ->
+  ?cat:string ->
+  ?args:(string * Json.t) list ->
+  id:int ->
+  int ->
+  unit
+(** Flow arrow head (ph ["f"], binding point ["e"]); pair with the
+    {!flow_start} carrying the same [id]. *)
+
 val thread_name : sink -> tid:int -> string -> unit
 (** Label thread [tid]'s track; kept outside the ring (never dropped) and
     deduplicated, so re-labelling across runs is free. *)
@@ -73,7 +107,8 @@ val dropped : t -> int
 
 val to_json : t -> Json.t
 (** The Chrome trace object: [{traceEvents: [...], displayTimeUnit,
-    otherData}]. Metadata events (process/thread names) come first, ring
-    events follow oldest-first. *)
+    otherData}]. Metadata events (process/thread names, plus a
+    ["tracer.dropped"] record whenever the ring overwrote events) come
+    first, ring events follow oldest-first. *)
 
 val write_file : t -> string -> unit

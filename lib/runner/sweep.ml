@@ -20,19 +20,24 @@ type hooks = {
       (** Reset the executing domain's per-cell ambient state (value
           supply, machine labels, profiler log). *)
   h_install :
-    metrics:Obs.Metrics.t option -> profile:bool -> tracer:Obs.Tracer.t option -> unit;
+    metrics:Obs.Metrics.t option ->
+    profile:bool ->
+    forensics:bool ->
+    tracer:Obs.Tracer.t option ->
+    unit;
       (** Install the cell's observability sinks in the executing
           domain. *)
-  h_finish : unit -> (string * Obs.Profiler.t) list;
-      (** Collect the cell's labeled profilers and restore the domain to
-          its unobserved state. *)
+  h_finish :
+    unit -> (string * Obs.Profiler.t) list * (string * Obs.Forensics.t) list;
+      (** Collect the cell's labeled profilers and forensics, and restore
+          the domain to its unobserved state. *)
 }
 
 let no_hooks =
   {
     h_prepare = ignore;
-    h_install = (fun ~metrics:_ ~profile:_ ~tracer:_ -> ());
-    h_finish = (fun () -> []);
+    h_install = (fun ~metrics:_ ~profile:_ ~forensics:_ ~tracer:_ -> ());
+    h_finish = (fun () -> ([], []));
   }
 
 (* Written once, at [Workload.Driver]'s module initialisation, before any
@@ -46,9 +51,11 @@ type 'a outcome = {
   oc_wall_us : float;  (** wall-clock, microseconds — never deterministic *)
   oc_snapshot : Obs.Metrics.snapshot;  (** empty unless [metrics] was set *)
   oc_profilers : (string * Obs.Profiler.t) list;  (** empty unless [profile] *)
+  oc_forensics : (string * Obs.Forensics.t) list;  (** empty unless [forensics] *)
 }
 
-let run ?(jobs = 1) ?(metrics = false) ?(profile = false) ?tracer cells =
+let run ?(jobs = 1) ?(metrics = false) ?(profile = false) ?(forensics = false)
+    ?tracer cells =
   (* A tracer is a single shared append buffer; interleaving domains into
      it would scramble the event order, so tracing forces a serial run. *)
   let jobs = match tracer with Some _ -> 1 | None -> jobs in
@@ -56,17 +63,18 @@ let run ?(jobs = 1) ?(metrics = false) ?(profile = false) ?tracer cells =
   let exec (c : 'a Cell.t) =
     h.h_prepare ();
     let reg = if metrics then Some (Obs.Metrics.create ()) else None in
-    h.h_install ~metrics:reg ~profile ~tracer;
+    h.h_install ~metrics:reg ~profile ~forensics ~tracer;
     let t0 = Unix.gettimeofday () in
     let value = try Ok (c.thunk ()) with e -> Error e in
     let wall_us = (Unix.gettimeofday () -. t0) *. 1e6 in
-    let profilers = h.h_finish () in
+    let profilers, fors = h.h_finish () in
     {
       oc_label = c.label;
       oc_value = value;
       oc_wall_us = wall_us;
       oc_snapshot = (match reg with Some r -> Obs.Metrics.snapshot r | None -> []);
       oc_profilers = profilers;
+      oc_forensics = fors;
     }
   in
   Array.to_list (Pool.map ~jobs exec (Array.of_list cells))
@@ -100,6 +108,7 @@ let absorb ~into outcomes =
     outcomes
 
 let profilers outcomes = List.concat_map (fun o -> o.oc_profilers) outcomes
+let forensics outcomes = List.concat_map (fun o -> o.oc_forensics) outcomes
 
 (* The per-cell timing table, for humans (never written into BENCH
    artifacts — wall-clock would break their byte-stability). *)

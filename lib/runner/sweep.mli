@@ -20,12 +20,17 @@ type hooks = {
       (** Reset the executing domain's per-cell ambient state (value
           supply, machine labels, profiler log). *)
   h_install :
-    metrics:Obs.Metrics.t option -> profile:bool -> tracer:Obs.Tracer.t option -> unit;
+    metrics:Obs.Metrics.t option ->
+    profile:bool ->
+    forensics:bool ->
+    tracer:Obs.Tracer.t option ->
+    unit;
       (** Install the cell's observability sinks in the executing
           domain. *)
-  h_finish : unit -> (string * Obs.Profiler.t) list;
-      (** Collect the cell's labeled profilers and restore the domain to
-          its unobserved state. *)
+  h_finish :
+    unit -> (string * Obs.Profiler.t) list * (string * Obs.Forensics.t) list;
+      (** Collect the cell's labeled profilers and forensics aggregators,
+          and restore the domain to its unobserved state. *)
 }
 
 val no_hooks : hooks
@@ -40,12 +45,14 @@ type 'a outcome = {
   oc_wall_us : float;  (** wall-clock, microseconds — never deterministic *)
   oc_snapshot : Obs.Metrics.snapshot;  (** empty unless [metrics] was set *)
   oc_profilers : (string * Obs.Profiler.t) list;  (** empty unless [profile] *)
+  oc_forensics : (string * Obs.Forensics.t) list;  (** empty unless [forensics] *)
 }
 
 val run :
   ?jobs:int ->
   ?metrics:bool ->
   ?profile:bool ->
+  ?forensics:bool ->
   ?tracer:Obs.Tracer.t ->
   'a Cell.t list ->
   'a outcome list
@@ -69,6 +76,9 @@ val absorb : into:Obs.Metrics.t -> 'a outcome list -> unit
 
 val profilers : 'a outcome list -> (string * Obs.Profiler.t) list
 (** All labeled contention profilers, in canonical cell order. *)
+
+val forensics : 'a outcome list -> (string * Obs.Forensics.t) list
+(** All labeled forensics aggregators, in canonical cell order. *)
 
 val timing_table : ?top:int -> 'a outcome list -> Obs.Table.table
 (** The per-cell timing table, for humans (never written into BENCH

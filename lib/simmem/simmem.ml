@@ -43,6 +43,33 @@ let st_freed = 2
 
 let line_shift = 3 (* 8 words per line *)
 
+(* What kind of committed store last touched a word — the aggressor half
+   of a conflict witness. *)
+type writer_op = Op_store | Op_atomic | Op_commit | Op_malloc | Op_free
+
+let op_label = function
+  | Op_store -> "store"
+  | Op_atomic -> "atomic"
+  | Op_commit -> "commit"
+  | Op_malloc -> "malloc"
+  | Op_free -> "free"
+
+let op_code = function
+  | Op_store -> 0
+  | Op_atomic -> 1
+  | Op_commit -> 2
+  | Op_malloc -> 3
+  | Op_free -> 4
+
+let op_of_code = function
+  | 0 -> Op_store
+  | 1 -> Op_atomic
+  | 2 -> Op_commit
+  | 3 -> Op_malloc
+  | _ -> Op_free
+
+let no_writer = '\255'
+
 type access =
   | Read of { addr : int; value : int }
   | Write of { addr : int; value : int }
@@ -101,6 +128,15 @@ type t = {
   g_live_blocks : Obs.Metrics.gauge;
   h_queue_wait : Obs.Metrics.hist;
   mutable prof : Obs.Profiler.t option;
+  (* Last-writer journal, the aggressor side of conflict witnesses: per
+     word, which thread's committed store bumped the version last, what
+     kind of store it was and at what clock. Off by default; capture is a
+     handful of array stores, zero virtual cycles. *)
+  mutable wr_on : bool;
+  mutable wr_tid : Bytes.t;
+  mutable wr_kind : Bytes.t;
+  mutable wr_clock : int array;
+  mutable fors : Obs.Forensics.t option;
 }
 
 type stats = {
@@ -149,6 +185,11 @@ let create ?(costs = default_costs) ?(model = Sim.Memmodel.sc) ?metrics () =
     g_live_blocks = Obs.Metrics.gauge mreg "mem.live_blocks";
     h_queue_wait = Obs.Metrics.hist mreg "mem.queue_wait";
     prof = None;
+    wr_on = false;
+    wr_tid = Bytes.make initial_words no_writer;
+    wr_kind = Bytes.make initial_words '\000';
+    wr_clock = Array.make initial_words 0;
+    fors = None;
   }
 
 let stats (t : t) =
@@ -177,9 +218,102 @@ let set_profiler t p = t.prof <- p
 let profiler t = t.prof
 
 let label t ~name ~base ~words =
-  match t.prof with
+  (match t.prof with
+   | None -> ()
+   | Some p -> Obs.Profiler.label p ~name ~base ~words);
+  match t.fors with
   | None -> ()
-  | Some p -> Obs.Profiler.label p ~name ~base ~words
+  | Some f -> Obs.Forensics.label f ~name ~base ~words
+
+(* ---- Conflict forensics ----------------------------------------------
+
+   Everything in this section is observation only: plain OCaml mutation,
+   no [tick]/[charge], no RNG — an instrumented run is cycle-for-cycle
+   identical to a bare one. *)
+
+let track_writers t = t.wr_on <- true
+
+let set_forensics t f =
+  t.fors <- f;
+  if f <> None then t.wr_on <- true
+
+let forensics t = t.fors
+
+let note_write t ctx addr op =
+  if t.wr_on then begin
+    Bytes.unsafe_set t.wr_tid addr (Char.unsafe_chr (Sim.tid ctx land 0xff));
+    Bytes.unsafe_set t.wr_kind addr (Char.unsafe_chr (op_code op));
+    t.wr_clock.(addr) <- Sim.clock ctx
+  end
+
+let last_writer t addr =
+  if (not t.wr_on) || addr < 0 || addr >= Bytes.length t.wr_tid then None
+  else
+    let c = Bytes.unsafe_get t.wr_tid addr in
+    if c = no_writer then None
+    else
+      Some
+        ( Char.code c,
+          t.wr_clock.(addr),
+          op_of_code (Char.code (Bytes.unsafe_get t.wr_kind addr)) )
+
+(* Build a witness for a conflict the acting thread just lost on [addr].
+   The aggressor is resolved from the last-writer journal — of [lookup]
+   when given (e.g. a version-lock word whose last committer is the
+   conflicting transaction), of [addr] itself otherwise. [aggressor]
+   overrides the journal's thread id when the caller knows the owner
+   exactly (a lock holder); the journal still supplies clock and op when
+   it agrees. *)
+let conflict_witness t ctx ~addr ?lookup ?aggressor ~victim_wrote ~in_read_set
+    ~in_write_set ~site () =
+  let lookup = match lookup with Some a -> a | None -> addr in
+  let jtid, jclock, jop =
+    match last_writer t lookup with
+    | Some (tid, clock, op) -> (tid, clock, op_label op)
+    | None -> (-1, -1, "?")
+  in
+  let agg, agg_clock, op =
+    match aggressor with
+    | None -> (jtid, jclock, jop)
+    | Some tid -> if tid = jtid then (tid, jclock, jop) else (tid, -1, "lock")
+  in
+  {
+    Obs.Forensics.w_victim = Sim.tid ctx;
+    w_aggressor = agg;
+    w_addr = addr;
+    w_line = addr lsr line_shift;
+    w_victim_wrote = victim_wrote;
+    w_read_set = in_read_set;
+    w_write_set = in_write_set;
+    w_op = op;
+    w_aggressor_clock = agg_clock;
+    w_clock = Sim.clock ctx;
+    w_site = site;
+  }
+
+(* Aggregate the witness and, when a tracer is attached and the aggressor
+   is known, draw a Perfetto flow arrow from the aggressor's committed
+   write to the victim's abort point. *)
+let record_witness t ctx (w : Obs.Forensics.witness) =
+  (match t.fors with None -> () | Some f -> Obs.Forensics.record f w);
+  match Sim.tracer ctx with
+  | Some sink when w.Obs.Forensics.w_aggressor >= 0 && w.w_aggressor_clock >= 0 ->
+    let id = Obs.Tracer.flow_id sink in
+    let args =
+      [ ("addr", Obs.Json.Int w.w_addr); ("site", Obs.Json.Str w.w_site) ]
+    in
+    Obs.Tracer.flow_start sink ~tid:w.w_aggressor ~name:"conflict" ~cat:"forensics"
+      ~args ~id w.w_aggressor_clock;
+    Obs.Tracer.flow_finish sink ~tid:w.w_victim ~name:"conflict" ~cat:"forensics"
+      ~args ~id w.w_clock
+  | _ -> ()
+
+let note_hop t ctx ~from_path ~to_path ~reason w =
+  match t.fors with
+  | None -> ()
+  | Some f ->
+    Obs.Forensics.note_hop f ~tid:(Sim.tid ctx) ~clock:(Sim.clock ctx) ~from_path
+      ~to_path ~reason w
 
 (* Taps fire after the access completes, so the stamped clock includes the
    access cost and the value reflects the post-access state. *)
@@ -209,7 +343,16 @@ let grow t needed =
   t.sharers <- sharers;
   let line_busy = Array.make nlines 0 in
   Array.blit t.line_busy 0 line_busy 0 (Array.length t.line_busy);
-  t.line_busy <- line_busy
+  t.line_busy <- line_busy;
+  let wr_tid = Bytes.make !size no_writer in
+  Bytes.blit t.wr_tid 0 wr_tid 0 cur;
+  t.wr_tid <- wr_tid;
+  let wr_kind = Bytes.make !size '\000' in
+  Bytes.blit t.wr_kind 0 wr_kind 0 cur;
+  t.wr_kind <- wr_kind;
+  let wr_clock = Array.make !size 0 in
+  Array.blit t.wr_clock 0 wr_clock 0 cur;
+  t.wr_clock <- wr_clock
 
 let word_state t addr = Char.code (Bytes.unsafe_get t.state addr)
 
@@ -331,6 +474,7 @@ let drain_one t ctx ~terminal sb =
         ignore (Queue.pop sb.sb_q);
         t.values.(addr) <- v;
         t.versions.(addr) <- t.versions.(addr) + 1;
+        note_write t ctx addr Op_store;
         emit t ctx (Write { addr; value = v })
       end
     end
@@ -395,6 +539,7 @@ let write_through t ctx addr v =
   check_live t addr;
   t.values.(addr) <- v;
   t.versions.(addr) <- t.versions.(addr) + 1;
+  note_write t ctx addr Op_store;
   emit t ctx (Write { addr; value = v })
 
 let write t ctx addr v =
@@ -424,8 +569,18 @@ let cas t ctx addr ~expected ~desired =
   let success = t.values.(addr) = expected in
   if success then begin
     t.values.(addr) <- desired;
-    t.versions.(addr) <- t.versions.(addr) + 1
-  end;
+    t.versions.(addr) <- t.versions.(addr) + 1;
+    note_write t ctx addr Op_atomic
+  end
+  else if t.fors <> None then
+    (* A failed CAS is a coherence-plane conflict in its own right: some
+       other thread's committed store got between this thread's read of
+       [expected] and its attempt to install [desired]. Non-transactional
+       lock-free structures (e.g. the ROP queue) surface their contention
+       here, so forensics would otherwise be blind to them. *)
+    record_witness t ctx
+      (conflict_witness t ctx ~addr ~victim_wrote:true ~in_read_set:false
+         ~in_write_set:true ~site:"mem.cas" ());
   emit t ctx (Cas { addr; expected; desired; success });
   success
 
@@ -438,6 +593,7 @@ let fetch_add t ctx addr d =
   let old = t.values.(addr) in
   t.values.(addr) <- old + d;
   t.versions.(addr) <- t.versions.(addr) + 1;
+  note_write t ctx addr Op_atomic;
   emit t ctx (Fetch_add { addr; delta = d; old });
   old
 
@@ -477,9 +633,15 @@ let malloc t ctx n =
   for a = base to base + n - 1 do
     Bytes.unsafe_set t.state a (Char.chr st_live);
     t.values.(a) <- 0;
-    t.versions.(a) <- t.versions.(a) + 1
+    t.versions.(a) <- t.versions.(a) + 1;
+    note_write t ctx a Op_malloc
   done;
   Hashtbl.replace t.blocks base n;
+  (match t.fors with
+   | None -> ()
+   | Some f ->
+     Obs.Forensics.note_alloc f ~base ~words:n ~tid:(Sim.tid ctx)
+       ~clock:(Sim.clock ctx));
   Obs.Metrics.add t.g_live_words n;
   Obs.Metrics.add t.g_live_blocks 1;
   Obs.Metrics.incr t.c_allocs;
@@ -498,7 +660,8 @@ let free t ctx base =
     Hashtbl.remove t.blocks base;
     for a = base to base + n - 1 do
       Bytes.unsafe_set t.state a (Char.chr st_freed);
-      t.versions.(a) <- t.versions.(a) + 1
+      t.versions.(a) <- t.versions.(a) + 1;
+      note_write t ctx a Op_free
     done;
     let cell =
       match Hashtbl.find_opt t.free_lists n with
@@ -535,6 +698,7 @@ module Tx_plane = struct
       Sim.charge ctx (write_cost t ctx addr);
       t.values.(addr) <- v;
       t.versions.(addr) <- t.versions.(addr) + 1;
+      note_write t ctx addr Op_commit;
       emit t ctx (Write { addr; value = v });
       true
     end

@@ -105,8 +105,75 @@ val profiler : t -> Obs.Profiler.t option
 
 val label : t -> name:string -> base:int -> words:int -> unit
 (** Region-label an address range for contention attribution (no-op
-    without a profiler). Data-structure implementations call this at
-    allocation sites: ["ListHoHRC.header"], ["MSQueue+ROP.node"], ... *)
+    without a profiler or forensics). Data-structure implementations call
+    this at allocation sites: ["ListHoHRC.header"], ["MSQueue+ROP.node"],
+    ... *)
+
+(** {1 Conflict forensics}
+
+    A {e witness} captures who doomed a transaction (or a CAS) at the
+    coherence plane: the victim, the aggressor whose committed store
+    invalidated it, the address they collided on and the access kinds.
+    Aggressors are resolved from a per-word {e last-writer journal}
+    (thread, clock, store kind at the word's most recent version bump),
+    enabled by {!track_writers} or by attaching a {!Obs.Forensics.t}.
+
+    All of it is observation only — zero virtual cycles, no RNG, no
+    scheduling impact — so instrumented runs are cycle-identical to bare
+    ones. *)
+
+type writer_op = Op_store | Op_atomic | Op_commit | Op_malloc | Op_free
+
+val track_writers : t -> unit
+(** Turn on the last-writer journal without attaching forensics (the
+    schedule explorer does this so counterexample traces carry
+    aggressors). *)
+
+val last_writer : t -> int -> (int * int * writer_op) option
+(** [(tid, clock, op)] of the committed store that last bumped this
+    word's version; [None] if the journal is off or the word was never
+    written since it came on. *)
+
+val set_forensics : t -> Obs.Forensics.t option -> unit
+(** Attach a forensics aggregator (implies {!track_writers}); {!label}
+    and {!malloc} provenance forward into it, and witnesses recorded via
+    {!record_witness} accumulate there. *)
+
+val forensics : t -> Obs.Forensics.t option
+
+val conflict_witness :
+  t ->
+  Sim.tctx ->
+  addr:int ->
+  ?lookup:int ->
+  ?aggressor:int ->
+  victim_wrote:bool ->
+  in_read_set:bool ->
+  in_write_set:bool ->
+  site:string ->
+  unit ->
+  Obs.Forensics.witness
+(** Build a witness for a conflict the acting thread just lost on
+    [addr]. The aggressor comes from the last-writer journal of [lookup]
+    (default [addr]) — pass the stripe-lock word to attribute an STM
+    conflict to the last committer of that stripe. [aggressor] overrides
+    the journal's thread when the caller knows the owner exactly. *)
+
+val record_witness : t -> Sim.tctx -> Obs.Forensics.witness -> unit
+(** Aggregate into the attached forensics (if any) and, when a tracer is
+    attached and the aggressor known, emit a Chrome-trace flow arrow
+    from the aggressor's write to the victim's abort. *)
+
+val note_hop :
+  t ->
+  Sim.tctx ->
+  from_path:string ->
+  to_path:string ->
+  reason:string ->
+  Obs.Forensics.witness option ->
+  unit
+(** Record an escalation hop (HW → STM → TLE) in the attached forensics;
+    no-op otherwise. *)
 
 (** Access-event tap, for trace capture by the schedule explorer
     ([lib/explore]): every completed access — including the transactional
@@ -168,7 +235,10 @@ val fenced_write : t -> Sim.tctx -> int -> int -> unit
 
 val cas : t -> Sim.tctx -> int -> expected:int -> desired:int -> bool
 (** Atomic compare-and-swap; bumps the version only on success. Atomics
-    are implicit full fences: the thread's store buffer drains first. *)
+    are implicit full fences: the thread's store buffer drains first.
+    With forensics attached, a {e failed} CAS records a conflict witness
+    (site ["mem.cas"]) against the word's last writer — how non-
+    transactional lock-free structures surface their contention. *)
 
 val fetch_add : t -> Sim.tctx -> int -> int -> int
 (** [fetch_add t ctx addr d] atomically adds [d], returning the old value.

@@ -83,7 +83,11 @@ type stats = {
 
 type tx_event =
   | Ev_commit of { ev_reads : int; ev_writes : int; ev_attempt : int }
-  | Ev_abort of { ev_reason : abort_reason; ev_attempt : int }
+  | Ev_abort of {
+      ev_reason : abort_reason;
+      ev_attempt : int;
+      ev_witness : Obs.Forensics.witness option;
+    }
   | Ev_steal of { ev_victim : int }
 
 (* One heartbeat word per possible tid, each on its own cache line so the
@@ -113,6 +117,9 @@ type t = {
      first-seen clock). OCaml-side bookkeeping, deterministic because it
      is only read and written by its own thread. *)
   watch : (int * int * int * int) option array;
+  (* Per-thread witness of the most recent abort, read by Htm when STM
+     budget exhaustion drives the stm->tle escalation hop. *)
+  last_w : Obs.Forensics.witness option array;
   mutable tap : (tid:int -> clock:int -> tx_event -> unit) option;
 }
 
@@ -151,6 +158,7 @@ let create ?(config = default_config) ?metrics mem =
     h_commit = Obs.Metrics.hist mreg "stm.commit_cycles";
     h_writes = Obs.Metrics.hist mreg "stm.writes_per_tx";
     watch = Array.make n_tids None;
+    last_w = Array.make n_tids None;
     tap = None;
   }
 
@@ -159,6 +167,7 @@ let config t = t.cfg
 let metrics t = t.mreg
 let set_fence t addr = t.fence <- addr
 let set_tap t f = t.tap <- f
+let last_witness t ctx = t.last_w.(Sim.tid ctx)
 
 let emit t ctx ev =
   match t.tap with
@@ -218,6 +227,8 @@ type tx = {
   mutable laddr : int array;
   mutable lold : int array;
   mutable nlocks : int;
+  mutable witness : Obs.Forensics.witness option;
+      (* set at the capture site of the conflict aborting this attempt *)
 }
 
 let attempt_number tx = tx.attempt
@@ -238,6 +249,7 @@ let fresh_tx s ctx =
     laddr = Array.make 64 0;
     lold = Array.make 64 0;
     nlocks = 0;
+    witness = None;
   }
 
 let reset_tx tx attempt =
@@ -245,7 +257,8 @@ let reset_tx tx attempt =
   tx.nreads <- 0;
   tx.nwrites <- 0;
   tx.nlocks <- 0;
-  tx.frees <- []
+  tx.frees <- [];
+  tx.witness <- None
 
 let grow a =
   let n = Array.length a in
@@ -294,6 +307,68 @@ let read_locks_clear tx =
     if o <> 0 && o <> me then ok := false
   done;
   !ok
+
+(* ---- Conflict forensics: locate the word that doomed an attempt.
+   Scanned only on abort paths, so the success path pays nothing. *)
+
+let set_witness tx ?lookup ?aggressor ~addr ~victim_wrote ~in_read_set
+    ~in_write_set site =
+  tx.witness <-
+    Some
+      (Simmem.conflict_witness tx.s.smem tx.ctx ~addr ?lookup ?aggressor
+         ~victim_wrote ~in_read_set ~in_write_set ~site ())
+
+let first_invalid tx =
+  let mem = tx.s.smem in
+  let rec go i =
+    if i >= tx.nreads then None
+    else if not (Simmem.Tx_plane.validate mem tx.raddr.(i) tx.rver.(i)) then
+      Some tx.raddr.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let first_locked_read tx =
+  let s = tx.s in
+  let me = Sim.tid tx.ctx + 1 in
+  let rec go i =
+    if i >= tx.nreads then None
+    else
+      let la = lock_of s tx.raddr.(i) in
+      let o = owner_of (Simmem.peek s.smem la) in
+      if o <> 0 && o <> me then Some (tx.raddr.(i), la, o - 1) else go (i + 1)
+  in
+  go 0
+
+let first_freed_write tx =
+  let mem = tx.s.smem in
+  let rec go i =
+    if i >= tx.nwrites then None
+    else if not (Simmem.is_allocated mem tx.waddr.(i)) then Some tx.waddr.(i)
+    else go (i + 1)
+  in
+  go 0
+
+(* In order of likelihood: an invalidated read (the aggressor is the
+   committed store that bumped the word's version), a read-set stripe
+   locked by another owner, a write target freed under us. *)
+let capture_conflict tx site =
+  match first_invalid tx with
+  | Some addr ->
+    let wrote = find_buffered tx addr <> None in
+    set_witness tx ~addr ~victim_wrote:wrote ~in_read_set:true ~in_write_set:wrote
+      site
+  | None ->
+    (match first_locked_read tx with
+     | Some (addr, la, owner) ->
+       set_witness tx ~lookup:la ~aggressor:owner ~addr ~victim_wrote:false
+         ~in_read_set:true ~in_write_set:false site
+     | None ->
+       (match first_freed_write tx with
+        | Some addr ->
+          set_witness tx ~addr ~victim_wrote:true ~in_read_set:false
+            ~in_write_set:true site
+        | None -> ()))
 
 (* Gv5: an aborting reader pushes the clock up to the version that burned
    it, so its retry (and everyone after) starts with a fresh rv. *)
@@ -358,11 +433,15 @@ let bump_clock_to s ctx v =
     ignore (Simmem.cas s.smem ctx s.clock_addr ~expected:c ~desired:v)
   end
 
-let stale tx ver =
+let stale tx ~addr ~la ~in_read_set ver =
   if ver > tx.rv then begin
     (match tx.s.cfg.clock_scheme with
      | Gv5 -> bump_clock_to tx.s tx.ctx ver
      | Gv1 -> ());
+    (* The stripe version outran our read version: the last committer of
+       the lock word is the aggressor. *)
+    set_witness tx ~lookup:la ~addr ~victim_wrote:false ~in_read_set
+      ~in_write_set:false "stm.read.stale";
     raise (Aborted Conflict)
   end
 
@@ -372,23 +451,37 @@ let read tx addr =
   | None ->
     let s = tx.s in
     Sim.tick tx.ctx s.cfg.read_cost;
+    let la = lock_of s addr in
     (* The instrumentation that makes an STM read an STM read: probe the
        stripe lock (a real, coherence-paying load) before the data. *)
     let lw =
-      let lw = Simmem.read s.smem tx.ctx (lock_of s addr) in
-      if owner_of lw = 0 then lw else watch_or_steal s tx.ctx (lock_of s addr) lw
+      let lw = Simmem.read s.smem tx.ctx la in
+      if owner_of lw = 0 then lw else watch_or_steal s tx.ctx la lw
     in
-    if owner_of lw <> 0 then raise (Aborted Locked);
-    stale tx (ver_of lw);
+    if owner_of lw <> 0 then begin
+      set_witness tx ~lookup:la ~aggressor:(owner_of lw - 1) ~addr
+        ~victim_wrote:false ~in_read_set:false ~in_write_set:false
+        "stm.read.locked";
+      raise (Aborted Locked)
+    end;
+    stale tx ~addr ~la ~in_read_set:false (ver_of lw);
     (match Simmem.Tx_plane.read s.smem tx.ctx addr with
      | None -> raise (Aborted Illegal)
      | Some (v, mver) ->
        note_read tx addr mver;
-       if not (validate_reads tx) then raise (Aborted Conflict);
+       if not (validate_reads tx) then begin
+         capture_conflict tx "stm.read";
+         raise (Aborted Conflict)
+       end;
        (* the stripe may have been locked while we fetched the value *)
-       let lw' = Simmem.peek s.smem (lock_of s addr) in
-       if owner_of lw' <> 0 then raise (Aborted Locked);
-       stale tx (ver_of lw');
+       let lw' = Simmem.peek s.smem la in
+       if owner_of lw' <> 0 then begin
+         set_witness tx ~lookup:la ~aggressor:(owner_of lw' - 1) ~addr
+           ~victim_wrote:false ~in_read_set:true ~in_write_set:false
+           "stm.read.locked";
+         raise (Aborted Locked)
+       end;
+       stale tx ~addr ~la ~in_read_set:true (ver_of lw');
        v)
 
 let write tx addr v =
@@ -495,8 +588,15 @@ let commit tx =
        validation cannot detect. *)
     Sim.charge ctx s.cfg.commit_cost;
     let fenced = s.fence <> 0 && Simmem.peek s.smem s.fence <> 0 in
-    if fenced then raise (Aborted Locked);
-    if not (validate_reads tx && read_locks_clear tx) then raise (Aborted Conflict)
+    if fenced then begin
+      set_witness tx ~addr:s.fence ~victim_wrote:false ~in_read_set:false
+        ~in_write_set:false "stm.commit.fence";
+      raise (Aborted Locked)
+    end;
+    if not (validate_reads tx && read_locks_clear tx) then begin
+      capture_conflict tx "stm.commit";
+      raise (Aborted Conflict)
+    end
   end
   else begin
     (* Entering the lock phase: bump the heartbeat so contenders can tell
@@ -504,9 +604,22 @@ let commit tx =
     Simmem.write s.smem ctx (hb_addr s me) (Sim.clock ctx + 1);
     let ls = stripes tx in
     let ok = ref true in
-    Array.iter (fun la -> if !ok then ok := acquire tx la) ls;
+    let failed_la = ref 0 in
+    Array.iter
+      (fun la ->
+        if !ok then begin
+          ok := acquire tx la;
+          if not !ok then failed_la := la
+        end)
+      ls;
     if not !ok then begin
       release_owned tx;
+      let la = !failed_la in
+      let o = owner_of (Simmem.peek s.smem la) in
+      set_witness tx ~lookup:la
+        ?aggressor:(if o = 0 then None else Some (o - 1))
+        ~addr:la ~victim_wrote:true ~in_read_set:false ~in_write_set:true
+        "stm.commit.locked";
       raise (Aborted Locked)
     end;
     (* Locks held, nothing written: the window a crash must not wedge —
@@ -516,6 +629,7 @@ let commit tx =
     if not (validate_reads tx && read_locks_clear tx && writes_allocated tx)
     then begin
       release_owned tx;
+      capture_conflict tx "stm.commit";
       raise (Aborted Conflict)
     end;
     (* Write version. Gv1 pays an atomic on the clock line per commit;
@@ -546,6 +660,10 @@ let commit tx =
         && writes_allocated tx)
     then begin
       release_owned tx;
+      if fenced then
+        set_witness tx ~addr:s.fence ~victim_wrote:false ~in_read_set:false
+          ~in_write_set:false "stm.commit.fence"
+      else capture_conflict tx "stm.commit.final";
       raise (Aborted (if fenced then Locked else Conflict))
     end;
     for i = 0 to tx.nwrites - 1 do
@@ -614,7 +732,11 @@ let atomic s ctx ?max_attempts ?(on_abort = fun (_ : abort_reason) -> ()) f =
        | Locked -> Obs.Metrics.incr ~tid s.c_locked
        | Illegal -> Obs.Metrics.incr ~tid s.c_illegal
        | Explicit -> Obs.Metrics.incr ~tid s.c_explicit);
-      emit s ctx (Ev_abort { ev_reason = r; ev_attempt = n });
+      let w = tx.witness in
+      tx.witness <- None;
+      (match w with Some wit -> Simmem.record_witness s.smem ctx wit | None -> ());
+      s.last_w.(tid) <- w;
+      emit s ctx (Ev_abort { ev_reason = r; ev_attempt = n; ev_witness = w });
       (match tr with
        | None -> ()
        | Some sink ->

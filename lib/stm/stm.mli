@@ -121,10 +121,20 @@ val set_fence : t -> int -> unit
     these into its own path-attributed [tx_event] stream. *)
 type tx_event =
   | Ev_commit of { ev_reads : int; ev_writes : int; ev_attempt : int }
-  | Ev_abort of { ev_reason : abort_reason; ev_attempt : int }
+  | Ev_abort of {
+      ev_reason : abort_reason;
+      ev_attempt : int;
+      ev_witness : Obs.Forensics.witness option;
+          (** the conflict that doomed the attempt, when one was captured
+              at the failing validation / lock probe *)
+    }
   | Ev_steal of { ev_victim : int }
 
 val set_tap : t -> (tid:int -> clock:int -> tx_event -> unit) option -> unit
+
+val last_witness : t -> Sim.tctx -> Obs.Forensics.witness option
+(** The acting thread's most recent abort witness; {!Htm} reads it when
+    STM budget exhaustion drives the stm→tle escalation hop. *)
 
 exception Aborted of abort_reason
 (** Internal control flow of an attempt; escapes only through buggy

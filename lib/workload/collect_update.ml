@@ -82,6 +82,76 @@ let run_one (maker : Collect.Intf.maker) ~updaters ~period ~duration ~step ~seed
       + st.aborts_lock + st.aborts_spurious;
   }
 
+(* Registration stampede: half the threads run collects back to back
+   while the other half register fresh handles as fast as they can.
+   Every collect's first transaction reads the list-head word before
+   anything else and stays in flight for a whole telescoped traversal
+   step, so each head insertion that commits mid-flight kills it at
+   exactly that word — the paper's §3.1 header ping-pong expressed as
+   transaction conflicts rather than mere coherence traffic, and the
+   known truth [bench doctor contend] must attribute to the header
+   line. Handles are never deregistered during the window ([destroy]
+   reclaims them): unlink write-backs would spray conflicts across aged
+   node lines and muddy the single-line story this cell isolates. *)
+type churn_result = {
+  churn_algo : string;
+  churn_threads : int;
+  churn_registers : int;  (** handles registered during the window *)
+  churn_collects : int;  (** collects completed during the window *)
+  churn_throughput : float;  (** registrations per µs *)
+  churn_commits : int;
+  churn_aborts : int;
+}
+
+let churn_one (maker : Collect.Intf.maker) ~threads ~duration ~seed =
+  let m =
+    Driver.machine ~seed ~label:(Printf.sprintf "%s churn%d" maker.algo_name threads) ()
+  in
+  let registrants = max 1 (threads / 2) in
+  let collectors = max 1 (threads - registrants) in
+  (* Bound on live handles: registrants churn flat out, one every ~250
+     cycles at the very least. *)
+  let bound = 64 + (2 * registrants * (duration / 250)) in
+  let cfg =
+    { Collect.Intf.max_slots = bound; num_threads = threads;
+      step = Collect.Intf.Fixed 8; min_size = 4 }
+  in
+  let inst = maker.make m.htm m.boot cfg in
+  let deadline = Driver.warmup + duration in
+  let registers = Array.make registrants 0 in
+  let collects = Array.make collectors 0 in
+  let registrant i ctx =
+    registers.(i) <-
+      Driver.measured_loop ctx ~deadline (fun () ->
+          ignore (inst.register ctx (Driver.fresh_value ())))
+  in
+  let collector i ctx =
+    let buf = Sim.Ibuf.create ~capacity:bound () in
+    collects.(i) <-
+      Driver.measured_loop ctx ~deadline (fun () ->
+          Sim.Ibuf.clear buf;
+          inst.collect ctx buf)
+  in
+  let bodies =
+    Array.init threads (fun i ->
+        if i < collectors then collector i else registrant (i - collectors))
+  in
+  Sim.run ~seed bodies;
+  inst.destroy m.boot;
+  let st = Htm.stats m.htm in
+  {
+    churn_algo = maker.algo_name;
+    churn_threads = threads;
+    churn_registers = Array.fold_left ( + ) 0 registers;
+    churn_collects = Array.fold_left ( + ) 0 collects;
+    churn_throughput =
+      Driver.ops_per_us ~ops:(Array.fold_left ( + ) 0 registers) ~duration;
+    churn_commits = st.commits;
+    churn_aborts =
+      st.aborts_conflict + st.aborts_overflow + st.aborts_illegal + st.aborts_explicit
+      + st.aborts_lock + st.aborts_spurious;
+  }
+
 let default_periods =
   [ 1_000_000; 500_000; 200_000; 100_000; 50_000; 20_000; 10_000;
     8_000; 6_000; 4_000; 2_000; 1_000; 800; 600; 400 ]

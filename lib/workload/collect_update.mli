@@ -26,6 +26,25 @@ val run_one :
   seed:int ->
   result
 
+type churn_result = {
+  churn_algo : string;
+  churn_threads : int;
+  churn_registers : int;  (** handles registered during the window *)
+  churn_collects : int;  (** collects completed during the window *)
+  churn_throughput : float;  (** registrations per µs *)
+  churn_commits : int;
+  churn_aborts : int;
+}
+
+val churn_one :
+  Collect.Intf.maker -> threads:int -> duration:int -> seed:int -> churn_result
+(** Registration stampede: half the threads collect back to back, half
+    register fresh handles flat out. For the list algorithms a collect's
+    first transaction reads the list-head word and stays in flight for a
+    whole traversal step, so each concurrent head insertion kills it at
+    exactly that word — the workload behind [bench doctor contend]'s
+    header attribution. *)
+
 val fig4_algos : unit -> Collect.Intf.maker list
 (** The Figure 4 line-up: the four telescoping algorithms plus the two
     whose collects use no transactions. *)

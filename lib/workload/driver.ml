@@ -25,9 +25,12 @@ type obs = {
   obs_tracer : Obs.Tracer.t option;
   obs_metrics : Obs.Metrics.t option;
   obs_profile : bool;
+  obs_forensics : bool;
 }
 
-let no_obs = { obs_tracer = None; obs_metrics = None; obs_profile = false }
+let no_obs =
+  { obs_tracer = None; obs_metrics = None; obs_profile = false;
+    obs_forensics = false }
 
 (* All ambient harness state is domain-local: the sweep runner
    ({!Runner.Sweep}) executes benchmark cells on worker domains, each of
@@ -40,12 +43,13 @@ type state = {
   mutable st_obs : obs;
   mutable st_seq : int;
   mutable st_profs : (string * Obs.Profiler.t) list;
+  mutable st_fors : (string * Obs.Forensics.t) list;
   mutable st_value : int;
 }
 
 let state_key : state Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
-      { st_obs = no_obs; st_seq = 0; st_profs = []; st_value = 0 })
+      { st_obs = no_obs; st_seq = 0; st_profs = []; st_fors = []; st_value = 0 })
 
 let state () = Domain.DLS.get state_key
 
@@ -54,10 +58,12 @@ let set_obs o =
   st.st_obs <- o;
   st.st_seq <- 0;
   st.st_profs <- [];
+  st.st_fors <- [];
   if o.obs_tracer = None then Sim.set_default_tracer None
 
 let obs () = (state ()).st_obs
 let profilers () = List.rev (state ()).st_profs
+let forensics () = List.rev (state ()).st_fors
 
 let machine ?(htm_config = Htm.default_config) ?(seed = 1) ?label () =
   let st = state () in
@@ -74,6 +80,11 @@ let machine ?(htm_config = Htm.default_config) ?(seed = 1) ?label () =
     let p = Obs.Profiler.create () in
     Simmem.set_profiler mem (Some p);
     st.st_profs <- (name, p) :: st.st_profs
+  end;
+  if o.obs_forensics then begin
+    let f = Obs.Forensics.create () in
+    Simmem.set_forensics mem (Some f);
+    st.st_fors <- (name, f) :: st.st_fors
   end;
   let htm = Htm.create ~config:htm_config ?metrics:o.obs_metrics mem in
   { mem; htm; boot = Sim.boot ~seed () }
@@ -135,13 +146,21 @@ let () =
           let st = state () in
           st.st_value <- 0;
           st.st_seq <- 0;
-          st.st_profs <- []);
+          st.st_profs <- [];
+          st.st_fors <- []);
       h_install =
-        (fun ~metrics ~profile ~tracer ->
-          set_obs { obs_tracer = tracer; obs_metrics = metrics; obs_profile = profile });
+        (fun ~metrics ~profile ~forensics ~tracer ->
+          set_obs
+            {
+              obs_tracer = tracer;
+              obs_metrics = metrics;
+              obs_profile = profile;
+              obs_forensics = forensics;
+            });
       h_finish =
         (fun () ->
           let ps = profilers () in
+          let fs = forensics () in
           set_obs no_obs;
-          ps);
+          (ps, fs));
     }

@@ -26,6 +26,10 @@ type obs = {
   obs_tracer : Obs.Tracer.t option;
   obs_metrics : Obs.Metrics.t option;
   obs_profile : bool;
+  obs_forensics : bool;
+      (** attach a per-machine {!Obs.Forensics.t} (conflict witnesses,
+          escalation timelines, allocation provenance) to every machine
+          built afterwards *)
 }
 
 val no_obs : obs
@@ -40,6 +44,10 @@ val obs : unit -> obs
 
 val profilers : unit -> (string * Obs.Profiler.t) list
 (** Per-machine contention profilers created since the last {!set_obs},
+    labelled, in machine-creation order. *)
+
+val forensics : unit -> (string * Obs.Forensics.t) list
+(** Per-machine forensics aggregators created since the last {!set_obs},
     labelled, in machine-creation order. *)
 
 val machine : ?htm_config:Htm.config -> ?seed:int -> ?label:string -> unit -> machine
