@@ -308,7 +308,7 @@ let contend =
       let ranked =
         List.sort
           (fun (_, a) (_, b) ->
-            compare b.Obs.Profiler.ls_transfers a.Obs.Profiler.ls_transfers)
+            Int.compare b.Obs.Profiler.ls_transfers a.Obs.Profiler.ls_transfers)
           entries
       in
       let top n l = List.filteri (fun i _ -> i < n) l in
@@ -681,6 +681,19 @@ let ext =
            ~title:"Extension: collect throughput of the section 4.1 variant" coll))
 
 (* ------------------------------------------------------------------ *)
+(* The scaling study: the flat simulator core removes the Rock-era
+   16-thread ceiling, so re-ask the paper's headline questions at 64, 128
+   and 256 simulated threads on million-word heaps. Byte-deterministic
+   like every other artifact experiment; EXPERIMENTS.md records which
+   fig1/fig3 shapes survive the scale-up. *)
+
+let scale =
+  exp "scale" "the 16-256-thread scaling study (fig1/fig3 shapes)" 200_000
+    (fun ~duration ~seed -> Workload.Scale_bench.cells ~duration ~seed ())
+    (fun ctx ocs ->
+      List.iter ctx.emit (Workload.Scale_bench.to_tables (values ocs)))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: wall-clock cost of the simulator itself.
    Inherently non-deterministic, so: serial, and never part of `all` or
    the artifact set. *)
@@ -725,7 +738,20 @@ let micro_tests () =
     Test.make ~name:"sim: run of 4 trivial threads"
       (Staged.stage (fun () -> Sim.run ~seed:1 (Array.make 4 (fun ctx -> Sim.tick ctx 10))))
   in
-  [ mem_rw; tx_rw; queue_cycle; collect64; spawn ]
+  (* Two threads with interleaved clocks: every tick crosses the other
+     thread's clock, so each of the 800 ticks is one scheduler switch
+     (effect perform + pick + continue). ns/run divided by 800 is the
+     per-switch cost that dominates contended cells. *)
+  let switch =
+    let body ctx =
+      for _ = 1 to 400 do
+        Sim.tick ctx 10
+      done
+    in
+    Test.make ~name:"sim: 800 forced context switches"
+      (Staged.stage (fun () -> Sim.run ~seed:1 [| body; body |]))
+  in
+  [ mem_rw; tx_rw; queue_cycle; collect64; spawn; switch ]
 
 let run_micro () =
   let open Bechamel in
@@ -769,7 +795,7 @@ let micro =
 
 let all =
   [ fig1; latency; fig3; fig4; fig5; fig6; fig7; fig8; space; contend; chaos; fallback;
-    memorder; aborts; ablate; ext; micro ]
+    memorder; aborts; ablate; ext; scale; micro ]
 
 let find name = List.find_opt (fun e -> e.name = name) all
 

@@ -203,6 +203,7 @@ let mk_maker name ~fenced ~eager_free ~scan_threshold : Hqueue.Intf.maker =
           Hqueue.Intf.name = name;
           enqueue = enqueue t;
           dequeue = dequeue t;
+          dequeue_drop = (fun ctx -> Option.is_some (dequeue t ctx));
           destroy = destroy t;
         });
   }

@@ -18,42 +18,74 @@ let hdr_head = 0
 let hdr_tail = 8
 let hdr_words = 16
 
-type t = { htm : Htm.t; hdr : int }
+(* The transaction bodies are allocated once per queue and passed to every
+   [Htm.atomic]; operation arguments and results travel through per-thread
+   slots indexed by {!Htm.tx_tid}, so an operation allocates nothing on
+   the OCaml heap. Per-thread (not plain mutable) because a thread can
+   yield inside its transaction while another starts its own. *)
+type t = {
+  htm : Htm.t;
+  hdr : int;
+  enq_arg : int array;  (* per-thread node being enqueued *)
+  deq_val : int array;  (* per-thread value of the last successful dequeue *)
+  mutable enq_body : Htm.tx -> unit;
+  mutable deq_body : Htm.tx -> bool;
+}
+
+let enq_tx t tx =
+  let node = t.enq_arg.(Htm.tx_tid tx) in
+  let tail = Htm.read tx (t.hdr + hdr_tail) in
+  if tail = 0 then begin
+    Htm.write tx (t.hdr + hdr_head) node;
+    Htm.write tx (t.hdr + hdr_tail) node
+  end
+  else begin
+    Htm.write tx (tail + off_next) node;
+    Htm.write tx (t.hdr + hdr_tail) node
+  end
+
+let deq_tx t tx =
+  let head = Htm.read tx (t.hdr + hdr_head) in
+  if head = 0 then false
+  else begin
+    let next = Htm.read tx (head + off_next) in
+    Htm.write tx (t.hdr + hdr_head) next;
+    if next = 0 then Htm.write tx (t.hdr + hdr_tail) 0;
+    t.deq_val.(Htm.tx_tid tx) <- Htm.read tx (head + off_val);
+    Htm.defer_free tx head;
+    true
+  end
 
 let create htm ctx =
   let mem = Htm.mem htm in
   let hdr = Simmem.malloc mem ctx hdr_words in
   Simmem.label mem ~name:"HtmQueue.header" ~base:hdr ~words:hdr_words;
-  { htm; hdr }
+  let t =
+    {
+      htm;
+      hdr;
+      enq_arg = Array.make (Sim.max_threads + 1) 0;
+      deq_val = Array.make (Sim.max_threads + 1) 0;
+      enq_body = ignore;
+      deq_body = (fun _ -> false);
+    }
+  in
+  t.enq_body <- enq_tx t;
+  t.deq_body <- deq_tx t;
+  t
 
 let enqueue t ctx v =
   let mem = Htm.mem t.htm in
   let node = Simmem.malloc mem ctx node_words in
   Simmem.label mem ~name:"HtmQueue.node" ~base:node ~words:node_words;
   Simmem.write mem ctx (node + off_val) v;
-  Htm.atomic t.htm ctx (fun tx ->
-      let tail = Htm.read tx (t.hdr + hdr_tail) in
-      if tail = 0 then begin
-        Htm.write tx (t.hdr + hdr_head) node;
-        Htm.write tx (t.hdr + hdr_tail) node
-      end
-      else begin
-        Htm.write tx (tail + off_next) node;
-        Htm.write tx (t.hdr + hdr_tail) node
-      end)
+  t.enq_arg.(Sim.tid ctx) <- node;
+  Htm.atomic t.htm ctx t.enq_body
+
+let dequeue_drop t ctx = Htm.atomic t.htm ctx t.deq_body
 
 let dequeue t ctx =
-  Htm.atomic t.htm ctx (fun tx ->
-      let head = Htm.read tx (t.hdr + hdr_head) in
-      if head = 0 then None
-      else begin
-        let next = Htm.read tx (head + off_next) in
-        Htm.write tx (t.hdr + hdr_head) next;
-        if next = 0 then Htm.write tx (t.hdr + hdr_tail) 0;
-        let v = Htm.read tx (head + off_val) in
-        Htm.defer_free tx head;
-        Some v
-      end)
+  if dequeue_drop t ctx then Some t.deq_val.(Sim.tid ctx) else None
 
 let destroy t ctx =
   let mem = Htm.mem t.htm in
@@ -78,6 +110,7 @@ let maker : Queue_intf.maker =
           Queue_intf.name = "HTM";
           enqueue = enqueue t;
           dequeue = dequeue t;
+          dequeue_drop = dequeue_drop t;
           destroy = destroy t;
         });
   }

@@ -207,6 +207,7 @@ let maker : Queue_intf.maker =
           Queue_intf.name = "MichaelScott+Collect";
           enqueue = enqueue t;
           dequeue = dequeue t;
+          dequeue_drop = (fun ctx -> Option.is_some (dequeue t ctx));
           destroy = destroy t;
         });
   }

@@ -29,24 +29,37 @@ let pack ~tag ~ptr = ((tag land 0x0FFFFFFF) lsl 32) lor ptr
 type t = {
   htm : Htm.t;
   hdr : int;
-  pools : int list array; (* per-thread free node pools *)
+  (* per-thread free node pools, as LIFO stacks in flat int arrays *)
+  pools : int array array;
+  pool_n : int array;
+  deq_val : int array; (* per-thread value of the last successful dequeue *)
 }
 
 let alloc_node t ctx =
   let tid = Sim.tid ctx in
-  match t.pools.(tid) with
-  | node :: rest ->
-    t.pools.(tid) <- rest;
-    node
-  | [] ->
+  let n = t.pool_n.(tid) in
+  if n > 0 then begin
+    t.pool_n.(tid) <- n - 1;
+    t.pools.(tid).(n - 1)
+  end
+  else begin
     let mem = Htm.mem t.htm in
     let node = Simmem.malloc mem ctx node_words in
     Simmem.label mem ~name:"MSQueue.node" ~base:node ~words:node_words;
     node
+  end
 
 let retire_node t ctx node =
   let tid = Sim.tid ctx in
-  t.pools.(tid) <- node :: t.pools.(tid)
+  let n = t.pool_n.(tid) in
+  let pool = t.pools.(tid) in
+  if n = Array.length pool then begin
+    let bigger = Array.make (max 8 (2 * n)) 0 in
+    Array.blit pool 0 bigger 0 n;
+    t.pools.(tid) <- bigger
+  end;
+  t.pools.(tid).(n) <- node;
+  t.pool_n.(tid) <- n + 1
 
 let create htm ctx =
   let mem = Htm.mem htm in
@@ -56,7 +69,52 @@ let create htm ctx =
   Simmem.label mem ~name:"MSQueue.node" ~base:sentinel ~words:node_words;
   Simmem.write mem ctx (hdr + hdr_head) (pack ~tag:0 ~ptr:sentinel);
   Simmem.write mem ctx (hdr + hdr_tail) (pack ~tag:0 ~ptr:sentinel);
-  { htm; hdr; pools = Array.make (Sim.max_threads + 1) [] }
+  {
+    htm;
+    hdr;
+    pools = Array.make (Sim.max_threads + 1) [||];
+    pool_n = Array.make (Sim.max_threads + 1) 0;
+    deq_val = Array.make (Sim.max_threads + 1) 0;
+  }
+
+(* One randomized backoff delay, inlined from [Sim.Backoff.once] (same
+   draw, same tick) so the retry loops below carry the bound as a plain
+   argument instead of allocating a [Backoff.t] per operation. *)
+let backoff_base = 50
+let backoff_cap = 4096
+
+let backoff_once ctx bound =
+  Sim.tick ctx ((bound / 2) + Sim.Rng.int (Sim.rng ctx) (max 1 (bound / 2)));
+  min backoff_cap (bound * 2)
+
+let rec enq_loop t mem ctx node bound =
+  let tail = Simmem.read mem ctx (t.hdr + hdr_tail) in
+  let tptr = ptr_of tail in
+  let next = Simmem.read mem ctx (tptr + off_next) in
+  if Simmem.read mem ctx (t.hdr + hdr_tail) = tail then begin
+    if ptr_of next = 0 then begin
+      if
+        Simmem.cas mem ctx (tptr + off_next) ~expected:next
+          ~desired:(pack ~tag:(tag_of next + 1) ~ptr:node)
+      then begin
+        let (_ : bool) =
+          Simmem.cas mem ctx (t.hdr + hdr_tail) ~expected:tail
+            ~desired:(pack ~tag:(tag_of tail + 1) ~ptr:node)
+        in
+        ()
+      end
+      else enq_loop t mem ctx node (backoff_once ctx bound)
+    end
+    else begin
+      (* Help swing the lagging tail forward. *)
+      let (_ : bool) =
+        Simmem.cas mem ctx (t.hdr + hdr_tail) ~expected:tail
+          ~desired:(pack ~tag:(tag_of tail + 1) ~ptr:(ptr_of next))
+      in
+      enq_loop t mem ctx node (backoff_once ctx bound)
+    end
+  end
+  else enq_loop t mem ctx node (backoff_once ctx bound)
 
 let enqueue t ctx v =
   let mem = Htm.mem t.htm in
@@ -65,88 +123,55 @@ let enqueue t ctx v =
   (* Recycled nodes keep their next-word tag monotonic across reuses. *)
   let old_next = Simmem.read mem ctx (node + off_next) in
   Simmem.write mem ctx (node + off_next) (pack ~tag:(tag_of old_next + 1) ~ptr:0);
-  let b = Sim.Backoff.create ctx in
-  let retry loop =
-    Sim.Backoff.once b;
-    loop ()
-  in
-  let rec loop () =
-    let tail = Simmem.read mem ctx (t.hdr + hdr_tail) in
-    let tptr = ptr_of tail in
-    let next = Simmem.read mem ctx (tptr + off_next) in
-    if Simmem.read mem ctx (t.hdr + hdr_tail) = tail then begin
-      if ptr_of next = 0 then begin
-        if
-          Simmem.cas mem ctx (tptr + off_next) ~expected:next
-            ~desired:(pack ~tag:(tag_of next + 1) ~ptr:node)
-        then begin
-          let (_ : bool) =
-            Simmem.cas mem ctx (t.hdr + hdr_tail) ~expected:tail
-              ~desired:(pack ~tag:(tag_of tail + 1) ~ptr:node)
-          in
-          ()
-        end
-        else retry loop
-      end
+  enq_loop t mem ctx node backoff_base
+
+(* Returns whether an element was removed; the value parks in the caller's
+   [deq_val] slot (read before the CAS — afterwards the node may already
+   be recycled by another thread). *)
+let rec deq_loop t mem ctx bound =
+  let head = Simmem.read mem ctx (t.hdr + hdr_head) in
+  let tail = Simmem.read mem ctx (t.hdr + hdr_tail) in
+  let next = Simmem.read mem ctx (ptr_of head + off_next) in
+  if Simmem.read mem ctx (t.hdr + hdr_head) = head then begin
+    if ptr_of head = ptr_of tail then begin
+      if ptr_of next = 0 then false
       else begin
-        (* Help swing the lagging tail forward. *)
         let (_ : bool) =
           Simmem.cas mem ctx (t.hdr + hdr_tail) ~expected:tail
             ~desired:(pack ~tag:(tag_of tail + 1) ~ptr:(ptr_of next))
         in
-        retry loop
+        deq_loop t mem ctx (backoff_once ctx bound)
       end
     end
-    else retry loop
-  in
-  loop ()
+    else begin
+      let v = Simmem.read mem ctx (ptr_of next + off_val) in
+      if
+        Simmem.cas mem ctx (t.hdr + hdr_head) ~expected:head
+          ~desired:(pack ~tag:(tag_of head + 1) ~ptr:(ptr_of next))
+      then begin
+        t.deq_val.(Sim.tid ctx) <- v;
+        retire_node t ctx (ptr_of head);
+        true
+      end
+      else deq_loop t mem ctx (backoff_once ctx bound)
+    end
+  end
+  else deq_loop t mem ctx (backoff_once ctx bound)
+
+let dequeue_drop t ctx = deq_loop t (Htm.mem t.htm) ctx backoff_base
 
 let dequeue t ctx =
-  let mem = Htm.mem t.htm in
-  let b = Sim.Backoff.create ctx in
-  let retry loop =
-    Sim.Backoff.once b;
-    loop ()
-  in
-  let rec loop () =
-    let head = Simmem.read mem ctx (t.hdr + hdr_head) in
-    let tail = Simmem.read mem ctx (t.hdr + hdr_tail) in
-    let next = Simmem.read mem ctx (ptr_of head + off_next) in
-    if Simmem.read mem ctx (t.hdr + hdr_head) = head then begin
-      if ptr_of head = ptr_of tail then begin
-        if ptr_of next = 0 then None
-        else begin
-          let (_ : bool) =
-            Simmem.cas mem ctx (t.hdr + hdr_tail) ~expected:tail
-              ~desired:(pack ~tag:(tag_of tail + 1) ~ptr:(ptr_of next))
-          in
-          retry loop
-        end
-      end
-      else begin
-        (* Read the value before the CAS: afterwards the node may already
-           be recycled by another thread. *)
-        let v = Simmem.read mem ctx (ptr_of next + off_val) in
-        if
-          Simmem.cas mem ctx (t.hdr + hdr_head) ~expected:head
-            ~desired:(pack ~tag:(tag_of head + 1) ~ptr:(ptr_of next))
-        then begin
-          retire_node t ctx (ptr_of head);
-          Some v
-        end
-        else retry loop
-      end
-    end
-    else retry loop
-  in
-  loop ()
+  if dequeue_drop t ctx then Some t.deq_val.(Sim.tid ctx) else None
 
 let destroy t ctx =
   let mem = Htm.mem t.htm in
   Array.iteri
     (fun tid pool ->
-      List.iter (fun node -> Simmem.free mem ctx node) pool;
-      t.pools.(tid) <- [])
+      (* newest first: the order the former free-list representation used *)
+      for i = t.pool_n.(tid) - 1 downto 0 do
+        Simmem.free mem ctx pool.(i)
+      done;
+      t.pool_n.(tid) <- 0)
     t.pools;
   let rec free_from node =
     if node <> 0 then begin
@@ -169,6 +194,7 @@ let maker : Queue_intf.maker =
           Queue_intf.name = "MichaelScott";
           enqueue = enqueue t;
           dequeue = dequeue t;
+          dequeue_drop = dequeue_drop t;
           destroy = destroy t;
         });
   }

@@ -30,9 +30,16 @@ type t = {
   hdr : int;
   hz : int; (* announcement array: hazards_per_thread words per slot *)
   num_threads : int;
-  retired : int list array; (* per-thread retired-but-not-yet-free nodes *)
+  (* per-thread retired-but-not-yet-free nodes, as stacks in flat arrays
+     (index 0 oldest) *)
+  retired : int array array;
   retired_count : int array;
   scan_threshold : int;
+  (* per-thread scan scratch: snapshot of the hazard array. Must be
+     per-thread: the snapshot reads yield, so two in-flight scans would
+     clobber a shared buffer. *)
+  announced : int array array;
+  deq_val : int array; (* per-thread value of the last successful dequeue *)
 }
 
 let slot_index t ctx =
@@ -78,110 +85,153 @@ let create htm ctx ~num_threads =
     hdr;
     hz;
     num_threads;
-    retired = Array.make (Sim.max_threads + 1) [];
+    retired = Array.make (Sim.max_threads + 1) [||];
     retired_count = Array.make (Sim.max_threads + 1) 0;
     scan_threshold = (2 * hazards_per_thread * (num_threads + 1)) + 2;
+    announced = Array.make (Sim.max_threads + 1) [||];
+    deq_val = Array.make (Sim.max_threads + 1) 0;
   }
 
-(* Free every retired node not currently announced by anyone. *)
+let is_announced snap nslots node =
+  let i = ref 0 in
+  while !i < nslots && snap.(!i) <> node do incr i done;
+  !i < nslots
+
+(* Free every retired node not currently announced by anyone. One snapshot
+   of the hazard array (each slot read once, paying its coherence cost),
+   then pure membership scans: first free the doomed nodes newest-first,
+   then compact the survivors in place. The snapshot lands in this
+   thread's own scratch buffer (grown on first use): the snapshot reads
+   and the frees both yield, so a concurrent scan by another thread must
+   not share it. *)
 let scan t ctx =
   let mem = Htm.mem t.htm in
   let nslots = hazards_per_thread * (t.num_threads + 1) in
-  let announced = Array.init nslots (fun i -> Simmem.read mem ctx (t.hz + i)) in
   let tid = Sim.tid ctx in
-  let keep, free_list =
-    List.partition (fun node -> Array.exists (Int.equal node) announced) t.retired.(tid)
-  in
-  List.iter (fun node -> Simmem.free mem ctx node) free_list;
-  t.retired.(tid) <- keep;
-  t.retired_count.(tid) <- List.length keep
+  if Array.length t.announced.(tid) < nslots then
+    t.announced.(tid) <- Array.make nslots 0;
+  let snap = t.announced.(tid) in
+  for i = 0 to nslots - 1 do
+    snap.(i) <- Simmem.read mem ctx (t.hz + i)
+  done;
+  let r = t.retired.(tid) in
+  let n = t.retired_count.(tid) in
+  for i = n - 1 downto 0 do
+    if not (is_announced snap nslots r.(i)) then Simmem.free mem ctx r.(i)
+  done;
+  let kept = ref 0 in
+  for i = 0 to n - 1 do
+    if is_announced snap nslots r.(i) then begin
+      r.(!kept) <- r.(i);
+      incr kept
+    end
+  done;
+  t.retired_count.(tid) <- !kept
 
 let retire t ctx node =
   let tid = Sim.tid ctx in
-  t.retired.(tid) <- node :: t.retired.(tid);
-  t.retired_count.(tid) <- t.retired_count.(tid) + 1;
+  let n = t.retired_count.(tid) in
+  let r = t.retired.(tid) in
+  if n = Array.length r then begin
+    let bigger = Array.make (max 8 (2 * n)) 0 in
+    Array.blit r 0 bigger 0 n;
+    t.retired.(tid) <- bigger
+  end;
+  t.retired.(tid).(n) <- node;
+  t.retired_count.(tid) <- n + 1;
   if t.retired_count.(tid) >= t.scan_threshold then scan t ctx
+
+(* One randomized backoff delay, inlined from [Sim.Backoff.once] (same
+   draw, same tick) so the retry loops below carry the bound as a plain
+   argument instead of allocating a [Backoff.t] per operation. *)
+let backoff_base = 50
+let backoff_cap = 4096
+
+let backoff_once ctx bound =
+  Sim.tick ctx ((bound / 2) + Sim.Rng.int (Sim.rng ctx) (max 1 (bound / 2)));
+  min backoff_cap (bound * 2)
+
+let rec enq_loop t mem ctx node bound =
+  let tail = Simmem.read mem ctx (t.hdr + hdr_tail) in
+  announce t ctx 0 tail;
+  if Simmem.read mem ctx (t.hdr + hdr_tail) <> tail then
+    enq_loop t mem ctx node (backoff_once ctx bound)
+  else begin
+    let next = Simmem.read mem ctx (tail + off_next) in
+    if Simmem.read mem ctx (t.hdr + hdr_tail) <> tail then
+      enq_loop t mem ctx node (backoff_once ctx bound)
+    else if next <> 0 then begin
+      let (_ : bool) =
+        Simmem.cas mem ctx (t.hdr + hdr_tail) ~expected:tail ~desired:next
+      in
+      enq_loop t mem ctx node (backoff_once ctx bound)
+    end
+    else if Simmem.cas mem ctx (tail + off_next) ~expected:0 ~desired:node then begin
+      let (_ : bool) =
+        Simmem.cas mem ctx (t.hdr + hdr_tail) ~expected:tail ~desired:node
+      in
+      ()
+    end
+    else enq_loop t mem ctx node (backoff_once ctx bound)
+  end
 
 let enqueue t ctx v =
   let mem = Htm.mem t.htm in
   let node = Simmem.malloc mem ctx node_words in
   Simmem.label mem ~name:"MSQueue+ROP.node" ~base:node ~words:node_words;
   Simmem.write mem ctx (node + off_val) v;
-  let b = Sim.Backoff.create ctx in
-  let retry loop =
-    Sim.Backoff.once b;
-    loop ()
-  in
-  let rec loop () =
+  enq_loop t mem ctx node backoff_base;
+  announce t ctx 0 0
+
+(* Returns whether an element was removed; the value parks in the caller's
+   [deq_val] slot. *)
+let rec deq_loop t mem ctx bound =
+  let head = Simmem.read mem ctx (t.hdr + hdr_head) in
+  announce t ctx 0 head;
+  if Simmem.read mem ctx (t.hdr + hdr_head) <> head then
+    deq_loop t mem ctx (backoff_once ctx bound)
+  else begin
     let tail = Simmem.read mem ctx (t.hdr + hdr_tail) in
-    announce t ctx 0 tail;
-    if Simmem.read mem ctx (t.hdr + hdr_tail) <> tail then retry loop
-    else begin
-      let next = Simmem.read mem ctx (tail + off_next) in
-      if Simmem.read mem ctx (t.hdr + hdr_tail) <> tail then retry loop
-      else if next <> 0 then begin
+    let next = Simmem.read mem ctx (head + off_next) in
+    announce t ctx 1 next;
+    if Simmem.read mem ctx (t.hdr + hdr_head) <> head then
+      deq_loop t mem ctx (backoff_once ctx bound)
+    else if head = tail then begin
+      if next = 0 then false
+      else begin
         let (_ : bool) =
           Simmem.cas mem ctx (t.hdr + hdr_tail) ~expected:tail ~desired:next
         in
-        retry loop
+        deq_loop t mem ctx (backoff_once ctx bound)
       end
-      else if Simmem.cas mem ctx (tail + off_next) ~expected:0 ~desired:node then begin
-        let (_ : bool) =
-          Simmem.cas mem ctx (t.hdr + hdr_tail) ~expected:tail ~desired:node
-        in
-        ()
-      end
-      else retry loop
     end
-  in
-  loop ();
-  announce t ctx 0 0
-
-let dequeue t ctx =
-  let mem = Htm.mem t.htm in
-  let b = Sim.Backoff.create ctx in
-  let retry loop =
-    Sim.Backoff.once b;
-    loop ()
-  in
-  let rec loop () =
-    let head = Simmem.read mem ctx (t.hdr + hdr_head) in
-    announce t ctx 0 head;
-    if Simmem.read mem ctx (t.hdr + hdr_head) <> head then retry loop
     else begin
-      let tail = Simmem.read mem ctx (t.hdr + hdr_tail) in
-      let next = Simmem.read mem ctx (head + off_next) in
-      announce t ctx 1 next;
-      if Simmem.read mem ctx (t.hdr + hdr_head) <> head then retry loop
-      else if head = tail then begin
-        if next = 0 then None
-        else begin
-          let (_ : bool) =
-            Simmem.cas mem ctx (t.hdr + hdr_tail) ~expected:tail ~desired:next
-          in
-          retry loop
-        end
+      let v = Simmem.read mem ctx (next + off_val) in
+      if Simmem.cas mem ctx (t.hdr + hdr_head) ~expected:head ~desired:next then begin
+        t.deq_val.(Sim.tid ctx) <- v;
+        retire t ctx head;
+        true
       end
-      else begin
-        let v = Simmem.read mem ctx (next + off_val) in
-        if Simmem.cas mem ctx (t.hdr + hdr_head) ~expected:head ~desired:next then begin
-          retire t ctx head;
-          Some v
-        end
-        else retry loop
-      end
+      else deq_loop t mem ctx (backoff_once ctx bound)
     end
-  in
-  let r = loop () in
+  end
+
+let dequeue_drop t ctx =
+  let r = deq_loop t (Htm.mem t.htm) ctx backoff_base in
   clear_announcements t ctx;
   r
+
+let dequeue t ctx =
+  if dequeue_drop t ctx then Some t.deq_val.(Sim.tid ctx) else None
 
 let destroy t ctx =
   let mem = Htm.mem t.htm in
   Array.iteri
     (fun tid nodes ->
-      List.iter (fun node -> Simmem.free mem ctx node) nodes;
-      t.retired.(tid) <- [];
+      (* newest first: the order the former list representation freed in *)
+      for i = t.retired_count.(tid) - 1 downto 0 do
+        Simmem.free mem ctx nodes.(i)
+      done;
       t.retired_count.(tid) <- 0)
     t.retired;
   let rec free_from node =
@@ -206,6 +256,7 @@ let maker : Queue_intf.maker =
           Queue_intf.name = "MichaelScott+ROP";
           enqueue = enqueue t;
           dequeue = dequeue t;
+          dequeue_drop = dequeue_drop t;
           destroy = destroy t;
         });
   }

@@ -4,6 +4,11 @@ type instance = {
   name : string;
   enqueue : Sim.tctx -> int -> unit;
   dequeue : Sim.tctx -> int option;
+  dequeue_drop : Sim.tctx -> bool;
+      (** Dequeue and discard the value: [true] iff an element was removed.
+          Performs exactly the same simulated memory operations as
+          {!dequeue} but never materialises the [option] — the form the
+          throughput benchmarks' hot loops use. *)
   destroy : Sim.tctx -> unit;
       (** Free everything the queue still owns (remaining entries, pools,
           announcement arrays). Only valid when quiescent. *)

@@ -119,6 +119,8 @@ let pp_tx_event ppf = function
 type t = {
   hmem : Simmem.t;
   cfg : config;
+  (* Pooled per-thread transaction descriptors (see [get_tx]). *)
+  pool : tx option array;
   mreg : Obs.Metrics.t;
   c_commits : Obs.Metrics.counter;
   c_conflict : Obs.Metrics.counter;
@@ -139,6 +141,31 @@ type t = {
   lock_addr : int;
   stm : Stm.t option;
   mutable tap : (tid:int -> clock:int -> tx_event -> unit) option;
+}
+
+and mode = Hw | Sw of Stm.tx | Locked
+
+and tx = {
+  h : t;
+  mutable ctx : Sim.tctx;
+  mutable busy : bool; (* bound to a running [atomic]; nesting gets a fresh tx *)
+  mutable mode : mode;
+  mutable attempt : int;
+  mutable raddr : int array;
+  mutable rver : int array;
+  mutable nreads : int;
+  mutable waddr : int array;
+  mutable wval : int array;
+  mutable nwrites : int;
+  mutable nstores : int;
+  mutable frees : int array;
+  mutable nfrees : int;
+  mutable witness : Obs.Forensics.witness option;
+      (* set at the capture site of the conflict that will abort this
+         attempt; consumed (and cleared) by the abort handler *)
+  mutable last_w : Obs.Forensics.witness option;
+      (* witness of the most recent hardware abort, threaded into the
+         escalation hop that it drives *)
 }
 
 exception Aborted of abort_reason
@@ -172,6 +199,7 @@ let create ?(config = default_config) ?metrics mem =
     {
       hmem = mem;
       cfg = config;
+      pool = Array.make (Sim.max_threads + 1) None;
       mreg;
       c_commits = Obs.Metrics.counter ~per_thread:true mreg "htm.commits";
       c_conflict = Obs.Metrics.counter ~per_thread:true mreg "htm.aborts.conflict";
@@ -284,28 +312,9 @@ let reset_stats t =
 
 let commit_cycles_histogram t = Obs.Metrics.buckets t.h_commit
 
-type mode = Hw | Sw of Stm.tx | Locked
-
-type tx = {
-  h : t;
-  ctx : Sim.tctx;
-  mutable mode : mode;
-  mutable attempt : int;
-  mutable raddr : int array;
-  mutable rver : int array;
-  mutable nreads : int;
-  mutable waddr : int array;
-  mutable wval : int array;
-  mutable nwrites : int;
-  mutable nstores : int;
-  mutable frees : int list;
-  mutable witness : Obs.Forensics.witness option;
-      (* set at the capture site of the conflict that will abort this
-         attempt; consumed (and cleared) by the abort handler *)
-}
-
 let attempt_number tx = tx.attempt
-let in_fallback tx = tx.mode = Locked
+let in_fallback tx = match tx.mode with Locked -> true | Hw | Sw _ -> false
+let tx_tid tx = Sim.tid tx.ctx
 
 let reset_tx tx mode attempt =
   tx.mode <- mode;
@@ -313,13 +322,14 @@ let reset_tx tx mode attempt =
   tx.nreads <- 0;
   tx.nwrites <- 0;
   tx.nstores <- 0;
-  tx.frees <- [];
+  tx.nfrees <- 0;
   tx.witness <- None
 
 let fresh_tx h ctx =
   {
     h;
     ctx;
+    busy = false;
     mode = Hw;
     attempt = 0;
     raddr = Array.make 64 0;
@@ -329,9 +339,27 @@ let fresh_tx h ctx =
     wval = Array.make 32 0;
     nwrites = 0;
     nstores = 0;
-    frees = [];
+    frees = Array.make 16 0;
+    nfrees = 0;
     witness = None;
+    last_w = None;
   }
+
+(* Per-(domain, thread) transaction descriptors are pooled: the first
+   [atomic] on a thread allocates one, every later call reuses it — the
+   read/write/free sets are preallocated arrays that only grow. A nested
+   [atomic] (pool slot busy) falls back to a fresh descriptor. *)
+let get_tx h ctx =
+  let tid = Sim.tid ctx in
+  match h.pool.(tid) with
+  | Some tx when not tx.busy ->
+    tx.ctx <- ctx;
+    tx
+  | Some _ -> fresh_tx h ctx
+  | None ->
+    let tx = fresh_tx h ctx in
+    h.pool.(tid) <- Some tx;
+    tx
 
 let validate_reads tx =
   let mem = tx.h.hmem in
@@ -350,39 +378,46 @@ let grow_reads tx =
   tx.rver <- rver
 
 let note_read tx addr ver =
-  let rec known i = i < tx.nreads && (tx.raddr.(i) = addr || known (i + 1)) in
-  if not (known 0) then begin
+  let known = ref false and i = ref 0 in
+  while (not !known) && !i < tx.nreads do
+    if tx.raddr.(!i) = addr then known := true else incr i
+  done;
+  if not !known then begin
     if tx.nreads = Array.length tx.raddr then grow_reads tx;
     tx.raddr.(tx.nreads) <- addr;
     tx.rver.(tx.nreads) <- ver;
     tx.nreads <- tx.nreads + 1
   end
 
-let find_buffered tx addr =
-  let rec go i = if i < 0 then None else if tx.waddr.(i) = addr then Some tx.wval.(i) else go (i - 1) in
-  go (tx.nwrites - 1)
+(* Newest write-buffer slot holding [addr], or -1. *)
+let find_buffered_idx tx addr =
+  let found = ref (-1) and i = ref (tx.nwrites - 1) in
+  while !found < 0 && !i >= 0 do
+    if tx.waddr.(!i) = addr then found := !i else decr i
+  done;
+  !found
 
 (* Conflict forensics: the address whose version check failed — scanned
    only on the (already doomed) abort path, never on success. *)
 let first_invalid tx =
   let mem = tx.h.hmem in
-  let rec go i =
-    if i >= tx.nreads then None
-    else if not (Simmem.Tx_plane.validate mem tx.raddr.(i) tx.rver.(i)) then
-      Some tx.raddr.(i)
-    else go (i + 1)
-  in
-  go 0
+  let found = ref (-1) and i = ref 0 in
+  while !found < 0 && !i < tx.nreads do
+    if not (Simmem.Tx_plane.validate mem tx.raddr.(!i) tx.rver.(!i)) then
+      found := tx.raddr.(!i)
+    else incr i
+  done;
+  !found
 
 let capture_conflict tx site =
-  match first_invalid tx with
-  | None -> ()
-  | Some addr ->
-    let wrote = find_buffered tx addr <> None in
+  let addr = first_invalid tx in
+  if addr >= 0 then begin
+    let wrote = find_buffered_idx tx addr >= 0 in
     tx.witness <-
       Some
         (Simmem.conflict_witness tx.h.hmem tx.ctx ~addr ~victim_wrote:wrote
            ~in_read_set:true ~in_write_set:wrote ~site ())
+  end
 
 let illegal tx addr =
   if tx.h.cfg.sandboxed then raise (Aborted Illegal)
@@ -393,18 +428,22 @@ let read tx addr =
   | Locked -> Simmem.read tx.h.hmem tx.ctx addr
   | Sw stx -> Stm.read stx addr
   | Hw ->
-    (match find_buffered tx addr with
-     | Some v -> v
-     | None ->
-       (match Simmem.Tx_plane.read tx.h.hmem tx.ctx addr with
-        | None -> illegal tx addr
-        | Some (v, ver) ->
-          note_read tx addr ver;
-          if not (validate_reads tx) then begin
-            capture_conflict tx "htm.read";
-            raise (Aborted Conflict)
-          end;
-          v))
+    let bi = find_buffered_idx tx addr in
+    if bi >= 0 then tx.wval.(bi)
+    else begin
+      let mem = tx.h.hmem in
+      let ver = Simmem.Tx_plane.read_ver mem tx.ctx addr in
+      if ver < 0 then illegal tx addr
+      else begin
+        let v = Simmem.Tx_plane.read_value mem in
+        note_read tx addr ver;
+        if not (validate_reads tx) then begin
+          capture_conflict tx "htm.read";
+          raise (Aborted Conflict)
+        end;
+        v
+      end
+    end
 
 let consume_store_slot tx =
   tx.nstores <- tx.nstores + 1;
@@ -445,7 +484,15 @@ let abort tx =
 let defer_free tx base =
   match tx.mode with
   | Sw stx -> Stm.defer_free stx base
-  | Hw | Locked -> tx.frees <- base :: tx.frees
+  | Hw | Locked ->
+    if tx.nfrees = Array.length tx.frees then begin
+      let n = Array.length tx.frees in
+      let frees = Array.make (2 * n) 0 in
+      Array.blit tx.frees 0 frees 0 n;
+      tx.frees <- frees
+    end;
+    tx.frees.(tx.nfrees) <- base;
+    tx.nfrees <- tx.nfrees + 1
 
 (* Commit: validate, then apply the write buffer without yielding so the
    transaction is atomic in virtual time. *)
@@ -466,16 +513,18 @@ let commit tx =
   Sim.tick tx.ctx 0
 
 let run_frees tx =
-  List.iter (fun base -> Simmem.free tx.h.hmem tx.ctx base) (List.rev tx.frees);
-  tx.frees <- []
+  for i = 0 to tx.nfrees - 1 do
+    Simmem.free tx.h.hmem tx.ctx tx.frees.(i)
+  done;
+  tx.nfrees <- 0
 
 let count_abort h ~tid = function
-  | Conflict -> Obs.Metrics.incr ~tid h.c_conflict
-  | Overflow -> Obs.Metrics.incr ~tid h.c_overflow
-  | Illegal -> Obs.Metrics.incr ~tid h.c_illegal
-  | Explicit -> Obs.Metrics.incr ~tid h.c_explicit
-  | Lock_held -> Obs.Metrics.incr ~tid h.c_lock
-  | Spurious -> Obs.Metrics.incr ~tid h.c_spurious
+  | Conflict -> Obs.Metrics.incr_t h.c_conflict tid
+  | Overflow -> Obs.Metrics.incr_t h.c_overflow tid
+  | Illegal -> Obs.Metrics.incr_t h.c_illegal tid
+  | Explicit -> Obs.Metrics.incr_t h.c_explicit tid
+  | Lock_held -> Obs.Metrics.incr_t h.c_lock tid
+  | Spurious -> Obs.Metrics.incr_t h.c_spurious tid
 
 let backoff h ctx n =
   Sim.tick ctx
@@ -499,8 +548,8 @@ let release_lock h ctx = Simmem.fenced_write h.hmem ctx h.lock_addr 0
 
 let run_locked h ctx tx attempt f =
   acquire_lock h ctx;
-  Obs.Metrics.incr h.c_fallbacks;
-  Obs.Metrics.incr ~tid:(Sim.tid ctx) h.c_att_tle;
+  Obs.Metrics.incr1 h.c_fallbacks;
+  Obs.Metrics.incr_t h.c_att_tle (Sim.tid ctx);
   emit h ctx Tx_fallback;
   let t_lock = Sim.clock ctx in
   (match Sim.tracer ctx with
@@ -540,7 +589,7 @@ let run_locked h ctx tx attempt f =
    surface, [Sw] mode), with the configured attempt budget. If the budget
    runs dry and TLE is enabled, the lock is the last resort. *)
 let run_stm h s ctx tx n ~last ~lastw f on_abort =
-  Obs.Metrics.incr h.c_esc_stm;
+  Obs.Metrics.incr1 h.c_esc_stm;
   Simmem.note_hop h.hmem ctx ~from_path:"hw" ~to_path:"stm"
     ~reason:(abort_label last) lastw;
   emit h ctx (Tx_escalate { esc_to = P_stm; esc_attempt = n });
@@ -555,13 +604,13 @@ let run_stm h s ctx tx n ~last ~lastw f on_abort =
     Stm.atomic s ctx ~max_attempts:h.cfg.stm_attempts
       ~on_abort:(fun r -> on_abort (of_stm_reason r))
       (fun stx ->
-        Obs.Metrics.incr ~tid h.c_att_stm;
+        Obs.Metrics.incr_t h.c_att_stm tid;
         reset_tx tx (Sw stx) n;
         f tx)
   with
   | v -> v
   | exception Stm.Retry_exhausted r ->
-    if h.cfg.tle <> Tle_never then begin
+    if (match h.cfg.tle with Tle_never -> false | Tle_after _ -> true) then begin
       emit h ctx (Tx_escalate { esc_to = P_tle; esc_attempt = n });
       Simmem.note_hop h.hmem ctx ~from_path:"stm" ~to_path:"tle"
         ~reason:(abort_label (of_stm_reason r))
@@ -570,140 +619,162 @@ let run_stm h s ctx tx n ~last ~lastw f on_abort =
     end
     else raise (Retry_exhausted (of_stm_reason r))
 
+(* Success bookkeeping, shared by all three paths: escalation stats,
+   cycles-to-commit, and a liveness-watchdog note. *)
+let finish h ctx t0 n =
+  if n > Obs.Metrics.gauge_max h.g_consec then Obs.Metrics.set h.g_consec n;
+  Obs.Metrics.observe h.h_commit (Sim.clock ctx - t0);
+  Obs.Metrics.incr_by h.c_cycles (Sim.clock ctx - t0);
+  Sim.note_progress ctx
+
+(* The attempt loop lives at top level (not as a closure inside [atomic])
+   so a pooled transaction's whole fast path — begin, body, commit —
+   allocates nothing: one [atomic] call is a handful of array stores and
+   unboxed arithmetic unless it aborts or escalates. *)
+let rec attempt_loop h ctx tx f on_abort tr tid t0 n last =
+  (* Escalation policy. Capacity aborts go straight to the software
+     path — no hardware retry can ever fit an overflowing write set —
+     while conflicts buy [m] backed-off hardware retries first. *)
+  let esc_stm =
+    match h.cfg.stm, h.stm with
+    | Stm_after m, Some _ -> n >= m || (match last with Overflow -> true | _ -> false)
+    | _ -> false
+  in
+  (* With an STM policy the lock is reachable only through STM budget
+     exhaustion (see [run_stm]); without one, [Tle_after k] escalates
+     directly from hardware aborts as before. *)
+  let use_lock =
+    match h.cfg.stm, h.cfg.tle with
+    | Stm_after _, _ -> false
+    | Stm_never, Tle_never -> false
+    | Stm_never, Tle_after k -> n >= k
+  in
+  if esc_stm then begin
+    match h.stm with
+    | Some s ->
+      let v = run_stm h s ctx tx n ~last ~lastw:tx.last_w f on_abort in
+      finish h ctx t0 n;
+      v
+    | None -> assert false
+  end
+  else if use_lock then begin
+    Simmem.note_hop h.hmem ctx ~from_path:"hw" ~to_path:"tle"
+      ~reason:(abort_label last) tx.last_w;
+    let v = run_locked h ctx tx n f in
+    finish h ctx t0 n;
+    v
+  end
+  else if h.cfg.max_attempts > 0 && n >= h.cfg.max_attempts then
+    (* Retry budget exhausted with no escalation left to rescue us:
+       fail fast with the last abort reason instead of spinning. *)
+    raise (Retry_exhausted last)
+  else begin
+    (* Small cost jitter models real-hardware timing noise; without it,
+       deterministic costs let the backoff phase-lock contending threads
+       into conflict-free lockstep that a real machine's pipeline and
+       interrupt noise would constantly break. *)
+    Sim.tick ctx (h.cfg.tx_begin_cost + Sim.Rng.int (Sim.rng ctx) 16);
+    (* Strong atomicity (paper §6): transaction begin drains the
+       thread's store buffer so tx reads never miss its own pre-tx
+       stores, and commit writes through [Tx_plane] — tx stores never
+       linger in a buffer. No-op under the [sc] model. *)
+    Simmem.drain h.hmem ctx;
+    let t_att = Sim.clock ctx in
+    reset_tx tx Hw n;
+    Obs.Metrics.incr_t h.c_att_hw tid;
+    match
+      (* An environmental abort (interrupt, TLB miss, register-window
+         spill — Rock's whole catalogue) can strike any attempt. *)
+      (if Sim.spurious_fires ctx then raise (Aborted Spurious));
+      (* Under TLE every hardware transaction monitors the lock word:
+         observing it held aborts now, and a later acquisition changes the
+         word's version, dooming us at validation. *)
+      (if (match h.cfg.tle with Tle_never -> false | Tle_after _ -> true)
+          && read tx h.lock_addr <> 0
+       then raise (Aborted Lock_held));
+      let v = f tx in
+      commit tx;
+      v
+    with
+    | v ->
+      Obs.Metrics.incr_t h.c_commits tid;
+      Obs.Metrics.observe h.h_stores tx.nstores;
+      (match h.tap with
+       | None -> ()
+       | Some _ ->
+         emit h ctx
+           (Tx_commit
+              { tx_reads = tx.nreads; tx_writes = tx.nwrites; tx_path = P_hw; tx_attempt = n }));
+      (match tr with
+       | None -> ()
+       | Some sink ->
+         Obs.Tracer.span sink ~tid ~name:"tx" ~cat:"tx"
+           ~args:
+             [
+               ("attempt", Obs.Json.Int n);
+               ("reads", Obs.Json.Int tx.nreads);
+               ("writes", Obs.Json.Int tx.nwrites);
+             ]
+           t_att (Sim.clock ctx));
+      run_frees tx;
+      finish h ctx t0 n;
+      v
+    | exception Aborted r ->
+      count_abort h ~tid r;
+      (* Attach the witness captured at the validation failure; a
+         lock-held abort synthesizes one against the lock word, whose
+         last writer (the holder's acquiring CAS) is the aggressor. *)
+      let w =
+        match r, tx.witness with
+        | _, (Some _ as w) -> w
+        | Lock_held, None ->
+          Some
+            (Simmem.conflict_witness h.hmem ctx ~addr:h.lock_addr
+               ~victim_wrote:false ~in_read_set:true ~in_write_set:false
+               ~site:"htm.begin" ())
+        | _, None -> None
+      in
+      tx.witness <- None;
+      (match w with Some wit -> Simmem.record_witness h.hmem ctx wit | None -> ());
+      tx.last_w <- w;
+      (match h.tap with
+       | None -> ()
+       | Some _ ->
+         emit h ctx
+           (Tx_abort { ab_reason = r; ab_path = P_hw; ab_attempt = n; ab_witness = w }));
+      (match tr with
+       | None -> ()
+       | Some sink ->
+         let t_ab = Sim.clock ctx in
+         Obs.Tracer.span sink ~tid ~name:"tx.attempt" ~cat:"tx"
+           ~args:[ ("attempt", Obs.Json.Int n) ]
+           t_att t_ab;
+         Obs.Tracer.instant sink ~tid ~name:"tx.abort" ~cat:"tx"
+           ~args:
+             [ ("reason", Obs.Json.Str (abort_label r)); ("attempt", Obs.Json.Int n) ]
+           t_ab);
+      Sim.tick ctx h.cfg.tx_abort_cost;
+      on_abort r;
+      (* A capacity overflow cannot succeed on hardware retry; when the
+         STM slow path will take the next attempt anyway, escalate
+         without paying a pointless backoff. *)
+      (match r, h.cfg.stm, h.stm with
+       | Overflow, Stm_after _, Some _ -> ()
+       | _ -> backoff h ctx n);
+      attempt_loop h ctx tx f on_abort tr tid t0 (n + 1) r
+  end
+
 let atomic h ctx ?(on_abort = fun (_ : abort_reason) -> ()) f =
-  let tx = fresh_tx h ctx in
+  let tx = get_tx h ctx in
+  tx.busy <- true;
+  tx.last_w <- None;
   let t0 = Sim.clock ctx in
   let tid = Sim.tid ctx in
   let tr = Sim.tracer ctx in
-  (* Success bookkeeping, shared by all three paths: escalation stats,
-     cycles-to-commit, and a liveness-watchdog note. *)
-  let finish n v =
-    if n > Obs.Metrics.gauge_max h.g_consec then Obs.Metrics.set h.g_consec n;
-    Obs.Metrics.observe h.h_commit (Sim.clock ctx - t0);
-    Obs.Metrics.incr ~by:(Sim.clock ctx - t0) h.c_cycles;
-    Sim.note_progress ctx;
+  match attempt_loop h ctx tx f on_abort tr tid t0 0 Conflict with
+  | v ->
+    tx.busy <- false;
     v
-  in
-  (* Witness of the most recent hardware abort, threaded into the
-     escalation hop that it drives. *)
-  let last_w = ref None in
-  let rec attempt n last =
-    (* Escalation policy. Capacity aborts go straight to the software
-       path — no hardware retry can ever fit an overflowing write set —
-       while conflicts buy [m] backed-off hardware retries first. *)
-    let esc_stm =
-      match h.cfg.stm, h.stm with
-      | Stm_after m, Some _ -> n >= m || last = Overflow
-      | _ -> false
-    in
-    (* With an STM policy the lock is reachable only through STM budget
-       exhaustion (see [run_stm]); without one, [Tle_after k] escalates
-       directly from hardware aborts as before. *)
-    let use_lock =
-      match h.cfg.stm, h.cfg.tle with
-      | Stm_after _, _ -> false
-      | Stm_never, Tle_never -> false
-      | Stm_never, Tle_after k -> n >= k
-    in
-    if esc_stm then
-      match h.stm with
-      | Some s -> finish n (run_stm h s ctx tx n ~last ~lastw:!last_w f on_abort)
-      | None -> assert false
-    else if use_lock then begin
-      Simmem.note_hop h.hmem ctx ~from_path:"hw" ~to_path:"tle"
-        ~reason:(abort_label last) !last_w;
-      finish n (run_locked h ctx tx n f)
-    end
-    else if h.cfg.max_attempts > 0 && n >= h.cfg.max_attempts then
-      (* Retry budget exhausted with no escalation left to rescue us:
-         fail fast with the last abort reason instead of spinning. *)
-      raise (Retry_exhausted last)
-    else begin
-      (* Small cost jitter models real-hardware timing noise; without it,
-         deterministic costs let the backoff phase-lock contending threads
-         into conflict-free lockstep that a real machine's pipeline and
-         interrupt noise would constantly break. *)
-      Sim.tick ctx (h.cfg.tx_begin_cost + Sim.Rng.int (Sim.rng ctx) 16);
-      (* Strong atomicity (paper §6): transaction begin drains the
-         thread's store buffer so tx reads never miss its own pre-tx
-         stores, and commit writes through [Tx_plane] — tx stores never
-         linger in a buffer. No-op under the [sc] model. *)
-      Simmem.drain h.hmem ctx;
-      let t_att = Sim.clock ctx in
-      reset_tx tx Hw n;
-      Obs.Metrics.incr ~tid h.c_att_hw;
-      match
-        (* An environmental abort (interrupt, TLB miss, register-window
-           spill — Rock's whole catalogue) can strike any attempt. *)
-        (if Sim.spurious_fires ctx then raise (Aborted Spurious));
-        (* Under TLE every hardware transaction monitors the lock word:
-           observing it held aborts now, and a later acquisition changes the
-           word's version, dooming us at validation. *)
-        (if h.cfg.tle <> Tle_never && read tx h.lock_addr <> 0 then
-           raise (Aborted Lock_held));
-        let v = f tx in
-        commit tx;
-        v
-      with
-      | v ->
-        Obs.Metrics.incr ~tid h.c_commits;
-        Obs.Metrics.observe h.h_stores tx.nstores;
-        emit h ctx
-          (Tx_commit
-             { tx_reads = tx.nreads; tx_writes = tx.nwrites; tx_path = P_hw; tx_attempt = n });
-        (match tr with
-         | None -> ()
-         | Some sink ->
-           Obs.Tracer.span sink ~tid ~name:"tx" ~cat:"tx"
-             ~args:
-               [
-                 ("attempt", Obs.Json.Int n);
-                 ("reads", Obs.Json.Int tx.nreads);
-                 ("writes", Obs.Json.Int tx.nwrites);
-               ]
-             t_att (Sim.clock ctx));
-        run_frees tx;
-        finish n v
-      | exception Aborted r ->
-        count_abort h ~tid r;
-        (* Attach the witness captured at the validation failure; a
-           lock-held abort synthesizes one against the lock word, whose
-           last writer (the holder's acquiring CAS) is the aggressor. *)
-        let w =
-          match r, tx.witness with
-          | _, (Some _ as w) -> w
-          | Lock_held, None ->
-            Some
-              (Simmem.conflict_witness h.hmem ctx ~addr:h.lock_addr
-                 ~victim_wrote:false ~in_read_set:true ~in_write_set:false
-                 ~site:"htm.begin" ())
-          | _, None -> None
-        in
-        tx.witness <- None;
-        (match w with Some wit -> Simmem.record_witness h.hmem ctx wit | None -> ());
-        last_w := w;
-        emit h ctx
-          (Tx_abort { ab_reason = r; ab_path = P_hw; ab_attempt = n; ab_witness = w });
-        (match tr with
-         | None -> ()
-         | Some sink ->
-           let t_ab = Sim.clock ctx in
-           Obs.Tracer.span sink ~tid ~name:"tx.attempt" ~cat:"tx"
-             ~args:[ ("attempt", Obs.Json.Int n) ]
-             t_att t_ab;
-           Obs.Tracer.instant sink ~tid ~name:"tx.abort" ~cat:"tx"
-             ~args:
-               [ ("reason", Obs.Json.Str (abort_label r)); ("attempt", Obs.Json.Int n) ]
-             t_ab);
-        Sim.tick ctx h.cfg.tx_abort_cost;
-        on_abort r;
-        (* A capacity overflow cannot succeed on hardware retry; when the
-           STM slow path will take the next attempt anyway, escalate
-           without paying a pointless backoff. *)
-        (match r, h.cfg.stm, h.stm with
-         | Overflow, Stm_after _, Some _ -> ()
-         | _ -> backoff h ctx n);
-        attempt (n + 1) r
-    end
-  in
-  attempt 0 Conflict
+  | exception e ->
+    tx.busy <- false;
+    raise e

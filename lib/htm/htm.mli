@@ -233,6 +233,11 @@ val defer_free : tx -> int -> unit
     paper's algorithms never free inside a transaction); discarded if the
     attempt aborts. *)
 
+val tx_tid : tx -> int
+(** The simulated thread running this attempt — lets a data structure keep
+    per-thread argument/result slots so one preallocated transaction body
+    serves every operation (no per-operation closure). *)
+
 val attempt_number : tx -> int
 (** 0 for the first attempt of this [atomic], incremented per hardware
     retry; frozen at the escalation attempt on the software path (use

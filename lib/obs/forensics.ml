@@ -159,7 +159,7 @@ let hops t = List.rev t.rev_hops
 let region_of t line =
   match Hashtbl.find_opt t.line_names line with
   | None | Some { contents = [] } -> "?"
-  | Some names -> String.concat " + " (List.sort compare !names)
+  | Some names -> String.concat " + " (List.sort String.compare !names)
 
 type edge_stat = { es_victim : int; es_aggressor : int; es_rw : int; es_ww : int }
 
@@ -172,8 +172,8 @@ let edges t =
   in
   List.sort
     (fun a b ->
-      match compare a.es_victim b.es_victim with
-      | 0 -> compare a.es_aggressor b.es_aggressor
+      match Int.compare a.es_victim b.es_victim with
+      | 0 -> Int.compare a.es_aggressor b.es_aggressor
       | c -> c)
     all
 
@@ -206,8 +206,8 @@ let lines ?top t =
   let sorted =
     List.sort
       (fun a b ->
-        match compare b.fl_conflicts a.fl_conflicts with
-        | 0 -> compare a.fl_line b.fl_line
+        match Int.compare b.fl_conflicts a.fl_conflicts with
+        | 0 -> Int.compare a.fl_line b.fl_line
         | c -> c)
       all
   in
@@ -227,19 +227,21 @@ let regions t =
         order := fl.fl_region :: !order)
     (lines t);
   List.sort
-    (fun (n1, c1) (n2, c2) -> match compare c2 c1 with 0 -> compare n1 n2 | c -> c)
+    (fun (n1, c1) (n2, c2) ->
+      match Int.compare c2 c1 with 0 -> String.compare n1 n2 | c -> c)
     (List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order)
 
 let sorted_counts tbl =
   List.sort
-    (fun (k1, c1) (k2, c2) -> match compare c2 c1 with 0 -> compare k1 k2 | c -> c)
+    (fun (k1, c1) (k2, c2) ->
+      match Int.compare c2 c1 with 0 -> String.compare k1 k2 | c -> c)
     (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl [])
 
 let sites t = sorted_counts t.sites
 
 let victims t =
   List.sort
-    (fun (t1, _) (t2, _) -> compare t1 t2)
+    (fun (t1, _) (t2, _) -> Int.compare t1 t2)
     (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.victims [])
 
 (* Merge [src] into [dst]. Counts are commutative; provenance and alloc

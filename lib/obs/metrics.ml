@@ -1,4 +1,4 @@
-let max_tids = 64
+let max_tids = 257
 let hist_buckets = 62
 
 type counter = {
@@ -57,6 +57,23 @@ let rec incr ?tid ?(by = 1) c =
    | Some per, Some tid when tid >= 0 && tid < max_tids -> per.(tid) <- per.(tid) + by
    | _ -> ());
   match c.c_parent with None -> () | Some p -> incr ?tid ~by p
+
+(* Hot-path variants: no optional arguments, so callers pass unboxed ints
+   and the call compiles to straight-line field updates. *)
+let rec incr_t c tid =
+  c.c_total <- c.c_total + 1;
+  (match c.c_per with
+   | Some per when tid >= 0 && tid < max_tids -> per.(tid) <- per.(tid) + 1
+   | _ -> ());
+  match c.c_parent with None -> () | Some p -> incr_t p tid
+
+let rec incr1 c =
+  c.c_total <- c.c_total + 1;
+  match c.c_parent with None -> () | Some p -> incr1 p
+
+let rec incr_by c by =
+  c.c_total <- c.c_total + by;
+  match c.c_parent with None -> () | Some p -> incr_by p by
 
 let value c = c.c_total
 

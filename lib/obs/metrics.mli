@@ -32,6 +32,16 @@ val incr : ?tid:int -> ?by:int -> counter -> unit
 (** Add [by] (default 1), attributed to [tid] when the counter is
     per-thread. Mirrors into the parent chain. *)
 
+val incr_t : counter -> int -> unit
+(** [incr_t c tid] = [incr ~tid c], without the optional-argument boxing —
+    the form hot simulator paths use. *)
+
+val incr1 : counter -> unit
+(** [incr1 c] = [incr c], allocation-free. *)
+
+val incr_by : counter -> int -> unit
+(** [incr_by c by] = [incr ~by c], allocation-free. *)
+
 val value : counter -> int
 
 val per_thread : counter -> (int * int) list
@@ -39,7 +49,7 @@ val per_thread : counter -> (int * int) list
     empty for counters registered without [per_thread]. *)
 
 val max_tids : int
-(** Per-thread slots per counter (64: covers {!Sim.max_threads} runnable
+(** Per-thread slots per counter (257: covers {!Sim.max_threads} runnable
     threads plus the boot context). *)
 
 (** {1 Gauges}

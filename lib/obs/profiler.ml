@@ -55,7 +55,7 @@ type line_stat = {
 let region_of t line =
   match Hashtbl.find_opt t.line_names line with
   | None | Some { contents = [] } -> "?"
-  | Some names -> String.concat " + " (List.sort compare !names)
+  | Some names -> String.concat " + " (List.sort String.compare !names)
 
 let lines ?top t =
   let all =
@@ -75,8 +75,8 @@ let lines ?top t =
   let sorted =
     List.sort
       (fun a b ->
-        match compare b.ls_transfers a.ls_transfers with
-        | 0 -> compare a.ls_line b.ls_line
+        match Int.compare b.ls_transfers a.ls_transfers with
+        | 0 -> Int.compare a.ls_line b.ls_line
         | c -> c)
       all
   in
@@ -98,7 +98,7 @@ let regions t =
     (lines t);
   List.sort
     (fun (n1, t1, _) (n2, t2, _) ->
-      match compare t2 t1 with 0 -> compare n1 n2 | c -> c)
+      match Int.compare t2 t1 with 0 -> String.compare n1 n2 | c -> c)
     (List.rev_map
        (fun name ->
          let tr, cy = Hashtbl.find tbl name in

@@ -38,7 +38,7 @@ let tied tol a b =
   Float.abs (a -. b) <= tol *. Float.max (Float.abs a) (Float.abs b)
 
 (* -1 / 0 / +1 with the tie band applied; ties are "no ordering claim". *)
-let ordering tol a b = if tied tol a b then 0 else compare a b
+let ordering tol a b = if tied tol a b then 0 else Float.compare a b
 
 (* Strict-sign sequence of (col i − col j) down the rows, with row labels;
    ties are dropped, so a crossover is two adjacent surviving entries with

@@ -114,7 +114,7 @@ let forensics outcomes = List.concat_map (fun o -> o.oc_forensics) outcomes
    artifacts — wall-clock would break their byte-stability). *)
 let timing_table ?(top = 10) outcomes : Obs.Table.table =
   let by_cost =
-    List.sort (fun a b -> compare b.oc_wall_us a.oc_wall_us) outcomes
+    List.sort (fun a b -> Float.compare b.oc_wall_us a.oc_wall_us) outcomes
   in
   let top_cells = List.filteri (fun i _ -> i < top) by_cost in
   let total = List.fold_left (fun a o -> a +. o.oc_wall_us) 0.0 outcomes in

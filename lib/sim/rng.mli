@@ -19,6 +19,10 @@ val int : t -> int -> int
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 
+val bits : t -> int
+(** The low 63 bits of the next output as a native int — exactly
+    [Int64.to_int (bits64 t)] on the same state, without the box. *)
+
 val bool : t -> bool
 
 val float : t -> float -> float

@@ -25,20 +25,40 @@ module Memmodel = struct
   let all =
     [ ("sc", sc); ("sb", sb); ("sb-bypass", sb_bypass); ("sb-fence-nop", sb_fence_nop) ]
 
+  (* Field-wise equality: the polymorphic [=] this replaces walks the
+     record generically on every [to_string]. *)
+  let equal a b =
+    a.buffered = b.buffered && a.sb_depth = b.sb_depth
+    && a.forward_loads = b.forward_loads
+    && a.fence_drains = b.fence_drains
+
   let to_string m =
-    match List.find_opt (fun (_, v) -> v = m) all with
+    match List.find_opt (fun (_, v) -> equal v m) all with
     | Some (name, _) -> name
     | None ->
       Printf.sprintf "custom[depth=%d,forward=%b,fence=%b]" m.sb_depth m.forward_loads
         m.fence_drains
 
-  let of_string s = List.assoc_opt s all
+  let of_string = function
+    | "sc" -> Some sc
+    | "sb" -> Some sb
+    | "sb-bypass" -> Some sb_bypass
+    | "sb-fence-nop" -> Some sb_fence_nop
+    | _ -> None
 end
 
-(* Sharer sets in Simmem are bitmasks in a 63-bit int; one bit is reserved
-   for boot contexts, so at most 61 runnable threads. *)
-let max_threads = 61
+(* Simulated-thread ceiling. Sharer sets in Simmem are multi-word bitmasks
+   sized to each heap's configured thread capacity (61 threads in one word
+   for paper-scale runs, more words beyond that — see lib/simmem), so the
+   scheduler itself no longer caps the thread count at a word's bits.
+   Exploring-mode features ([record], non-min-clock strategies) still
+   encode runnable sets as single-word masks and are guarded to 61. *)
+let max_threads = 256
 let boot_tid = max_threads
+
+(* Threads a single-word bitmask can describe: the explore/recorder layer
+   and default sharer sets use [1 lsl tid] directly. *)
+let mask_threads = 61
 
 type _ Effect.t += Yield : unit Effect.t
 
@@ -73,13 +93,22 @@ and tctx = {
 and sched = {
   ctxs : tctx array;
   statuses : status array;
+  (* Runnable threads as a multi-word bitset (62 bits per word), kept in
+     lock-step with [statuses]: the pick loop scans set bits instead of
+     matching every status constructor, so a 256-thread schedule with 4
+     runnable threads touches 5 words, not 256 variant tags. *)
+  runnable : int array;
   srng : Rng.t;
   mutable live : int;
   (* Cached lower bound on the minimal clock among all other runnable
      threads; the running thread keeps going without yielding while its
      clock stays below this, which removes most continuation captures. *)
   mutable min_other : int;
-  wd_budget : int option;
+  (* Scratch written by [pick_min]: the second-smallest runnable clock
+     (with multiplicity), i.e. the minimum over the other runnable threads
+     once the picked one is excluded. Saves the separate min_other scan. *)
+  mutable pick_min2 : int;
+  wd_budget : int;  (* max_int = no watchdog: one compare per switch, no option match *)
   wd_diag : (unit -> string) option;
   (* Clock of the most recent progress note; the watchdog fires when the
      schedule's frontier runs more than wd_budget past it. *)
@@ -148,7 +177,8 @@ let rng ctx = ctx.ctx_rng
 let tracer ctx = ctx.ctx_tracer
 let set_tracer ctx s = ctx.ctx_tracer <- s
 
-let yield () = Effect.perform Yield
+let yield_count = ref 0
+let yield () = incr yield_count; Effect.perform Yield
 
 (* Fault injection happens at scheduling points only (tick/advance_to,
    never charge): a stall models preemption by jumping the thread's clock
@@ -285,7 +315,7 @@ let pct_change_points ~seed ~depth ~length =
   let n = max 0 (depth - 1) in
   let l = max 1 length in
   let rec gen acc k = if k = 0 then acc else gen (Rng.int rng l :: acc) (k - 1) in
-  List.sort compare (gen [] n)
+  List.sort Int.compare (gen [] n)
 
 let recorder () = { rev_picks = []; rev_devs = []; rev_choices = [] }
 let picks r = List.rev r.rev_picks
@@ -293,38 +323,75 @@ let deviations r = List.rev r.rev_devs
 let choices r = List.rev r.rev_choices
 let decision_string r = String.concat ";" (List.rev_map string_of_int r.rev_picks)
 
+(* Runnable-bitset plumbing: 62 bits per word, bit [i mod 62] of word
+   [i / 62]. Kept in lock-step with [statuses] at the three transition
+   sites (initial Not_started, Running in the pick loop, Ready in the
+   Yield handler); Finished threads were Running, so their bit is already
+   clear. *)
+let r_bits = 62
+let r_set s i = s.runnable.(i / r_bits) <- s.runnable.(i / r_bits) lor (1 lsl (i mod r_bits))
+
+let r_clear s i =
+  s.runnable.(i / r_bits) <- s.runnable.(i / r_bits) land lnot (1 lsl (i mod r_bits))
+
+(* Index of the only set bit of [b] (a power of two), via a De Bruijn
+   multiply: branch-free, so the pick scan's per-bit cost is flat instead
+   of mispredict-bound when runnable sets are irregular. The table is
+   indexed by the top 6 bits of [b * debruijn] — distinct for each of the
+   62 possible single-bit inputs (bits 0..61 of an OCaml int). *)
+let db_table =
+  let t = Array.make 64 (-1) in
+  let db = 0x03f79d71b4ca8b09 in
+  for i = 0 to 61 do
+    let slot = ((1 lsl i) * db) lsr 57 land 0x3f in
+    (* The constant is a 64-bit De Bruijn sequence; OCaml ints are 63-bit,
+       so injectivity over bits 0..61 is checked here rather than assumed. *)
+    assert (t.(slot) = -1);
+    t.(slot) <- i
+  done;
+  t
+
+let ntz b = db_table.((b * 0x03f79d71b4ca8b09) lsr 57 land 0x3f)
+
 (* Pick a runnable thread with the minimal clock; break ties with the
-   scheduler RNG so no thread is systematically favoured. *)
+   scheduler RNG so no thread is systematically favoured. One scan over
+   the set bits computes the pick *and* the two smallest runnable clocks
+   (with multiplicity): excluding the picked thread from the minimum
+   leaves exactly the second-smallest, which lands in [s.pick_min2] so
+   the run loop's min_other update needs no second scan. Set bits are
+   visited in ascending index order, so the tie-break RNG draws happen in
+   exactly the order the status-matching scan made them. *)
 let pick_min s =
   let best = ref (-1) and best_clock = ref max_int and ties = ref 0 in
-  let n = Array.length s.ctxs in
-  for i = 0 to n - 1 do
-    match s.statuses.(i) with
-    | Finished | Running -> ()
-    | Not_started _ | Ready _ ->
-      let c = s.ctxs.(i).clock in
-      if c < !best_clock then begin
-        best_clock := c;
-        best := i;
-        ties := 1
-      end
-      else if c = !best_clock then begin
-        incr ties;
-        if Rng.int s.srng !ties = 0 then best := i
-      end
+  let m2 = ref max_int in
+  let nw = Array.length s.runnable in
+  for wi = 0 to nw - 1 do
+    let w = ref s.runnable.(wi) in
+    if !w <> 0 then begin
+      let base = wi * r_bits in
+      while !w <> 0 do
+        let b = !w land (- !w) in
+        w := !w lxor b;
+        let i = base + ntz b in
+        let c = s.ctxs.(i).clock in
+        if c < !best_clock then begin
+          m2 := !best_clock;
+          best_clock := c;
+          best := i;
+          ties := 1
+        end
+        else begin
+          if c < !m2 then m2 := c;
+          if c = !best_clock then begin
+            incr ties;
+            if Rng.int s.srng !ties = 0 then best := i
+          end
+        end
+      done
+    end
   done;
+  s.pick_min2 <- !m2;
   !best
-
-let min_other_clock s except =
-  let m = ref max_int in
-  let n = Array.length s.ctxs in
-  for i = 0 to n - 1 do
-    if i <> except then
-      match s.statuses.(i) with
-      | Finished | Running -> ()
-      | Not_started _ | Ready _ -> if s.ctxs.(i).clock < !m then m := s.ctxs.(i).clock
-  done;
-  !m
 
 let is_runnable s i =
   match s.statuses.(i) with Not_started _ | Ready _ -> true | Running | Finished -> false
@@ -422,6 +489,15 @@ let pick s =
 let exit_flush ctx = if ctx.ctx_drains <> [] then yield ()
 
 let handler s t : (unit, unit) Effect.Deep.handler =
+  (* Hoisted out of [effc]: the yield handler and its [Some] wrapper are
+     allocated once per thread, not once per [perform]. The scheduler
+     switches on every contended memory access, so a per-perform closure
+     here is a measurable share of the whole simulation's allocation. *)
+  let on_yield (k : (unit, unit) Effect.Deep.continuation) =
+    s.statuses.(t.ctx_tid) <- Ready k;
+    r_set s t.ctx_tid
+  in
+  let some_on_yield = Some on_yield in
   {
     retc =
       (fun () ->
@@ -437,13 +513,9 @@ let handler s t : (unit, unit) Effect.Deep.handler =
           s.live <- s.live - 1
         | e -> raise e);
     effc =
-      (fun (type a) (eff : a Effect.t) ->
-        match eff with
-        | Yield ->
-          Some
-            (fun (k : (a, unit) Effect.Deep.continuation) ->
-              s.statuses.(t.ctx_tid) <- Ready k)
-        | _ -> None);
+      (fun (type a) (eff : a Effect.t) :
+           ((a, unit) Effect.Deep.continuation -> unit) option ->
+        match eff with Yield -> some_on_yield | _ -> None);
   }
 
 (* Watchdog diagnostic: the full machine state a livelock post-mortem
@@ -475,7 +547,12 @@ let run ?(seed = 0) ?(strategy = Min_clock) ?record ?faults ?watchdog ?diag ?tra
     ?on_fault bodies =
   let n = Array.length bodies in
   if n = 0 || n > max_threads then
-    invalid_arg "Sim.run: need between 1 and 61 threads";
+    invalid_arg "Sim.run: need between 1 and 256 threads";
+  let exploring =
+    (match strategy with Min_clock -> false | _ -> true) || Option.is_some record
+  in
+  if exploring && n > mask_threads then
+    invalid_arg "Sim.run: exploring strategies and recording support at most 61 threads";
   let sink = match tracer with Some _ -> tracer | None -> Domain.DLS.get ambient_tracer in
   let root = Rng.create seed in
   let ctxs =
@@ -483,7 +560,7 @@ let run ?(seed = 0) ?(strategy = Min_clock) ?record ?faults ?watchdog ?diag ?tra
         {
           ctx_tid = i;
           clock = 0;
-          ctx_rng = Rng.create (Int64.to_int (Rng.bits64 root) lxor i);
+          ctx_rng = Rng.create (Rng.bits root lxor i);
           sched = None;
           faults;
           shield_depth = 0;
@@ -516,28 +593,33 @@ let run ?(seed = 0) ?(strategy = Min_clock) ?record ?faults ?watchdog ?diag ?tra
       List.iter (fun (k, tid) -> if not (Hashtbl.mem tbl k) then Hashtbl.add tbl k tid) devs;
       S_dev tbl
   in
-  let explore = (match strat with S_min -> false | _ -> true) || Option.is_some record in
+  let explore = exploring in
+  let runnable = Array.make ((n + r_bits - 1) / r_bits) 0 in
   let s =
-    { ctxs; statuses; srng = Rng.split root; live = n; min_other = 0;
-      wd_budget = watchdog; wd_diag = diag; wd_last = 0;
+    { ctxs; statuses; runnable; srng = Rng.split root; live = n; min_other = 0;
+      pick_min2 = max_int; wd_budget = Option.value watchdog ~default:max_int;
+      wd_diag = diag; wd_last = 0;
       strat; explore; recd = record; choice_idx = 0 }
   in
+  for i = 0 to n - 1 do
+    r_set s i
+  done;
   Array.iter (fun c -> c.sched <- Some s) ctxs;
   let rec loop () =
     if s.live > 0 then begin
       let i = pick s in
       assert (i >= 0);
       let t = ctxs.(i) in
-      (match s.wd_budget with
-       | Some budget when t.clock - s.wd_last > budget ->
-         Array.iter (fun c -> c.sched <- None) ctxs;
-         raise (Watchdog (diagnose s t.clock))
-       | _ -> ());
-      s.min_other <- (if s.explore then min_int else min_other_clock s i);
+      if t.clock - s.wd_last > s.wd_budget then begin
+        Array.iter (fun c -> c.sched <- None) ctxs;
+        raise (Watchdog (diagnose s t.clock))
+      end;
+      s.min_other <- (if s.explore then min_int else s.pick_min2);
       let slice_start = t.clock in
       (match statuses.(i) with
        | Not_started f ->
          statuses.(i) <- Running;
+         r_clear s i;
          Effect.Deep.match_with
            (fun () ->
              f t;
@@ -545,6 +627,7 @@ let run ?(seed = 0) ?(strategy = Min_clock) ?record ?faults ?watchdog ?diag ?tra
            () (handler s t)
        | Ready k ->
          statuses.(i) <- Running;
+         r_clear s i;
          Effect.Deep.continue k ()
        | Running | Finished -> assert false);
       (match sink with
@@ -552,11 +635,6 @@ let run ?(seed = 0) ?(strategy = Min_clock) ?record ?faults ?watchdog ?diag ?tra
        | Some sk ->
          if t.clock > slice_start then
            Obs.Tracer.span sk ~tid:i ~name:"run" ~cat:"sched" slice_start t.clock);
-      (* A thread left in [Running] state yielded via an unhandled path;
-         that cannot happen because [Yield] always sets [Ready]. *)
-      (match statuses.(i) with
-       | Running -> assert false
-       | Not_started _ | Ready _ | Finished -> ());
       loop ()
     end
   in

@@ -83,8 +83,14 @@ val boot_tid : int
 (** Reserved thread id of boot contexts (larger than any runnable tid). *)
 
 val max_threads : int
-(** Maximum number of simulated threads ([61]; sharer sets are bitmasks in
-    a 63-bit int, with one bit reserved for boot contexts). *)
+(** Maximum number of simulated threads ([256]; sharer sets in [Simmem]
+    are multi-word bitmasks sized to each heap's configured capacity).
+    Exploring strategies and recording still encode runnable sets in a
+    single word and accept at most {!mask_threads} threads. *)
+
+val mask_threads : int
+(** Threads a single 63-bit bitmask can describe ([61], one bit reserved
+    for boot contexts) — the ceiling for explore/recorder features. *)
 
 (** Scheduling strategies for systematic schedule exploration (see
     {!Explore} in [lib/explore]). The default, {!Min_clock}, always resumes
@@ -307,3 +313,10 @@ module Backoff : sig
       the same sequence, which is what keeps backoff byte-identical
       across [--jobs] under the sweep runner. *)
 end
+
+val yield_count : int ref
+(** Cumulative count of scheduler yields (context switches) performed by
+    every run in this domain. Pure wall-side diagnostic for performance
+    work: zero it, run a cell, read it back to see how many effect
+    switches the schedule mandated (docs/PERFORMANCE.md quotes it).
+    Untouched by virtual time and never read by the simulator itself. *)

@@ -68,7 +68,7 @@ let op_of_code = function
   | 3 -> Op_malloc
   | _ -> Op_free
 
-let no_writer = '\255'
+let no_writer = -1
 
 type access =
   | Read of { addr : int; value : int }
@@ -91,28 +91,54 @@ let pp_access ppf = function
   | Free { base; words } -> Format.fprintf ppf "free   %#x (%d words)" base words
 
 (* One thread's FIFO store buffer (active only under a buffered
-   {!Sim.Memmodel}): entries are (addr, value) in issue order. [sb_reg]
-   remembers which [Sim.tctx] currently has our drain hook installed —
-   contexts are recreated per [Sim.run], so a stale registration (physical
-   inequality) means the hook must be installed on the new context. *)
+   {!Sim.Memmodel}): a fixed ring of (addr, value) pairs in two
+   preallocated int arrays, filled lazily on first buffered store —
+   entries in issue order, [sb_head] the oldest, [sb_len] the count (the
+   write path drains one entry before pushing at capacity, so
+   [sb_len <= depth] always). [sb_reg] remembers which [Sim.tctx]
+   currently has our drain hook installed — contexts are recreated per
+   [Sim.run], so a stale registration (physical inequality) means the
+   hook must be installed on the new context. *)
 type sbuf = {
-  sb_q : (int * int) Queue.t;
+  mutable sb_addr : int array;
+  mutable sb_val : int array;
+  mutable sb_head : int;
+  mutable sb_len : int;
   mutable sb_reg : Sim.tctx option;
 }
+
+(* Sharer sets are per-line bitmasks over [cap + 1] bit indices: bit [tid]
+   for runnable threads below the heap's thread capacity [cap], bit [cap]
+   for boot contexts. With the default capacity (61, one word) this is
+   exactly the historical one-word layout; larger capacities spread each
+   line over [sw] consecutive words (62 bits per word, line-major). *)
+let sh_bits = 62
 
 type t = {
   cost : cost_model;
   model : Sim.Memmodel.t;
+  cap : int; (* thread capacity: distinct non-boot tids the sharer sets track *)
+  sw : int; (* sharer words per line *)
   sbufs : sbuf array; (* indexed by tid; slot [Sim.boot_tid] stays empty *)
   mutable tap : (access_event -> unit) option;
+  (* The one observability test hot paths make: set when any per-access
+     bookkeeping (tap, last-writer journal) is installed, so the
+     no-observer configuration pays a single predictable branch per
+     access and allocates nothing. Recomputed by the setters. *)
+  mutable obs_on : bool;
   mutable values : int array;
   mutable versions : int array;
   mutable state : Bytes.t;
-  mutable sharers : int array; (* per line: bitmask of caching threads *)
+  mutable sharers : int array; (* per line: [sw] words of caching-thread bits *)
   mutable line_busy : int array; (* per line: virtual time its current transfer ends *)
   mutable extent : int; (* first never-used address (bump pointer) *)
-  blocks : (int, int) Hashtbl.t; (* base -> size, live blocks *)
-  free_lists : (int, int list ref) Hashtbl.t; (* size -> bases *)
+  mutable block_words : int array; (* per base address: live-block size, 0 = none *)
+  mutable fl_next : int array; (* per base address: next free block of same size, 0 = end *)
+  mutable fl_head : int array; (* per size: base of newest freed block, 0 = none *)
+  (* Scratch cell for {!Tx_plane.read_ver}: the value read, valid when the
+     returned version is >= 0. Lets the transactional read path return an
+     unboxed int instead of [Some (v, ver)]. *)
+  mutable txr_val : int;
   (* Counts live in the metrics registry; [stats] reads the handles back,
      so per-heap numbers stay exact while a parent registry (if any)
      accumulates fleet-wide totals. *)
@@ -130,10 +156,11 @@ type t = {
   mutable prof : Obs.Profiler.t option;
   (* Last-writer journal, the aggressor side of conflict witnesses: per
      word, which thread's committed store bumped the version last, what
-     kind of store it was and at what clock. Off by default; capture is a
-     handful of array stores, zero virtual cycles. *)
+     kind of store it was and at what clock. Off by default; the arrays
+     are allocated on first enable, and capture is a handful of array
+     stores, zero virtual cycles. *)
   mutable wr_on : bool;
-  mutable wr_tid : Bytes.t;
+  mutable wr_tid : int array;
   mutable wr_kind : Bytes.t;
   mutable wr_clock : int array;
   mutable fors : Obs.Forensics.t option;
@@ -155,24 +182,36 @@ type stats = {
 }
 
 let initial_words = 1 lsl 12
+let default_cap = 61
 
-let create ?(costs = default_costs) ?(model = Sim.Memmodel.sc) ?metrics () =
+let create ?(costs = default_costs) ?(model = Sim.Memmodel.sc) ?metrics
+    ?(threads = default_cap) ?(initial_words = initial_words) () =
+  if threads < 1 || threads > Sim.max_threads then
+    invalid_arg "Simmem.create: threads out of range";
+  let cap = max default_cap threads in
+  let sw = (cap + 1 + sh_bits - 1) / sh_bits in
+  let initial_words = max 64 initial_words in
   let mreg = Obs.Metrics.create ?parent:metrics () in
   {
     cost = costs;
     model;
+    cap;
+    sw;
     sbufs =
       Array.init (Sim.max_threads + 1) (fun _ ->
-          { sb_q = Queue.create (); sb_reg = None });
+          { sb_addr = [||]; sb_val = [||]; sb_head = 0; sb_len = 0; sb_reg = None });
     tap = None;
+    obs_on = false;
     values = Array.make initial_words 0;
     versions = Array.make initial_words 0;
     state = Bytes.make initial_words (Char.chr st_never);
-    sharers = Array.make ((initial_words lsr line_shift) + 1) 0;
+    sharers = Array.make ((((initial_words lsr line_shift) + 1) * sw)) 0;
     line_busy = Array.make ((initial_words lsr line_shift) + 1) 0;
     extent = 8; (* keep address 0 (null) and the first line unusable *)
-    blocks = Hashtbl.create 256;
-    free_lists = Hashtbl.create 16;
+    block_words = Array.make initial_words 0;
+    fl_next = Array.make initial_words 0;
+    fl_head = Array.make 64 0;
+    txr_val = 0;
     mreg;
     c_reads = Obs.Metrics.counter ~per_thread:true mreg "mem.reads";
     c_read_misses = Obs.Metrics.counter ~per_thread:true mreg "mem.read_misses";
@@ -186,9 +225,9 @@ let create ?(costs = default_costs) ?(model = Sim.Memmodel.sc) ?metrics () =
     h_queue_wait = Obs.Metrics.hist mreg "mem.queue_wait";
     prof = None;
     wr_on = false;
-    wr_tid = Bytes.make initial_words no_writer;
-    wr_kind = Bytes.make initial_words '\000';
-    wr_clock = Array.make initial_words 0;
+    wr_tid = [||];
+    wr_kind = Bytes.empty;
+    wr_clock = [||];
     fors = None;
   }
 
@@ -213,9 +252,26 @@ let costs t = t.cost
 let model t = t.model
 let null = 0
 
-let set_tap t f = t.tap <- f
+let refresh_obs t =
+  t.obs_on <- (match t.tap with Some _ -> true | None -> t.wr_on)
+
+let set_tap t f =
+  t.tap <- f;
+  refresh_obs t
+
 let set_profiler t p = t.prof <- p
 let profiler t = t.prof
+
+(* Bit index of [tid] in a sharer set: runnable tids map to themselves,
+   boot contexts to the reserved top index. A runnable tid at or beyond
+   the heap's capacity has no bit to occupy — the heap must be created
+   with [~threads] covering the run. *)
+let bindex t tid =
+  if tid < t.cap then tid
+  else if tid = Sim.boot_tid then t.cap
+  else
+    invalid_arg
+      (Printf.sprintf "Simmem: thread %d exceeds this heap's capacity %d" tid t.cap)
 
 let label t ~name ~base ~words =
   (match t.prof with
@@ -231,29 +287,52 @@ let label t ~name ~base ~words =
    no [tick]/[charge], no RNG — an instrumented run is cycle-for-cycle
    identical to a bare one. *)
 
-let track_writers t = t.wr_on <- true
+(* The journal arrays are sized with the heap but only once the journal is
+   enabled — a plain run carries no per-word observability footprint. *)
+let wr_ensure t =
+  let n = Array.length t.values in
+  if Array.length t.wr_tid < n then begin
+    let wr_tid = Array.make n no_writer in
+    Array.blit t.wr_tid 0 wr_tid 0 (Array.length t.wr_tid);
+    t.wr_tid <- wr_tid;
+    let wr_kind = Bytes.make n '\000' in
+    Bytes.blit t.wr_kind 0 wr_kind 0 (Bytes.length t.wr_kind);
+    t.wr_kind <- wr_kind;
+    let wr_clock = Array.make n 0 in
+    Array.blit t.wr_clock 0 wr_clock 0 (Array.length t.wr_clock);
+    t.wr_clock <- wr_clock
+  end
+
+let track_writers t =
+  t.wr_on <- true;
+  wr_ensure t;
+  refresh_obs t
 
 let set_forensics t f =
   t.fors <- f;
-  if f <> None then t.wr_on <- true
+  if f <> None then begin
+    t.wr_on <- true;
+    wr_ensure t
+  end;
+  refresh_obs t
 
 let forensics t = t.fors
 
 let note_write t ctx addr op =
   if t.wr_on then begin
-    Bytes.unsafe_set t.wr_tid addr (Char.unsafe_chr (Sim.tid ctx land 0xff));
+    Array.unsafe_set t.wr_tid addr (Sim.tid ctx);
     Bytes.unsafe_set t.wr_kind addr (Char.unsafe_chr (op_code op));
     t.wr_clock.(addr) <- Sim.clock ctx
   end
 
 let last_writer t addr =
-  if (not t.wr_on) || addr < 0 || addr >= Bytes.length t.wr_tid then None
+  if (not t.wr_on) || addr < 0 || addr >= Array.length t.wr_tid then None
   else
-    let c = Bytes.unsafe_get t.wr_tid addr in
-    if c = no_writer then None
+    let tid = Array.unsafe_get t.wr_tid addr in
+    if tid = no_writer then None
     else
       Some
-        ( Char.code c,
+        ( tid,
           t.wr_clock.(addr),
           op_of_code (Char.code (Bytes.unsafe_get t.wr_kind addr)) )
 
@@ -338,21 +417,21 @@ let grow t needed =
   Bytes.blit t.state 0 state 0 cur;
   t.state <- state;
   let nlines = (!size lsr line_shift) + 1 in
-  let sharers = Array.make nlines 0 in
+  (* Sharer words are line-major with a fixed [sw] per line, so the old
+     prefix blits flat. *)
+  let sharers = Array.make (nlines * t.sw) 0 in
   Array.blit t.sharers 0 sharers 0 (Array.length t.sharers);
   t.sharers <- sharers;
   let line_busy = Array.make nlines 0 in
   Array.blit t.line_busy 0 line_busy 0 (Array.length t.line_busy);
   t.line_busy <- line_busy;
-  let wr_tid = Bytes.make !size no_writer in
-  Bytes.blit t.wr_tid 0 wr_tid 0 cur;
-  t.wr_tid <- wr_tid;
-  let wr_kind = Bytes.make !size '\000' in
-  Bytes.blit t.wr_kind 0 wr_kind 0 cur;
-  t.wr_kind <- wr_kind;
-  let wr_clock = Array.make !size 0 in
-  Array.blit t.wr_clock 0 wr_clock 0 cur;
-  t.wr_clock <- wr_clock
+  let block_words = Array.make !size 0 in
+  Array.blit t.block_words 0 block_words 0 cur;
+  t.block_words <- block_words;
+  let fl_next = Array.make !size 0 in
+  Array.blit t.fl_next 0 fl_next 0 cur;
+  t.fl_next <- fl_next;
+  if t.wr_on then wr_ensure t
 
 let word_state t addr = Char.code (Bytes.unsafe_get t.state addr)
 
@@ -362,18 +441,6 @@ let check_live t addr =
     let s = word_state t addr in
     if s <> st_live then
       raise (Fault (if s = st_freed then Use_after_free addr else Unallocated addr))
-
-(* Coherence cost: an MSI approximation. Reading joins the sharer set;
-   writing collapses it to the writer alone. A miss occupies the line for
-   the duration of the transfer ([line_busy]), so contended lines serialize
-   their misses — the ping-pong bottleneck that caps the scalability of
-   hot-spot structures like queue head/tail words. [now] is the accessing
-   thread's clock; the returned cost includes any queuing delay ([wait]). *)
-let miss_cost t line ~now ~base =
-  let start = max now t.line_busy.(line) in
-  let finish = start + base in
-  t.line_busy.(line) <- finish;
-  (finish - now, start - now)
 
 let popcount x =
   let c = ref 0 and x = ref x in
@@ -386,8 +453,7 @@ let popcount x =
 (* Observe one coherence transfer: contention profile, queue-wait
    histogram, and (when a tracer is attached) a miss instant on the
    requesting thread's track. Zero virtual cycles. *)
-let observe_miss t ctx ~kind ~addr ~line ~old_sharers ~cost ~wait =
-  let sharers = popcount old_sharers in
+let observe_miss t ctx ~kind ~addr ~line ~sharers ~cost ~wait =
   (match t.prof with
    | None -> ()
    | Some p -> Obs.Profiler.record_transfer p ~line ~wait ~cost ~sharers);
@@ -405,34 +471,93 @@ let observe_miss t ctx ~kind ~addr ~line ~old_sharers ~cost ~wait =
         ]
       (Sim.clock ctx)
 
+(* Coherence miss: an MSI approximation. A miss occupies the line for the
+   duration of the transfer ([line_busy]), so contended lines serialize
+   their misses — the ping-pong bottleneck that caps the scalability of
+   hot-spot structures like queue head/tail words. [sharers] is the
+   pre-miss sharer count (for the contention profile); the returned cost
+   includes any queuing delay. *)
+let miss_cost t ctx ~kind ~addr ~line ~sharers ~base =
+  let now = Sim.clock ctx in
+  let start = max now t.line_busy.(line) in
+  let finish = start + base in
+  t.line_busy.(line) <- finish;
+  observe_miss t ctx ~kind ~addr ~line ~sharers ~cost:(finish - now)
+    ~wait:(start - now);
+  finish - now
+
 let read_cost t ctx addr =
   let tid = Sim.tid ctx in
   let line = addr lsr line_shift in
-  let bit = 1 lsl tid in
-  let s = t.sharers.(line) in
-  Obs.Metrics.incr ~tid t.c_reads;
-  if s land bit <> 0 then t.cost.read_hit
+  let b = bindex t tid in
+  Obs.Metrics.incr_t t.c_reads tid;
+  if t.sw = 1 then begin
+    (* Paper-scale heaps: the whole sharer set is one word, exactly the
+       historical layout. *)
+    let bit = 1 lsl b in
+    let s = t.sharers.(line) in
+    if s land bit <> 0 then t.cost.read_hit
+    else begin
+      t.sharers.(line) <- s lor bit;
+      Obs.Metrics.incr_t t.c_read_misses tid;
+      miss_cost t ctx ~kind:"miss.read" ~addr ~line ~sharers:(popcount s)
+        ~base:t.cost.read_miss
+    end
+  end
   else begin
-    t.sharers.(line) <- s lor bit;
-    Obs.Metrics.incr ~tid t.c_read_misses;
-    let cost, wait = miss_cost t line ~now:(Sim.clock ctx) ~base:t.cost.read_miss in
-    observe_miss t ctx ~kind:"miss.read" ~addr ~line ~old_sharers:s ~cost ~wait;
-    cost
+    let w0 = line * t.sw in
+    let wi = w0 + (b / sh_bits) and bit = 1 lsl (b mod sh_bits) in
+    let s = t.sharers.(wi) in
+    if s land bit <> 0 then t.cost.read_hit
+    else begin
+      t.sharers.(wi) <- s lor bit;
+      Obs.Metrics.incr_t t.c_read_misses tid;
+      let n = ref 0 in
+      for k = w0 to w0 + t.sw - 1 do
+        if k = wi then n := !n + popcount s else n := !n + popcount t.sharers.(k)
+      done;
+      miss_cost t ctx ~kind:"miss.read" ~addr ~line ~sharers:!n
+        ~base:t.cost.read_miss
+    end
   end
 
 let write_cost t ctx addr =
   let tid = Sim.tid ctx in
   let line = addr lsr line_shift in
-  let bit = 1 lsl tid in
-  let s = t.sharers.(line) in
-  Obs.Metrics.incr ~tid t.c_writes;
-  if s = bit then t.cost.write_hit
+  let b = bindex t tid in
+  Obs.Metrics.incr_t t.c_writes tid;
+  if t.sw = 1 then begin
+    let bit = 1 lsl b in
+    let s = t.sharers.(line) in
+    if s = bit then t.cost.write_hit
+    else begin
+      t.sharers.(line) <- bit;
+      Obs.Metrics.incr_t t.c_write_misses tid;
+      miss_cost t ctx ~kind:"miss.write" ~addr ~line ~sharers:(popcount s)
+        ~base:t.cost.write_miss
+    end
+  end
   else begin
-    t.sharers.(line) <- bit;
-    Obs.Metrics.incr ~tid t.c_write_misses;
-    let cost, wait = miss_cost t line ~now:(Sim.clock ctx) ~base:t.cost.write_miss in
-    observe_miss t ctx ~kind:"miss.write" ~addr ~line ~old_sharers:s ~cost ~wait;
-    cost
+    let w0 = line * t.sw in
+    let wi = w0 + (b / sh_bits) and bit = 1 lsl (b mod sh_bits) in
+    (* Exclusive iff this thread's bit is the only bit in any word. *)
+    let exclusive = ref (t.sharers.(wi) = bit) in
+    if !exclusive then
+      for k = w0 to w0 + t.sw - 1 do
+        if k <> wi && t.sharers.(k) <> 0 then exclusive := false
+      done;
+    if !exclusive then t.cost.write_hit
+    else begin
+      let n = ref 0 in
+      for k = w0 to w0 + t.sw - 1 do
+        n := !n + popcount t.sharers.(k);
+        t.sharers.(k) <- 0
+      done;
+      t.sharers.(wi) <- bit;
+      Obs.Metrics.incr_t t.c_write_misses tid;
+      miss_cost t ctx ~kind:"miss.write" ~addr ~line ~sharers:!n
+        ~base:t.cost.write_miss
+    end
   end
 
 (* ---- Store buffers (weak memory plane) -------------------------------
@@ -449,6 +574,25 @@ let write_cost t ctx addr =
 let buffering t ctx = t.model.Sim.Memmodel.buffered && Sim.tid ctx <> Sim.boot_tid
 let sbuf_of t ctx = t.sbufs.(Sim.tid ctx)
 
+(* Ring primitives: the capacity equals the model's buffer depth (the
+   write path drains before pushing at capacity, so it never overflows). *)
+let sb_ensure t sb =
+  if Array.length sb.sb_addr = 0 then begin
+    let cap = max 1 t.model.Sim.Memmodel.sb_depth in
+    sb.sb_addr <- Array.make cap 0;
+    sb.sb_val <- Array.make cap 0
+  end
+
+let sb_pop sb =
+  sb.sb_head <- (sb.sb_head + 1) mod Array.length sb.sb_addr;
+  sb.sb_len <- sb.sb_len - 1
+
+let sb_push sb addr v =
+  let i = (sb.sb_head + sb.sb_len) mod Array.length sb.sb_addr in
+  sb.sb_addr.(i) <- addr;
+  sb.sb_val.(i) <- v;
+  sb.sb_len <- sb.sb_len + 1
+
 (* Make the oldest buffered store visible. The write instruction already
    executed at issue time, so an in-fiber drain that finds its target word
    freed is precisely the delayed-visibility use-after-free the fence
@@ -457,30 +601,32 @@ let sbuf_of t ctx = t.sbufs.(Sim.tid ctx)
    The entry is popped only after the cost is paid: a kill landing inside
    the in-fiber tick leaves it queued for the terminal flush. *)
 let drain_one t ctx ~terminal sb =
-  match Queue.peek_opt sb.sb_q with
-  | None -> ()
-  | Some (addr, v) ->
+  if sb.sb_len > 0 then begin
+    let addr = sb.sb_addr.(sb.sb_head) and v = sb.sb_val.(sb.sb_head) in
     let dead () = addr <= 0 || addr >= t.extent || word_state t addr <> st_live in
     if dead () then begin
-      if terminal then ignore (Queue.pop sb.sb_q) else check_live t addr
+      if terminal then sb_pop sb else check_live t addr
     end
     else begin
       let cost = write_cost t ctx addr in
       if terminal then Sim.charge ctx cost else Sim.tick ctx cost;
       if dead () then begin
-        if terminal then ignore (Queue.pop sb.sb_q) else check_live t addr
+        if terminal then sb_pop sb else check_live t addr
       end
       else begin
-        ignore (Queue.pop sb.sb_q);
+        sb_pop sb;
         t.values.(addr) <- v;
         t.versions.(addr) <- t.versions.(addr) + 1;
-        note_write t ctx addr Op_store;
-        emit t ctx (Write { addr; value = v })
+        if t.obs_on then begin
+          note_write t ctx addr Op_store;
+          emit t ctx (Write { addr; value = v })
+        end
       end
     end
+  end
 
 let drain_all t ctx ~terminal sb =
-  while not (Queue.is_empty sb.sb_q) do
+  while sb.sb_len > 0 do
     drain_one t ctx ~terminal sb
   done
 
@@ -501,35 +647,45 @@ let ensure_drain_hook t ctx sb =
 let drain t ctx =
   if buffering t ctx then drain_all t ctx ~terminal:false (sbuf_of t ctx)
 
-let pending_stores t ctx = Queue.length (sbuf_of t ctx).sb_q
+let pending_stores t ctx = (sbuf_of t ctx).sb_len
 
-(* The newest own-buffer entry for [addr], when the model forwards. *)
-let buffered_value t ctx addr =
-  if buffering t ctx && t.model.Sim.Memmodel.forward_loads then begin
-    let hit = ref None in
-    Queue.iter (fun (a, v) -> if a = addr then hit := Some v) (sbuf_of t ctx).sb_q;
-    !hit
-  end
-  else None
+(* The slot of the newest own-buffer entry for [addr] (the ring is
+   searched newest-first), or -1. Only consulted when the model forwards
+   loads, so the common-model read path never touches it. *)
+let sb_find sb addr =
+  let cap = Array.length sb.sb_addr in
+  let found = ref (-1) and k = ref (sb.sb_len - 1) in
+  while !found < 0 && !k >= 0 do
+    let i = (sb.sb_head + !k) mod cap in
+    if sb.sb_addr.(i) = addr then found := i else decr k
+  done;
+  !found
+
+let forwarding t ctx =
+  t.model.Sim.Memmodel.forward_loads && buffering t ctx
+  && (sbuf_of t ctx).sb_len > 0
 
 let read t ctx addr =
-  match buffered_value t ctx addr with
-  | Some v ->
+  let fwd = if forwarding t ctx then sb_find (sbuf_of t ctx) addr else -1 in
+  if fwd >= 0 then begin
     (* Store-to-load forwarding: served from the own buffer, no coherence
        traffic, no miss possible. *)
+    let v = (sbuf_of t ctx).sb_val.(fwd) in
     check_live t addr;
-    Obs.Metrics.incr ~tid:(Sim.tid ctx) t.c_reads;
+    Obs.Metrics.incr_t t.c_reads (Sim.tid ctx);
     Sim.tick ctx t.cost.read_hit;
     check_live t addr;
-    emit t ctx (Read { addr; value = v });
+    if t.obs_on then emit t ctx (Read { addr; value = v });
     v
-  | None ->
+  end
+  else begin
     check_live t addr;
     Sim.tick ctx (read_cost t ctx addr);
     check_live t addr;
     let v = t.values.(addr) in
-    emit t ctx (Read { addr; value = v });
+    if t.obs_on then emit t ctx (Read { addr; value = v });
     v
+  end
 
 (* The unbuffered store path — the only one under [sc], and the
    visibility point shared by drains and fenced writes. *)
@@ -539,17 +695,20 @@ let write_through t ctx addr v =
   check_live t addr;
   t.values.(addr) <- v;
   t.versions.(addr) <- t.versions.(addr) + 1;
-  note_write t ctx addr Op_store;
-  emit t ctx (Write { addr; value = v })
+  if t.obs_on then begin
+    note_write t ctx addr Op_store;
+    emit t ctx (Write { addr; value = v })
+  end
 
 let write t ctx addr v =
   if buffering t ctx then begin
     check_live t addr;
     let sb = sbuf_of t ctx in
+    sb_ensure t sb;
     ensure_drain_hook t ctx sb;
-    if Queue.length sb.sb_q >= t.model.Sim.Memmodel.sb_depth then
+    if sb.sb_len >= t.model.Sim.Memmodel.sb_depth then
       drain_one t ctx ~terminal:false sb;
-    Queue.add (addr, v) sb.sb_q;
+    sb_push sb addr v;
     (* The issue itself is a cheap local step; the write's real coherence
        cost is paid when it drains. *)
     Sim.tick ctx t.cost.write_hit
@@ -563,16 +722,16 @@ let fenced_write t ctx addr v =
 let cas t ctx addr ~expected ~desired =
   drain t ctx;
   check_live t addr;
-  Obs.Metrics.incr t.c_atomics;
+  Obs.Metrics.incr1 t.c_atomics;
   Sim.tick ctx (write_cost t ctx addr + t.cost.cas_extra);
   check_live t addr;
   let success = t.values.(addr) = expected in
   if success then begin
     t.values.(addr) <- desired;
     t.versions.(addr) <- t.versions.(addr) + 1;
-    note_write t ctx addr Op_atomic
+    if t.obs_on then note_write t ctx addr Op_atomic
   end
-  else if t.fors <> None then
+  else if (match t.fors with Some _ -> true | None -> false) then
     (* A failed CAS is a coherence-plane conflict in its own right: some
        other thread's committed store got between this thread's read of
        [expected] and its attempt to install [desired]. Non-transactional
@@ -581,20 +740,20 @@ let cas t ctx addr ~expected ~desired =
     record_witness t ctx
       (conflict_witness t ctx ~addr ~victim_wrote:true ~in_read_set:false
          ~in_write_set:true ~site:"mem.cas" ());
-  emit t ctx (Cas { addr; expected; desired; success });
+  if t.obs_on then emit t ctx (Cas { addr; expected; desired; success });
   success
 
 let fetch_add t ctx addr d =
   drain t ctx;
   check_live t addr;
-  Obs.Metrics.incr t.c_atomics;
+  Obs.Metrics.incr1 t.c_atomics;
   Sim.tick ctx (write_cost t ctx addr + t.cost.cas_extra);
   check_live t addr;
   let old = t.values.(addr) in
   t.values.(addr) <- old + d;
   t.versions.(addr) <- t.versions.(addr) + 1;
-  note_write t ctx addr Op_atomic;
-  emit t ctx (Fetch_add { addr; delta = d; old });
+  if t.obs_on then note_write t ctx addr Op_atomic;
+  if t.obs_on then emit t ctx (Fetch_add { addr; delta = d; old });
   old
 
 let version t addr = t.versions.(addr)
@@ -606,14 +765,39 @@ let peek t addr =
 let is_allocated t addr =
   addr > 0 && addr < t.extent && word_state t addr = st_live
 
-let block_size t addr = Hashtbl.find_opt t.blocks addr
+let block_size t addr =
+  if addr <= 0 || addr >= Array.length t.block_words then None
+  else
+    let n = t.block_words.(addr) in
+    if n = 0 then None else Some n
+
+(* Free lists are LIFO per exact size, threaded through the heap's own
+   base addresses ([fl_next]) with one head per size class ([fl_head],
+   grown on demand) — the same pop-newest placement policy as the
+   Hashtbl-of-lists this replaces, so allocation addresses (and therefore
+   every downstream schedule) are unchanged. *)
+let fl_slot t size =
+  if size >= Array.length t.fl_head then begin
+    let len = ref (Array.length t.fl_head) in
+    while size >= !len do
+      len := !len * 2
+    done;
+    let fl_head = Array.make !len 0 in
+    Array.blit t.fl_head 0 fl_head 0 (Array.length t.fl_head);
+    t.fl_head <- fl_head
+  end;
+  size
 
 let take_free t size =
-  match Hashtbl.find_opt t.free_lists size with
-  | Some ({ contents = base :: rest } as cell) ->
-    cell := rest;
-    Some base
-  | Some { contents = [] } | None -> None
+  if size >= Array.length t.fl_head then 0
+  else begin
+    let base = t.fl_head.(size) in
+    if base <> 0 then begin
+      t.fl_head.(size) <- t.fl_next.(base);
+      t.fl_next.(base) <- 0
+    end;
+    base
+  end
 
 let malloc t ctx n =
   if n < 1 then invalid_arg "Simmem.malloc: size must be >= 1";
@@ -622,21 +806,25 @@ let malloc t ctx n =
   drain t ctx;
   Sim.tick ctx (t.cost.malloc_base + (n * t.cost.malloc_per_word));
   let base =
-    match take_free t n with
-    | Some base -> base
-    | None ->
+    let base = take_free t n in
+    if base <> 0 then base
+    else begin
       let base = t.extent in
       if base + n > Array.length t.values then grow t (base + n);
       t.extent <- base + n;
       base
+    end
   in
   for a = base to base + n - 1 do
     Bytes.unsafe_set t.state a (Char.chr st_live);
     t.values.(a) <- 0;
-    t.versions.(a) <- t.versions.(a) + 1;
-    note_write t ctx a Op_malloc
+    t.versions.(a) <- t.versions.(a) + 1
   done;
-  Hashtbl.replace t.blocks base n;
+  t.block_words.(base) <- n;
+  if t.obs_on then
+    for a = base to base + n - 1 do
+      note_write t ctx a Op_malloc
+    done;
   (match t.fors with
    | None -> ()
    | Some f ->
@@ -644,51 +832,61 @@ let malloc t ctx n =
        ~clock:(Sim.clock ctx));
   Obs.Metrics.add t.g_live_words n;
   Obs.Metrics.add t.g_live_blocks 1;
-  Obs.Metrics.incr t.c_allocs;
-  emit t ctx (Malloc { base; words = n });
+  Obs.Metrics.incr1 t.c_allocs;
+  if t.obs_on then emit t ctx (Malloc { base; words = n });
   base
 
 let free t ctx base =
   drain t ctx;
   Sim.tick ctx t.cost.free_cost;
-  match Hashtbl.find_opt t.blocks base with
-  | None ->
+  let n = if base <= 0 || base >= Array.length t.block_words then 0 else t.block_words.(base) in
+  if n = 0 then begin
     if base > 0 && base < t.extent && word_state t base = st_freed then
       raise (Fault (Double_free base))
     else raise (Fault (Invalid_free base))
-  | Some n ->
-    Hashtbl.remove t.blocks base;
+  end
+  else begin
+    t.block_words.(base) <- 0;
     for a = base to base + n - 1 do
       Bytes.unsafe_set t.state a (Char.chr st_freed);
-      t.versions.(a) <- t.versions.(a) + 1;
-      note_write t ctx a Op_free
+      t.versions.(a) <- t.versions.(a) + 1
     done;
-    let cell =
-      match Hashtbl.find_opt t.free_lists n with
-      | Some cell -> cell
-      | None ->
-        let cell = ref [] in
-        Hashtbl.add t.free_lists n cell;
-        cell
-    in
-    cell := base :: !cell;
+    if t.obs_on then
+      for a = base to base + n - 1 do
+        note_write t ctx a Op_free
+      done;
+    let slot = fl_slot t n in
+    t.fl_next.(base) <- t.fl_head.(slot);
+    t.fl_head.(slot) <- base;
     Obs.Metrics.add t.g_live_words (-n);
     Obs.Metrics.add t.g_live_blocks (-1);
-    Obs.Metrics.incr t.c_frees;
-    emit t ctx (Free { base; words = n })
+    Obs.Metrics.incr1 t.c_frees;
+    if t.obs_on then emit t ctx (Free { base; words = n })
+  end
 
 module Tx_plane = struct
-  let read t ctx addr =
-    if addr <= 0 || addr >= t.extent || word_state t addr <> st_live then None
+  (* The unboxed transactional read: returns the word's version (>= 0)
+     with the value parked in [t.txr_val], or -1 if the word is dead
+     before or after the charged read. The transaction layers read this
+     way so the hot path builds no [Some (v, ver)] pair. *)
+  let read_ver t ctx addr =
+    if addr <= 0 || addr >= t.extent || word_state t addr <> st_live then -1
     else begin
       Sim.tick ctx (read_cost t ctx addr);
-      if word_state t addr <> st_live then None
+      if word_state t addr <> st_live then -1
       else begin
         let v = t.values.(addr) in
-        emit t ctx (Read { addr; value = v });
-        Some (v, t.versions.(addr))
+        t.txr_val <- v;
+        if t.obs_on then emit t ctx (Read { addr; value = v });
+        t.versions.(addr)
       end
     end
+
+  let read_value t = t.txr_val
+
+  let read t ctx addr =
+    let ver = read_ver t ctx addr in
+    if ver < 0 then None else Some (t.txr_val, ver)
 
   let validate t addr v = t.versions.(addr) = v
 
@@ -698,8 +896,10 @@ module Tx_plane = struct
       Sim.charge ctx (write_cost t ctx addr);
       t.values.(addr) <- v;
       t.versions.(addr) <- t.versions.(addr) + 1;
-      note_write t ctx addr Op_commit;
-      emit t ctx (Write { addr; value = v });
+      if t.obs_on then begin
+        note_write t ctx addr Op_commit;
+        emit t ctx (Write { addr; value = v })
+      end;
       true
     end
 end

@@ -67,10 +67,27 @@ type stats = {
 }
 
 val create :
-  ?costs:cost_model -> ?model:Sim.Memmodel.t -> ?metrics:Obs.Metrics.t -> unit -> t
+  ?costs:cost_model ->
+  ?model:Sim.Memmodel.t ->
+  ?metrics:Obs.Metrics.t ->
+  ?threads:int ->
+  ?initial_words:int ->
+  unit ->
+  t
 (** [metrics] chains this heap's metrics registry to a parent (e.g. the
     benchmark harness's fleet-wide aggregate); without it the heap still
     keeps a private registry, which is what {!stats} reads.
+
+    [threads] sizes the per-line sharer sets: the heap tracks coherence
+    for runnable thread ids below [max 61 threads] (plus boot contexts).
+    The default covers every paper-scale run in one word per line; scaled
+    experiments pass the simulated thread count and pay one extra word
+    per line per further 62 threads. An access by a runnable tid at or
+    beyond the capacity raises [Invalid_argument].
+
+    [initial_words] preallocates the heap arrays (default 4096 words);
+    the heap still grows on demand beyond it. Million-word experiments
+    reserve up front so growth never lands mid-measurement.
 
     [model] selects the memory-consistency variant (default
     {!Sim.Memmodel.sc}, the pre-weak-memory behavior). Under a buffered
@@ -264,10 +281,19 @@ val peek : t -> int -> int
 (** Access plane for the HTM implementation. Algorithms never use this
     directly; {!Htm} does. *)
 module Tx_plane : sig
+  val read_ver : t -> Sim.tctx -> int -> int
+  (** The unboxed transactional load: pays the normal load cost and
+      yields; returns the word's version ([>= 0]) with the value readable
+      via {!read_value}, or [-1] if the word is not allocated (the
+      transaction must abort: this is the sandboxing behaviour). *)
+
+  val read_value : t -> int
+  (** The value parked by the last successful {!read_ver} on this heap.
+      Only meaningful immediately after it, before any other access. *)
+
   val read : t -> Sim.tctx -> int -> (int * int) option
-  (** [(value, version)], paying the normal load cost and yielding; [None]
-      if the word is not allocated (the transaction must abort: this is the
-      sandboxing behaviour). *)
+  (** [(value, version)] — {!read_ver} boxed, for callers off the hot
+      path. *)
 
   val validate : t -> int -> int -> bool
   (** [validate t addr v] is true iff the word's version is still [v]. *)

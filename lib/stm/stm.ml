@@ -2,8 +2,8 @@
    the load-bearing implementation decisions are:
 
    - Lock words live in simulated memory and encode
-     [version lsl 7 lor (owner_tid + 1)]; 7 bits cover every tid
-     (Sim.max_threads = 61 runnable + the boot context). The version half
+     [version lsl 7 lor (owner_slot + 1)]; 7 bits cover every owner slot
+     (61 runnable threads + the boot context — see [slot_of]). The version half
      is only an early-abort hint — safety always rests on Simmem's own
      word versions, which every committed store (hardware, TLE, plain or
      STM) bumps. That is what makes this a correct hybrid: the hardware
@@ -90,10 +90,24 @@ type tx_event =
     }
   | Ev_steal of { ev_victim : int }
 
-(* One heartbeat word per possible tid, each on its own cache line so the
-   per-commit bump never false-shares with a neighbour's. *)
+(* One heartbeat word per possible owner slot, each on its own cache line
+   so the per-commit bump never false-shares with a neighbour's. *)
 let hb_stride = 8
 let n_tids = 64
+
+(* The lock-word owner field is 7 bits and the heartbeat region is one
+   line per owner, both sized for the historical 61-thread machine. Wider
+   simulations ({!Sim.max_threads} is 256) keep those layouts — and every
+   committed artifact whose heap addresses depend on them — by mapping
+   the boot context to slot 61 and rejecting runnable tids beyond 60:
+   the software path is a fallback for machines of classic width, not a
+   256-thread subject in its own right. *)
+let slot_limit = 61
+
+let slot_of tid =
+  if tid < slot_limit then tid
+  else if tid = Sim.boot_tid then slot_limit
+  else invalid_arg "Stm: software transactions support at most 61 threads"
 
 type t = {
   smem : Simmem.t;
@@ -121,6 +135,33 @@ type t = {
      budget exhaustion drives the stm->tle escalation hop. *)
   last_w : Obs.Forensics.witness option array;
   mutable tap : (tid:int -> clock:int -> tx_event -> unit) option;
+  (* One reusable transaction record per owner slot: [atomic] allocates
+     only on a thread's first transaction (or under nesting). *)
+  pool : tx option array;
+}
+
+and tx = {
+  s : t;
+  mutable ctx : Sim.tctx;
+  mutable busy : bool;
+  mutable attempt : int;
+  mutable rv : int;
+  mutable raddr : int array;
+  mutable rver : int array;
+  mutable nreads : int;
+  mutable waddr : int array;
+  mutable wval : int array;
+  mutable nwrites : int;
+  mutable frees : int array;
+  mutable nfrees : int;
+  (* commit scratch: acquired lock stripes and their pre-lock words, plus
+     the sorted deduplicated stripe list the lock phase walks *)
+  mutable laddr : int array;
+  mutable lold : int array;
+  mutable nlocks : int;
+  mutable saddr : int array;
+  mutable witness : Obs.Forensics.witness option;
+      (* set at the capture site of the conflict aborting this attempt *)
 }
 
 exception Aborted of abort_reason
@@ -160,6 +201,7 @@ let create ?(config = default_config) ?metrics mem =
     watch = Array.make n_tids None;
     last_w = Array.make n_tids None;
     tap = None;
+    pool = Array.make n_tids None;
   }
 
 let mem t = t.smem
@@ -167,7 +209,7 @@ let config t = t.cfg
 let metrics t = t.mreg
 let set_fence t addr = t.fence <- addr
 let set_tap t f = t.tap <- f
-let last_witness t ctx = t.last_w.(Sim.tid ctx)
+let last_witness t ctx = t.last_w.(slot_of (Sim.tid ctx))
 
 let emit t ctx ev =
   match t.tap with
@@ -211,32 +253,13 @@ let hb_addr t tid = t.hb + (tid * hb_stride)
 (* ------------------------------------------------------------------ *)
 (* Transactions.                                                       *)
 
-type tx = {
-  s : t;
-  ctx : Sim.tctx;
-  mutable attempt : int;
-  mutable rv : int;
-  mutable raddr : int array;
-  mutable rver : int array;
-  mutable nreads : int;
-  mutable waddr : int array;
-  mutable wval : int array;
-  mutable nwrites : int;
-  mutable frees : int list;
-  (* commit scratch: acquired lock stripes and their pre-lock words *)
-  mutable laddr : int array;
-  mutable lold : int array;
-  mutable nlocks : int;
-  mutable witness : Obs.Forensics.witness option;
-      (* set at the capture site of the conflict aborting this attempt *)
-}
-
 let attempt_number tx = tx.attempt
 
 let fresh_tx s ctx =
   {
     s;
     ctx;
+    busy = false;
     attempt = 0;
     rv = 0;
     raddr = Array.make 64 0;
@@ -245,19 +268,35 @@ let fresh_tx s ctx =
     waddr = Array.make 64 0;
     wval = Array.make 64 0;
     nwrites = 0;
-    frees = [];
+    frees = Array.make 8 0;
+    nfrees = 0;
     laddr = Array.make 64 0;
     lold = Array.make 64 0;
     nlocks = 0;
+    saddr = Array.make 64 0;
     witness = None;
   }
+
+(* Fetch the thread's pooled transaction, falling back to a fresh record
+   under nesting (the pooled one is busy running the outer body). *)
+let get_tx s ctx =
+  let slot = slot_of (Sim.tid ctx) in
+  match s.pool.(slot) with
+  | Some tx when not tx.busy ->
+    tx.ctx <- ctx;
+    tx
+  | Some _ -> fresh_tx s ctx
+  | None ->
+    let tx = fresh_tx s ctx in
+    s.pool.(slot) <- Some tx;
+    tx
 
 let reset_tx tx attempt =
   tx.attempt <- attempt;
   tx.nreads <- 0;
   tx.nwrites <- 0;
   tx.nlocks <- 0;
-  tx.frees <- [];
+  tx.nfrees <- 0;
   tx.witness <- None
 
 let grow a =
@@ -266,9 +305,11 @@ let grow a =
   Array.blit a 0 b 0 n;
   b
 
+let rec read_known tx addr i =
+  i < tx.nreads && (tx.raddr.(i) = addr || read_known tx addr (i + 1))
+
 let note_read tx addr ver =
-  let rec known i = i < tx.nreads && (tx.raddr.(i) = addr || known (i + 1)) in
-  if not (known 0) then begin
+  if not (read_known tx addr 0) then begin
     if tx.nreads = Array.length tx.raddr then begin
       tx.raddr <- grow tx.raddr;
       tx.rver <- grow tx.rver
@@ -278,35 +319,34 @@ let note_read tx addr ver =
     tx.nreads <- tx.nreads + 1
   end
 
-let find_buffered tx addr =
-  let rec go i =
-    if i < 0 then None else if tx.waddr.(i) = addr then Some tx.wval.(i) else go (i - 1)
-  in
-  go (tx.nwrites - 1)
+(* Newest matching write-buffer entry, or -1. *)
+let rec find_buffered_idx tx addr i =
+  if i < 0 then -1
+  else if tx.waddr.(i) = addr then i
+  else find_buffered_idx tx addr (i - 1)
 
 (* Opacity: like Htm, the whole read set is revalidated against Simmem's
    word versions on every access, so a doomed transaction never computes
    on a mixed snapshot — whoever overwrote us (hardware commit, TLE
-   section, plain store, another STM commit's write-back). *)
-let validate_reads tx =
-  let mem = tx.s.smem in
-  let ok = ref true in
-  for i = 0 to tx.nreads - 1 do
-    if not (Simmem.Tx_plane.validate mem tx.raddr.(i) tx.rver.(i)) then ok := false
-  done;
-  !ok
+   section, plain store, another STM commit's write-back). Validation is
+   pure ([Tx_plane.validate] is a version compare), so the short-circuit
+   changes nothing observable. *)
+let rec validate_from mem tx i =
+  i >= tx.nreads
+  || (Simmem.Tx_plane.validate mem tx.raddr.(i) tx.rver.(i)
+      && validate_from mem tx (i + 1))
+
+let validate_reads tx = validate_from tx.s.smem tx 0
 
 (* Every read-set stripe unheld (or held by us): checked for free via
    [peek]; the cycle cost of the commit-time pass is charged in bulk. *)
+let rec locks_clear_from s me tx i =
+  i >= tx.nreads
+  || (let o = owner_of (Simmem.peek s.smem (lock_of s tx.raddr.(i))) in
+      (o = 0 || o = me) && locks_clear_from s me tx (i + 1))
+
 let read_locks_clear tx =
-  let s = tx.s in
-  let me = Sim.tid tx.ctx + 1 in
-  let ok = ref true in
-  for i = 0 to tx.nreads - 1 do
-    let o = owner_of (Simmem.peek s.smem (lock_of s tx.raddr.(i))) in
-    if o <> 0 && o <> me then ok := false
-  done;
-  !ok
+  locks_clear_from tx.s (slot_of (Sim.tid tx.ctx) + 1) tx 0
 
 (* ---- Conflict forensics: locate the word that doomed an attempt.
    Scanned only on abort paths, so the success path pays nothing. *)
@@ -330,7 +370,7 @@ let first_invalid tx =
 
 let first_locked_read tx =
   let s = tx.s in
-  let me = Sim.tid tx.ctx + 1 in
+  let me = slot_of (Sim.tid tx.ctx) + 1 in
   let rec go i =
     if i >= tx.nreads then None
     else
@@ -355,7 +395,7 @@ let first_freed_write tx =
 let capture_conflict tx site =
   match first_invalid tx with
   | Some addr ->
-    let wrote = find_buffered tx addr <> None in
+    let wrote = find_buffered_idx tx addr (tx.nwrites - 1) >= 0 in
     set_witness tx ~addr ~victim_wrote:wrote ~in_read_set:true ~in_write_set:wrote
       site
   | None ->
@@ -399,8 +439,10 @@ let steal_from s ctx victim =
     then incr freed
   done;
   if !freed > 0 then begin
-    Obs.Metrics.incr ~by:!freed s.c_steals;
-    emit s ctx (Ev_steal { ev_victim = victim });
+    Obs.Metrics.incr_by s.c_steals !freed;
+    (match s.tap with
+     | None -> ()
+     | Some _ -> emit s ctx (Ev_steal { ev_victim = victim }));
     match Sim.tracer ctx with
     | None -> ()
     | Some sink ->
@@ -410,7 +452,7 @@ let steal_from s ctx victim =
   end
 
 let watch_or_steal s ctx la lw =
-  let me = Sim.tid ctx in
+  let me = slot_of (Sim.tid ctx) in
   let victim = owner_of lw - 1 in
   let h = Simmem.read s.smem ctx (hb_addr s victim) in
   let now = Sim.clock ctx in
@@ -446,9 +488,9 @@ let stale tx ~addr ~la ~in_read_set ver =
   end
 
 let read tx addr =
-  match find_buffered tx addr with
-  | Some v -> v
-  | None ->
+  let bi = find_buffered_idx tx addr (tx.nwrites - 1) in
+  if bi >= 0 then tx.wval.(bi)
+  else begin
     let s = tx.s in
     Sim.tick tx.ctx s.cfg.read_cost;
     let la = lock_of s addr in
@@ -465,24 +507,25 @@ let read tx addr =
       raise (Aborted Locked)
     end;
     stale tx ~addr ~la ~in_read_set:false (ver_of lw);
-    (match Simmem.Tx_plane.read s.smem tx.ctx addr with
-     | None -> raise (Aborted Illegal)
-     | Some (v, mver) ->
-       note_read tx addr mver;
-       if not (validate_reads tx) then begin
-         capture_conflict tx "stm.read";
-         raise (Aborted Conflict)
-       end;
-       (* the stripe may have been locked while we fetched the value *)
-       let lw' = Simmem.peek s.smem la in
-       if owner_of lw' <> 0 then begin
-         set_witness tx ~lookup:la ~aggressor:(owner_of lw' - 1) ~addr
-           ~victim_wrote:false ~in_read_set:true ~in_write_set:false
-           "stm.read.locked";
-         raise (Aborted Locked)
-       end;
-       stale tx ~addr ~la ~in_read_set:true (ver_of lw');
-       v)
+    let mver = Simmem.Tx_plane.read_ver s.smem tx.ctx addr in
+    if mver < 0 then raise (Aborted Illegal);
+    let v = Simmem.Tx_plane.read_value s.smem in
+    note_read tx addr mver;
+    if not (validate_reads tx) then begin
+      capture_conflict tx "stm.read";
+      raise (Aborted Conflict)
+    end;
+    (* the stripe may have been locked while we fetched the value *)
+    let lw' = Simmem.peek s.smem la in
+    if owner_of lw' <> 0 then begin
+      set_witness tx ~lookup:la ~aggressor:(owner_of lw' - 1) ~addr
+        ~victim_wrote:false ~in_read_set:true ~in_write_set:false
+        "stm.read.locked";
+      raise (Aborted Locked)
+    end;
+    stale tx ~addr ~la ~in_read_set:true (ver_of lw');
+    v
+  end
 
 let write tx addr v =
   let s = tx.s in
@@ -500,11 +543,16 @@ let record tx = Sim.tick tx.ctx tx.s.cfg.write_cost
 
 let abort (_ : tx) = raise (Aborted Explicit)
 
-let defer_free tx base = tx.frees <- base :: tx.frees
+let defer_free tx base =
+  if tx.nfrees = Array.length tx.frees then tx.frees <- grow tx.frees;
+  tx.frees.(tx.nfrees) <- base;
+  tx.nfrees <- tx.nfrees + 1
 
 let run_frees tx =
-  List.iter (fun base -> Simmem.free tx.s.smem tx.ctx base) (List.rev tx.frees);
-  tx.frees <- []
+  for i = 0 to tx.nfrees - 1 do
+    Simmem.free tx.s.smem tx.ctx tx.frees.(i)
+  done;
+  tx.nfrees <- 0
 
 (* ------------------------------------------------------------------ *)
 (* Commit.                                                             *)
@@ -523,7 +571,7 @@ let push_lock tx la old =
    re-locked by their stealer) are left alone. *)
 let release_owned tx =
   let s = tx.s in
-  let me = Sim.tid tx.ctx in
+  let me = slot_of (Sim.tid tx.ctx) in
   for i = 0 to tx.nlocks - 1 do
     let la = tx.laddr.(i) and old = tx.lold.(i) in
     if Simmem.peek s.smem la = locked_word (ver_of old) me then
@@ -533,27 +581,34 @@ let release_owned tx =
 
 (* The write set's distinct lock stripes, ascending — deduplicated so a
    stripe is acquired once, ordered so the acquisition sequence is
-   deterministic. *)
+   deterministic. Insertion sort into the tx's scratch array: write sets
+   are small and the pass allocates nothing. Returns the stripe count;
+   the stripes themselves sit in [tx.saddr.(0 .. n-1)]. *)
 let stripes tx =
   let s = tx.s in
-  let a = Array.init tx.nwrites (fun i -> lock_of s tx.waddr.(i)) in
-  Array.sort compare a;
+  if Array.length tx.saddr < tx.nwrites then
+    tx.saddr <- Array.make (Array.length tx.waddr) 0;
   let n = ref 0 in
-  Array.iter
-    (fun la ->
-      if !n = 0 || a.(!n - 1) <> la then begin
-        a.(!n) <- la;
-        incr n
-      end)
-    (Array.copy a);
-  Array.sub a 0 !n
+  for i = 0 to tx.nwrites - 1 do
+    let la = lock_of s tx.waddr.(i) in
+    let j = ref 0 in
+    while !j < !n && tx.saddr.(!j) < la do incr j done;
+    if !j = !n || tx.saddr.(!j) <> la then begin
+      for k = !n downto !j + 1 do
+        tx.saddr.(k) <- tx.saddr.(k - 1)
+      done;
+      tx.saddr.(!j) <- la;
+      incr n
+    end
+  done;
+  !n
 
 (* Acquire one stripe, or decide this attempt dies. Dead-owner recovery:
    see the watch protocol at the top of the file. *)
 let rec acquire tx la =
   let s = tx.s in
   let ctx = tx.ctx in
-  let me = Sim.tid ctx in
+  let me = slot_of (Sim.tid ctx) in
   let lw = Simmem.read s.smem ctx la in
   if owner_of lw = 0 then begin
     if Simmem.cas s.smem ctx la ~expected:lw ~desired:(locked_word (ver_of lw) me)
@@ -579,7 +634,7 @@ let writes_allocated tx =
 let commit tx =
   let s = tx.s in
   let ctx = tx.ctx in
-  let me = Sim.tid ctx in
+  let me = slot_of (Sim.tid ctx) in
   if tx.nwrites = 0 then begin
     (* Read-only: the per-read revalidation kept the snapshot consistent;
        one final atomic validation pins its linearization point. The TLE
@@ -602,16 +657,16 @@ let commit tx =
     (* Entering the lock phase: bump the heartbeat so contenders can tell
        a slow owner from a dead one. *)
     Simmem.write s.smem ctx (hb_addr s me) (Sim.clock ctx + 1);
-    let ls = stripes tx in
+    let nls = stripes tx in
     let ok = ref true in
     let failed_la = ref 0 in
-    Array.iter
-      (fun la ->
-        if !ok then begin
-          ok := acquire tx la;
-          if not !ok then failed_la := la
-        end)
-      ls;
+    let i = ref 0 in
+    while !ok && !i < nls do
+      let la = tx.saddr.(!i) in
+      ok := acquire tx la;
+      if not !ok then failed_la := la;
+      incr i
+    done;
     if not !ok then begin
       release_owned tx;
       let la = !failed_la in
@@ -684,69 +739,84 @@ let backoff s ctx n =
   Sim.tick ctx
     (Sim.Backoff.delay ~base:s.cfg.backoff_base ~cap:s.cfg.backoff_max (Sim.rng ctx) n)
 
+(* Top-level (not a closure inside [atomic]) so a pooled transaction's
+   fast path allocates nothing. *)
+let rec attempt_loop s ctx tx budget f on_abort tr tid t0 n last =
+  if budget > 0 && n >= budget then raise (Retry_exhausted last);
+  Sim.tick ctx (s.cfg.start_cost + Sim.Rng.int (Sim.rng ctx) 16);
+  (* Transaction begin is a full fence: the thread's pre-tx buffered
+     stores must be visible before any tx read, or commit-time
+     validation would validate against state the thread itself is about
+     to overwrite. No-op under the [sc] model. *)
+  Simmem.drain s.smem ctx;
+  let t_att = Sim.clock ctx in
+  reset_tx tx n;
+  Obs.Metrics.incr_t s.c_attempts tid;
+  tx.rv <- Simmem.read s.smem ctx s.clock_addr;
+  match
+    let v = f tx in
+    commit tx;
+    v
+  with
+  | v ->
+    Obs.Metrics.incr_t s.c_commits tid;
+    Obs.Metrics.observe s.h_writes tx.nwrites;
+    Obs.Metrics.observe s.h_commit (Sim.clock ctx - t0);
+    (match s.tap with
+     | None -> ()
+     | Some _ ->
+       emit s ctx
+         (Ev_commit { ev_reads = tx.nreads; ev_writes = tx.nwrites; ev_attempt = n }));
+    (match tr with
+     | None -> ()
+     | Some sink ->
+       Obs.Tracer.span sink ~tid ~name:"tx.stm" ~cat:"tx"
+         ~args:
+           [
+             ("attempt", Obs.Json.Int n);
+             ("reads", Obs.Json.Int tx.nreads);
+             ("writes", Obs.Json.Int tx.nwrites);
+           ]
+         t_att (Sim.clock ctx));
+    run_frees tx;
+    Sim.note_progress ctx;
+    v
+  | exception Aborted r ->
+    (match r with
+     | Conflict -> Obs.Metrics.incr_t s.c_conflict tid
+     | Locked -> Obs.Metrics.incr_t s.c_locked tid
+     | Illegal -> Obs.Metrics.incr_t s.c_illegal tid
+     | Explicit -> Obs.Metrics.incr_t s.c_explicit tid);
+    let w = tx.witness in
+    tx.witness <- None;
+    (match w with Some wit -> Simmem.record_witness s.smem ctx wit | None -> ());
+    s.last_w.(slot_of tid) <- w;
+    (match s.tap with
+     | None -> ()
+     | Some _ -> emit s ctx (Ev_abort { ev_reason = r; ev_attempt = n; ev_witness = w }));
+    (match tr with
+     | None -> ()
+     | Some sink ->
+       Obs.Tracer.instant sink ~tid ~name:"tx.stm.abort" ~cat:"tx"
+         ~args:
+           [ ("reason", Obs.Json.Str (abort_label r)); ("attempt", Obs.Json.Int n) ]
+         (Sim.clock ctx));
+    Sim.tick ctx s.cfg.abort_cost;
+    on_abort r;
+    backoff s ctx n;
+    attempt_loop s ctx tx budget f on_abort tr tid t0 (n + 1) r
+
 let atomic s ctx ?max_attempts ?(on_abort = fun (_ : abort_reason) -> ()) f =
   let budget = match max_attempts with Some m -> m | None -> s.cfg.max_attempts in
-  let tx = fresh_tx s ctx in
+  let tx = get_tx s ctx in
+  tx.busy <- true;
   let t0 = Sim.clock ctx in
   let tid = Sim.tid ctx in
   let tr = Sim.tracer ctx in
-  let rec attempt n last =
-    if budget > 0 && n >= budget then raise (Retry_exhausted last);
-    Sim.tick ctx (s.cfg.start_cost + Sim.Rng.int (Sim.rng ctx) 16);
-    (* Transaction begin is a full fence: the thread's pre-tx buffered
-       stores must be visible before any tx read, or commit-time
-       validation would validate against state the thread itself is about
-       to overwrite. No-op under the [sc] model. *)
-    Simmem.drain s.smem ctx;
-    let t_att = Sim.clock ctx in
-    reset_tx tx n;
-    Obs.Metrics.incr ~tid s.c_attempts;
-    tx.rv <- Simmem.read s.smem ctx s.clock_addr;
-    match
-      let v = f tx in
-      commit tx;
-      v
-    with
-    | v ->
-      Obs.Metrics.incr ~tid s.c_commits;
-      Obs.Metrics.observe s.h_writes tx.nwrites;
-      Obs.Metrics.observe s.h_commit (Sim.clock ctx - t0);
-      emit s ctx (Ev_commit { ev_reads = tx.nreads; ev_writes = tx.nwrites; ev_attempt = n });
-      (match tr with
-       | None -> ()
-       | Some sink ->
-         Obs.Tracer.span sink ~tid ~name:"tx.stm" ~cat:"tx"
-           ~args:
-             [
-               ("attempt", Obs.Json.Int n);
-               ("reads", Obs.Json.Int tx.nreads);
-               ("writes", Obs.Json.Int tx.nwrites);
-             ]
-           t_att (Sim.clock ctx));
-      run_frees tx;
-      Sim.note_progress ctx;
-      v
-    | exception Aborted r ->
-      (match r with
-       | Conflict -> Obs.Metrics.incr ~tid s.c_conflict
-       | Locked -> Obs.Metrics.incr ~tid s.c_locked
-       | Illegal -> Obs.Metrics.incr ~tid s.c_illegal
-       | Explicit -> Obs.Metrics.incr ~tid s.c_explicit);
-      let w = tx.witness in
-      tx.witness <- None;
-      (match w with Some wit -> Simmem.record_witness s.smem ctx wit | None -> ());
-      s.last_w.(tid) <- w;
-      emit s ctx (Ev_abort { ev_reason = r; ev_attempt = n; ev_witness = w });
-      (match tr with
-       | None -> ()
-       | Some sink ->
-         Obs.Tracer.instant sink ~tid ~name:"tx.stm.abort" ~cat:"tx"
-           ~args:
-             [ ("reason", Obs.Json.Str (abort_label r)); ("attempt", Obs.Json.Int n) ]
-           (Sim.clock ctx));
-      Sim.tick ctx s.cfg.abort_cost;
-      on_abort r;
-      backoff s ctx n;
-      attempt (n + 1) r
-  in
-  attempt 0 Conflict
+  match attempt_loop s ctx tx budget f on_abort tr tid t0 0 Conflict with
+  | v ->
+    tx.busy <- false;
+    v
+  | exception e ->
+    tx.busy <- false;
+    raise e

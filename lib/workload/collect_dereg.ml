@@ -97,7 +97,7 @@ let to_table results =
       results
   in
   let periods =
-    List.sort_uniq (fun a b -> compare b a) (List.map (fun r -> r.dereg_period) results)
+    List.sort_uniq (fun a b -> Int.compare b a) (List.map (fun r -> r.dereg_period) results)
   in
   let rows =
     List.map

@@ -96,7 +96,7 @@ let run ?jobs ?makers ?threads ?duration ?step ?seed () =
 
 let to_table ?(makers = Collect.all) results =
   let columns = List.map (fun (m : Collect.Intf.maker) -> m.algo_name) makers in
-  let threads = List.sort_uniq compare (List.map (fun r -> r.threads) results) in
+  let threads = List.sort_uniq Int.compare (List.map (fun r -> r.threads) results) in
   let rows =
     List.map
       (fun n ->

@@ -260,7 +260,7 @@ let to_table ~title results =
       results
   in
   let periods =
-    List.sort_uniq (fun a b -> compare b a) (List.map (fun r -> r.period) results)
+    List.sort_uniq (fun a b -> Int.compare b a) (List.map (fun r -> r.period) results)
   in
   let rows =
     List.map

@@ -65,14 +65,17 @@ let obs () = (state ()).st_obs
 let profilers () = List.rev (state ()).st_profs
 let forensics () = List.rev (state ()).st_fors
 
-let machine ?(htm_config = Htm.default_config) ?(seed = 1) ?label () =
+let machine ?(htm_config = Htm.default_config) ?(seed = 1) ?label ?threads
+    ?heap_words () =
   let st = state () in
   let o = st.st_obs in
   st.st_seq <- st.st_seq + 1;
   let name =
     match label with Some l -> l | None -> Printf.sprintf "machine-%d" st.st_seq
   in
-  let mem = Simmem.create ?metrics:o.obs_metrics () in
+  let mem =
+    Simmem.create ?metrics:o.obs_metrics ?threads ?initial_words:heap_words ()
+  in
   (match o.obs_tracer with
    | None -> Sim.set_default_tracer None
    | Some tr -> Sim.set_default_tracer (Some (Obs.Tracer.process tr ~name)));

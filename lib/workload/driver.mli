@@ -50,9 +50,20 @@ val forensics : unit -> (string * Obs.Forensics.t) list
 (** Per-machine forensics aggregators created since the last {!set_obs},
     labelled, in machine-creation order. *)
 
-val machine : ?htm_config:Htm.config -> ?seed:int -> ?label:string -> unit -> machine
+val machine :
+  ?htm_config:Htm.config ->
+  ?seed:int ->
+  ?label:string ->
+  ?threads:int ->
+  ?heap_words:int ->
+  unit ->
+  machine
 (** [label] names the machine's tracer process and profiler entry
-    (default ["machine-<n>"] in creation order). *)
+    (default ["machine-<n>"] in creation order). [threads] sizes the
+    heap's sharer sets for runs wider than the 61-thread default;
+    [heap_words] sets the initial heap extent (see {!Simmem.create}) —
+    the scale study passes million-word heaps so growth never perturbs
+    the measured region. *)
 
 val fresh_value : unit -> int
 (** Globally unique non-zero values; the spec checker relies on every

@@ -279,7 +279,7 @@ let fi = float_of_int
 
 let grid_table ~shared (grid : grid_result list) : Report.table =
   let grid = List.filter (fun g -> g.gr_shared = shared) grid in
-  let threads = List.sort_uniq compare (List.map (fun g -> g.gr_threads) grid) in
+  let threads = List.sort_uniq Int.compare (List.map (fun g -> g.gr_threads) grid) in
   {
     title =
       (if shared then

@@ -20,7 +20,7 @@ let run_one (maker : Hqueue.Intf.maker) ~threads ~duration ~prefill ~seed =
           ops.(i) <-
             Driver.measured_loop ctx ~deadline (fun () ->
                 if Sim.Rng.bool (Sim.rng ctx) then q.enqueue ctx (Driver.fresh_value ())
-                else ignore (q.dequeue ctx)))
+                else ignore (q.dequeue_drop ctx)))
   in
   Sim.run ~seed bodies;
   q.destroy m.boot;
@@ -46,7 +46,7 @@ let run ?jobs ?threads ?duration ?prefill ?seed () =
 
 let to_table results =
   let columns = List.map (fun (m : Hqueue.Intf.maker) -> m.queue_name) Hqueue.all in
-  let threads = List.sort_uniq compare (List.map (fun r -> r.threads) results) in
+  let threads = List.sort_uniq Int.compare (List.map (fun r -> r.threads) results) in
   let rows =
     List.map
       (fun n ->

@@ -12,6 +12,7 @@ module Collect_update = Collect_update
 module Collect_dereg = Collect_dereg
 module Phased = Phased
 module Space_bench = Space_bench
+module Scale_bench = Scale_bench
 module Chaos_bench = Chaos_bench
 module Fallback_bench = Fallback_bench
 module Memorder_bench = Memorder_bench

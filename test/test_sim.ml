@@ -90,11 +90,15 @@ let test_boot_ctx () =
   Alcotest.(check int) "boot clock advances" 500 (Sim.clock ctx)
 
 let test_thread_count_limits () =
-  Alcotest.check_raises "zero threads" (Invalid_argument "Sim.run: need between 1 and 61 threads")
+  Alcotest.check_raises "zero threads" (Invalid_argument "Sim.run: need between 1 and 256 threads")
     (fun () -> Sim.run [||]);
   Alcotest.check_raises "too many threads"
-    (Invalid_argument "Sim.run: need between 1 and 61 threads") (fun () ->
-      Sim.run (Array.make 62 (fun _ -> ())))
+    (Invalid_argument "Sim.run: need between 1 and 256 threads") (fun () ->
+      Sim.run (Array.make 257 (fun _ -> ())));
+  (* Exploring-mode features still encode runnable sets in one word. *)
+  Alcotest.check_raises "recording caps at 61"
+    (Invalid_argument "Sim.run: exploring strategies and recording support at most 61 threads")
+    (fun () -> Sim.run ~record:(Sim.recorder ()) (Array.make 62 (fun _ -> ())))
 
 let test_charge_no_yield () =
   (* charge advances the clock without a scheduling point: another thread
