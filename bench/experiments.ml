@@ -694,6 +694,20 @@ let scale =
       List.iter ctx.emit (Workload.Scale_bench.to_tables (values ocs)))
 
 (* ------------------------------------------------------------------ *)
+(* The malloc-placement ablation: the arena allocator's placement
+   policies under a line-granularity HTM. Profiled, so the ping-pong
+   (transfers) column in the tables is populated; the per-machine
+   profiler tables stay out of the artifact (only emitted tables are
+   compared), matching contend. *)
+
+let placement =
+  exp "placement" "malloc placement: arena policies vs aborts and ping-pong" 300_000
+    ~profile:true
+    (fun ~duration ~seed -> Workload.Placement_bench.cells ~duration ~seed ())
+    (fun ctx ocs ->
+      List.iter ctx.emit (Workload.Placement_bench.to_tables (values ocs)))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: wall-clock cost of the simulator itself.
    Inherently non-deterministic, so: serial, and never part of `all` or
    the artifact set. *)
@@ -795,7 +809,7 @@ let micro =
 
 let all =
   [ fig1; latency; fig3; fig4; fig5; fig6; fig7; fig8; space; contend; chaos; fallback;
-    memorder; aborts; ablate; ext; scale; micro ]
+    memorder; aborts; ablate; ext; scale; placement; micro ]
 
 let find name = List.find_opt (fun e -> e.name = name) all
 

@@ -173,3 +173,44 @@ let row =
   }
 
 let all = [ sb; sb_fenced; mp; lb; corr; row ]
+
+(* Remote-free drain (the arena allocator's cross-thread path): T0 owns
+   the arena, T1 frees T0's block remotely, T0 re-mallocs — draining the
+   remote-free ring — and writes the new life's value. Enumerated over
+   every schedule (and, by the caller, every memory model), the reused
+   word must hold exactly the new value at quiescence: no store from the
+   old life may land on top, no drain may tear it, and no schedule may
+   fault. Readback is {!Simmem.peek} after the run, so the check is about
+   the allocator's integrity, not store-to-load forwarding semantics.
+
+   Deliberately NOT in {!all}: the golden outcome tables in
+   test/test_memorder.ml pin [all]'s cells, and this program's outcome
+   also reports whether the schedule actually reached the reuse (second
+   register), which is a coverage fact rather than a model fingerprint. *)
+let remote_reuse =
+  {
+    prog_name = "RemoteReuse";
+    prog_setup =
+      (fun ~model ->
+        let mem = Simmem.create ~model ~alloc:(Simmem.Arena Simmem.Line_packed) () in
+        let boot = Sim.boot () in
+        let slot = fresh_loc mem boot in
+        let a = ref 0 and b = ref 0 in
+        let owner ctx =
+          let x = Simmem.malloc mem ctx 1 in
+          a := x;
+          Simmem.write mem ctx x 7;
+          Simmem.write mem ctx slot x;
+          (* The re-malloc drains whatever the remote ring holds by now:
+             depending on the schedule this reuses [x] or carves fresh. *)
+          let y = Simmem.malloc mem ctx 1 in
+          b := y;
+          Simmem.write mem ctx y 42
+        in
+        let freer ctx =
+          let p = Simmem.read mem ctx slot in
+          if p <> 0 then Simmem.free mem ctx p
+        in
+        ( [| owner; freer |],
+          fun () -> [ Simmem.peek mem !b; (if !b = !a then 1 else 0) ] ));
+  }

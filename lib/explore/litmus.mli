@@ -56,3 +56,16 @@ val row : program
     forwarding). *)
 
 val all : program list
+(** The model-fingerprint programs whose golden outcome tables
+    [test/test_memorder.ml] pins. {!remote_reuse} is deliberately not a
+    member. *)
+
+val remote_reuse : program
+(** The arena allocator's remote-free drain, exhaustively: the owner
+    allocates, publishes, re-mallocs (draining the remote-free ring) and
+    writes; the other thread frees the published block remotely. At
+    quiescence the (possibly reused) word must hold exactly the new
+    life's value under every schedule of every memory model, and no
+    schedule may fault. The second register reports whether the schedule
+    reached the actual reuse, so tests can assert the interesting path
+    was covered. *)

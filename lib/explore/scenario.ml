@@ -235,6 +235,22 @@ let build ~key ?model ~threads ~ops () =
     (* The StoreLoad-fence-dropping mutant: correct under [sc], unsafe
        under a buffered model — the memory-ordering hunting target. *)
     Ok (queue_lin ~key:"ms-nofence" ?model Mutant.nofence_maker ~threads ~ops)
+  | "broken-epoch" ->
+    (* The premature-free EBR mutant: one grace period instead of two, so
+       a bucket is freed while a reader that announced the previous epoch
+       can still hold pointers into it. Epoch advance on every retire
+       makes the use-after-free reachable in a handful of operations. *)
+    Ok
+      (queue_lin ~key:"broken-epoch" ?model
+         (Hqueue.Ms_epoch_queue.mk_maker ~grace:1 ~advance_every:1 "BrokenEpoch")
+         ~threads ~ops)
+  | "epoch-queue" ->
+    (* The control: the correct two-grace-period queue under the same
+       aggressive advance cadence must stay violation- and fault-free. *)
+    Ok
+      (queue_lin ~key:"epoch-queue" ?model
+         (Hqueue.Ms_epoch_queue.mk_maker ~advance_every:1 "MichaelScott+EBR")
+         ~threads ~ops)
   | "htm-memorder" -> (
     (* The HTM queue under whatever model the caller picked: strong
        atomicity must keep it violation-free under every variant. *)
@@ -267,6 +283,7 @@ let build ~key ?model ~threads ~ops () =
         Error
           (Printf.sprintf
              "unknown scenario %S (expected \"queue:NAME\", \"collect:NAME\", \
-              \"racy\", \"broken-rop\", \"ms-nofence\", \"htm-memorder\", \
-              \"stm-queue\" or \"stm-collect\")"
+              \"racy\", \"broken-rop\", \"ms-nofence\", \"broken-epoch\", \
+              \"epoch-queue\", \"htm-memorder\", \"stm-queue\" or \
+              \"stm-collect\")"
              key)))

@@ -1,0 +1,20 @@
+(** Michael-Scott with epoch-based reclamation (EBR): one epoch
+    announcement + fence per {e operation} (against ROP's per traversal
+    step), per-thread limbo buckets freed two grace periods after
+    retirement. Reclamation is only eventual — one stalled reader parks
+    the epoch and limbo grows unboundedly — the classic EBR trade.
+
+    Instantiate through {!Queue_intf.maker}[.make]. *)
+
+val maker : Queue_intf.maker
+(** The safe configuration: two grace periods, amortized epoch-advance
+    attempts. Registered as ["MichaelScott+EBR"]. *)
+
+val mk_maker : ?grace:int -> ?advance_every:int -> string -> Queue_intf.maker
+(** Test/explorer constructor. [grace] is the number of epochs a retired
+    node must age before its bucket is freed — [2] (default) is correct;
+    [1] is the classic premature-free bug the [broken-epoch] scenario
+    exists to catch. [advance_every] is the number of retires between
+    epoch-advance attempts (default amortized over the thread count;
+    explorer scenarios pass [1] so reclamation is reachable in a handful
+    of operations). *)

@@ -15,6 +15,16 @@ let pp_abort_reason ppf r = Format.pp_print_string ppf (abort_label r)
 type tle_mode = Tle_never | Tle_after of int
 type stm_mode = Stm_never | Stm_after of int
 
+(* Conflict-detection granularity of the hardware path. [Word] is the
+   historical idealized detector (per-word versions — no false sharing,
+   and what every committed baseline was generated under). [Line]
+   validates the read set against {!Simmem}'s per-line versions, the way
+   real HTMs (Rock, TSX) snoop whole cache lines: any committed store to
+   a line the transaction read dooms it, including stores to *other
+   words* of that line — the false-sharing abort channel the placement
+   ablation measures. *)
+type granularity = Word | Line
+
 type config = {
   store_buffer : int;
   tx_begin_cost : int;
@@ -24,6 +34,7 @@ type config = {
   backoff_base : int;
   backoff_max : int;
   sandboxed : bool;
+  granularity : granularity;
   tle : tle_mode;
   stm : stm_mode;
   stm_attempts : int;
@@ -44,6 +55,7 @@ let default_config =
     backoff_base = 60;
     backoff_max = 16384;
     sandboxed = true;
+    granularity = Word;
     tle = Tle_never;
     stm = Stm_never;
     stm_attempts = 0;
@@ -361,13 +373,33 @@ let get_tx h ctx =
     h.pool.(tid) <- Some tx;
     tx
 
+(* Read-set validation. Under [Word] the noted versions are word
+   versions; under [Line] they are the covering line's versions, so a
+   committed store anywhere on a read line fails the check. The
+   transaction's own writes are buffered until after commit validation
+   and so can never doom it on either plane. *)
 let validate_reads tx =
   let mem = tx.h.hmem in
   let ok = ref true in
-  for i = 0 to tx.nreads - 1 do
-    if not (Simmem.Tx_plane.validate mem tx.raddr.(i) tx.rver.(i)) then ok := false
-  done;
+  (match tx.h.cfg.granularity with
+   | Word ->
+     for i = 0 to tx.nreads - 1 do
+       if not (Simmem.Tx_plane.validate mem tx.raddr.(i) tx.rver.(i)) then
+         ok := false
+     done
+   | Line ->
+     for i = 0 to tx.nreads - 1 do
+       if Simmem.line_version mem (Simmem.line_of tx.raddr.(i)) <> tx.rver.(i)
+       then ok := false
+     done);
   !ok
+
+(* The version to note for a read of [addr]: the word's version (already
+   in hand) or its line's, per the configured granularity. *)
+let noted_ver tx addr ver =
+  match tx.h.cfg.granularity with
+  | Word -> ver
+  | Line -> Simmem.line_version tx.h.hmem (Simmem.line_of addr)
 
 let grow_reads tx =
   let n = Array.length tx.raddr in
@@ -398,15 +430,27 @@ let find_buffered_idx tx addr =
   !found
 
 (* Conflict forensics: the address whose version check failed — scanned
-   only on the (already doomed) abort path, never on success. *)
+   only on the (already doomed) abort path, never on success. Under
+   [Line] granularity the reported address is the word this transaction
+   read on the doomed line; the aggressor may have written a different
+   word of it (false sharing), in which case journal attribution can be
+   stale — the line index in the witness is authoritative. *)
 let first_invalid tx =
   let mem = tx.h.hmem in
   let found = ref (-1) and i = ref 0 in
-  while !found < 0 && !i < tx.nreads do
-    if not (Simmem.Tx_plane.validate mem tx.raddr.(!i) tx.rver.(!i)) then
-      found := tx.raddr.(!i)
-    else incr i
-  done;
+  (match tx.h.cfg.granularity with
+   | Word ->
+     while !found < 0 && !i < tx.nreads do
+       if not (Simmem.Tx_plane.validate mem tx.raddr.(!i) tx.rver.(!i)) then
+         found := tx.raddr.(!i)
+       else incr i
+     done
+   | Line ->
+     while !found < 0 && !i < tx.nreads do
+       if Simmem.line_version mem (Simmem.line_of tx.raddr.(!i)) <> tx.rver.(!i)
+       then found := tx.raddr.(!i)
+       else incr i
+     done);
   !found
 
 let capture_conflict tx site =
@@ -436,7 +480,7 @@ let read tx addr =
       if ver < 0 then illegal tx addr
       else begin
         let v = Simmem.Tx_plane.read_value mem in
-        note_read tx addr ver;
+        note_read tx addr (noted_ver tx addr ver);
         if not (validate_reads tx) then begin
           capture_conflict tx "htm.read";
           raise (Aborted Conflict)

@@ -69,6 +69,22 @@ type stm_mode =
           the {e first} [Overflow], which no hardware retry can fix.
           [Stm_after 0] runs every transaction on the software path. *)
 
+(** Conflict-detection granularity of the hardware path.
+
+    [Word] (the default) is the idealized per-word detector every
+    committed baseline was generated under: only a store to the very
+    word a transaction read can doom it.
+
+    [Line] validates the read set against {!Simmem}'s per-line versions,
+    the way real HTMs (Rock, TSX) snoop whole cache lines: a committed
+    store {e anywhere} on a line the transaction read aborts it —
+    including stores to unrelated blocks that the allocator happened to
+    pack onto the same line. This is the false-sharing abort channel
+    "The Influence of Malloc Placement on TSX Hardware Transactional
+    Memory" measures, and what [bench placement] ablates against the
+    {!Simmem.placement} policies. *)
+type granularity = Word | Line
+
 type config = {
   store_buffer : int;  (** stores per transaction; Rock: 32 *)
   tx_begin_cost : int;
@@ -78,6 +94,7 @@ type config = {
   backoff_base : int;  (** first retry backoff, in cycles; randomized *)
   backoff_max : int;
   sandboxed : bool;
+  granularity : granularity;
   tle : tle_mode;
   stm : stm_mode;
   stm_attempts : int;

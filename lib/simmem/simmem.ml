@@ -42,6 +42,70 @@ let st_live = 1
 let st_freed = 2
 
 let line_shift = 3 (* 8 words per line *)
+let line_words = 1 lsl line_shift
+
+(* ---- Allocation policy ------------------------------------------------
+
+   [Shared_lifo] is the historical allocator: one global bump pointer
+   plus exact-size LIFO free lists. It is the default and its address
+   sequences are bit-for-bit those of the seed — every committed baseline
+   depends on that.
+
+   [Arena placement] shards the allocator: each thread owns an arena that
+   carves line-aligned chunks from the global bump pointer and serves
+   allocations from them. Frees by the owner go straight back to the
+   arena's per-granule free lists; frees by any other thread enqueue the
+   block on the owner's remote-free ring (the free itself — state flip,
+   version bumps, fault checks — still happens immediately; only *reuse*
+   is deferred). The owner drains its ring at its own allocation and
+   fence points, so reuse order is a pure function of the virtual-time
+   schedule. The placement policy decides how blocks pack into cache
+   lines — the knob the malloc-placement ablation turns. *)
+
+type placement =
+  | Line_packed (* contiguous bump: blocks share lines, maximal false sharing *)
+  | Line_isolated (* every block starts a fresh line and owns it entirely *)
+  | Cache_index_aware (* line-isolated + per-thread chunk coloring *)
+
+type alloc_policy = Shared_lifo | Arena of placement
+
+let placement_label = function
+  | Line_packed -> "line-packed"
+  | Line_isolated -> "line-isolated"
+  | Cache_index_aware -> "cache-index-aware"
+
+let alloc_label = function
+  | Shared_lifo -> "shared-lifo"
+  | Arena p -> "arena/" ^ placement_label p
+
+(* Words a block of [n] user words occupies in an arena. Packed placement
+   allocates exactly like the shared path; isolating placements round up
+   to whole lines so no two blocks ever share one. *)
+let granule_of placement n =
+  match placement with
+  | Line_packed -> n
+  | Line_isolated | Cache_index_aware ->
+    (n + line_words - 1) land lnot (line_words - 1)
+
+(* Minimum chunk an arena carves from the global extent, in words. *)
+let chunk_min = 512
+
+(* Per-thread arena. All state is flat ints/arrays: the steady-state
+   malloc/free path allocates nothing on the OCaml heap (the remote ring
+   doubles amortized, like the heap arrays themselves). *)
+type arena = {
+  a_tid : int;
+  mutable a_cursor : int; (* next unused word of the current chunk *)
+  mutable a_limit : int; (* end of the current chunk (exclusive) *)
+  mutable a_carved : int; (* total words this arena took off the global extent *)
+  mutable a_fl_head : int array; (* per granule: newest freed block base *)
+  mutable a_rq_base : int array; (* remote-free ring: block bases *)
+  mutable a_rq_gran : int array; (* remote-free ring: matching granules *)
+  mutable a_rq_head : int;
+  mutable a_rq_len : int;
+  mutable a_remote_frees : int; (* total blocks ever enqueued remotely *)
+  mutable a_reg : Sim.tctx option; (* context holding our fence-drain hook *)
+}
 
 (* What kind of committed store last touched a word — the aggressor half
    of a conflict witness. *)
@@ -117,9 +181,11 @@ let sh_bits = 62
 type t = {
   cost : cost_model;
   model : Sim.Memmodel.t;
+  alloc : alloc_policy;
   cap : int; (* thread capacity: distinct non-boot tids the sharer sets track *)
   sw : int; (* sharer words per line *)
   sbufs : sbuf array; (* indexed by tid; slot [Sim.boot_tid] stays empty *)
+  arenas : arena option array; (* indexed by tid; empty under Shared_lifo *)
   mutable tap : (access_event -> unit) option;
   (* The one observability test hot paths make: set when any per-access
      bookkeeping (tap, last-writer journal) is installed, so the
@@ -133,8 +199,16 @@ type t = {
   mutable line_busy : int array; (* per line: virtual time its current transfer ends *)
   mutable extent : int; (* first never-used address (bump pointer) *)
   mutable block_words : int array; (* per base address: live-block size, 0 = none *)
+  mutable block_owner : int array; (* per base: owning tid + 1; empty under Shared_lifo *)
   mutable fl_next : int array; (* per base address: next free block of same size, 0 = end *)
   mutable fl_head : int array; (* per size: base of newest freed block, 0 = none *)
+  (* Per-line version counters, bumped alongside every word-version bump,
+     with the bumping thread remembered. This is the line-granularity
+     conflict plane real HTMs validate on ({!Htm} opts in per config);
+     maintaining it unconditionally costs two array stores per committed
+     store and is invisible to virtual time. *)
+  mutable lversions : int array;
+  mutable lw_tid : int array; (* per line: tid of the last version bump, -1 never *)
   (* Scratch cell for {!Tx_plane.read_ver}: the value read, valid when the
      returned version is >= 0. Lets the transactional read path return an
      unboxed int instead of [Some (v, ver)]. *)
@@ -174,6 +248,9 @@ type stats = {
   total_allocs : int;
   total_frees : int;
   heap_extent : int;
+  arena_extents : (int * int) list;
+  remote_frees : int;
+  remote_pending : int;
   reads : int;
   read_misses : int;
   writes : int;
@@ -185,21 +262,26 @@ let initial_words = 1 lsl 12
 let default_cap = 61
 
 let create ?(costs = default_costs) ?(model = Sim.Memmodel.sc) ?metrics
-    ?(threads = default_cap) ?(initial_words = initial_words) () =
+    ?(threads = default_cap) ?(initial_words = initial_words)
+    ?(alloc = Shared_lifo) () =
   if threads < 1 || threads > Sim.max_threads then
     invalid_arg "Simmem.create: threads out of range";
   let cap = max default_cap threads in
   let sw = (cap + 1 + sh_bits - 1) / sh_bits in
   let initial_words = max 64 initial_words in
   let mreg = Obs.Metrics.create ?parent:metrics () in
+  let arena_mode = alloc <> Shared_lifo in
   {
     cost = costs;
     model;
+    alloc;
     cap;
     sw;
     sbufs =
       Array.init (Sim.max_threads + 1) (fun _ ->
           { sb_addr = [||]; sb_val = [||]; sb_head = 0; sb_len = 0; sb_reg = None });
+    arenas =
+      (if arena_mode then Array.make (Sim.max_threads + 1) None else [||]);
     tap = None;
     obs_on = false;
     values = Array.make initial_words 0;
@@ -209,8 +291,11 @@ let create ?(costs = default_costs) ?(model = Sim.Memmodel.sc) ?metrics
     line_busy = Array.make ((initial_words lsr line_shift) + 1) 0;
     extent = 8; (* keep address 0 (null) and the first line unusable *)
     block_words = Array.make initial_words 0;
+    block_owner = (if arena_mode then Array.make initial_words 0 else [||]);
     fl_next = Array.make initial_words 0;
     fl_head = Array.make 64 0;
+    lversions = Array.make ((initial_words lsr line_shift) + 1) 0;
+    lw_tid = Array.make ((initial_words lsr line_shift) + 1) (-1);
     txr_val = 0;
     mreg;
     c_reads = Obs.Metrics.counter ~per_thread:true mreg "mem.reads";
@@ -232,6 +317,15 @@ let create ?(costs = default_costs) ?(model = Sim.Memmodel.sc) ?metrics
   }
 
 let stats (t : t) =
+  let arena_extents = ref [] and remote_frees = ref 0 and remote_pending = ref 0 in
+  for tid = Array.length t.arenas - 1 downto 0 do
+    match t.arenas.(tid) with
+    | None -> ()
+    | Some a ->
+      arena_extents := (tid, a.a_carved) :: !arena_extents;
+      remote_frees := !remote_frees + a.a_remote_frees;
+      remote_pending := !remote_pending + a.a_rq_len
+  done;
   {
     live_words = Obs.Metrics.gauge_value t.g_live_words;
     live_blocks = Obs.Metrics.gauge_value t.g_live_blocks;
@@ -240,6 +334,9 @@ let stats (t : t) =
     total_allocs = Obs.Metrics.value t.c_allocs;
     total_frees = Obs.Metrics.value t.c_frees;
     heap_extent = t.extent;
+    arena_extents = !arena_extents;
+    remote_frees = !remote_frees;
+    remote_pending = !remote_pending;
     reads = Obs.Metrics.value t.c_reads;
     read_misses = Obs.Metrics.value t.c_read_misses;
     writes = Obs.Metrics.value t.c_writes;
@@ -250,7 +347,12 @@ let stats (t : t) =
 let metrics t = t.mreg
 let costs t = t.cost
 let model t = t.model
+let alloc t = t.alloc
 let null = 0
+
+let line_of addr = addr lsr line_shift
+let line_version t line = t.lversions.(line)
+let line_writer t line = t.lw_tid.(line)
 
 let refresh_obs t =
   t.obs_on <- (match t.tap with Some _ -> true | None -> t.wr_on)
@@ -428,12 +530,32 @@ let grow t needed =
   let block_words = Array.make !size 0 in
   Array.blit t.block_words 0 block_words 0 cur;
   t.block_words <- block_words;
+  if Array.length t.block_owner > 0 then begin
+    let block_owner = Array.make !size 0 in
+    Array.blit t.block_owner 0 block_owner 0 cur;
+    t.block_owner <- block_owner
+  end;
   let fl_next = Array.make !size 0 in
   Array.blit t.fl_next 0 fl_next 0 cur;
   t.fl_next <- fl_next;
+  let lversions = Array.make nlines 0 in
+  Array.blit t.lversions 0 lversions 0 (Array.length t.lversions);
+  t.lversions <- lversions;
+  let lw_tid = Array.make nlines (-1) in
+  Array.blit t.lw_tid 0 lw_tid 0 (Array.length t.lw_tid);
+  t.lw_tid <- lw_tid;
   if t.wr_on then wr_ensure t
 
 let word_state t addr = Char.code (Bytes.unsafe_get t.state addr)
+
+(* Every committed store bumps the word version (the word-granularity
+   conflict plane) and the covering line's version + last-bumper (the
+   line-granularity plane {!Htm} can opt into). *)
+let bump_version t ctx addr =
+  Array.unsafe_set t.versions addr (Array.unsafe_get t.versions addr + 1);
+  let line = addr lsr line_shift in
+  Array.unsafe_set t.lversions line (Array.unsafe_get t.lversions line + 1);
+  Array.unsafe_set t.lw_tid line (Sim.tid ctx)
 
 let check_live t addr =
   if addr <= 0 || addr >= t.extent then raise (Fault (Unallocated addr))
@@ -616,7 +738,7 @@ let drain_one t ctx ~terminal sb =
       else begin
         sb_pop sb;
         t.values.(addr) <- v;
-        t.versions.(addr) <- t.versions.(addr) + 1;
+        bump_version t ctx addr;
         if t.obs_on then begin
           note_write t ctx addr Op_store;
           emit t ctx (Write { addr; value = v })
@@ -694,7 +816,7 @@ let write_through t ctx addr v =
   Sim.tick ctx (write_cost t ctx addr);
   check_live t addr;
   t.values.(addr) <- v;
-  t.versions.(addr) <- t.versions.(addr) + 1;
+  bump_version t ctx addr;
   if t.obs_on then begin
     note_write t ctx addr Op_store;
     emit t ctx (Write { addr; value = v })
@@ -728,7 +850,7 @@ let cas t ctx addr ~expected ~desired =
   let success = t.values.(addr) = expected in
   if success then begin
     t.values.(addr) <- desired;
-    t.versions.(addr) <- t.versions.(addr) + 1;
+    bump_version t ctx addr;
     if t.obs_on then note_write t ctx addr Op_atomic
   end
   else if (match t.fors with Some _ -> true | None -> false) then
@@ -751,7 +873,7 @@ let fetch_add t ctx addr d =
   check_live t addr;
   let old = t.values.(addr) in
   t.values.(addr) <- old + d;
-  t.versions.(addr) <- t.versions.(addr) + 1;
+  bump_version t ctx addr;
   if t.obs_on then note_write t ctx addr Op_atomic;
   if t.obs_on then emit t ctx (Fetch_add { addr; delta = d; old });
   old
@@ -799,6 +921,146 @@ let take_free t size =
     base
   end
 
+(* ---- Per-thread arenas (the [Arena _] policies) ----------------------
+
+   Arena bookkeeping is plain OCaml mutation: it charges no virtual
+   cycles beyond what the shared path already charges, so the schedule
+   interleavings are decided solely by the (identical) malloc/free tick
+   sequence — the placement policy only moves the returned addresses. *)
+
+let arena_fl_push t a gran base =
+  if gran >= Array.length a.a_fl_head then begin
+    let len = ref (max 64 (Array.length a.a_fl_head)) in
+    while gran >= !len do
+      len := !len * 2
+    done;
+    let fl = Array.make !len 0 in
+    Array.blit a.a_fl_head 0 fl 0 (Array.length a.a_fl_head);
+    a.a_fl_head <- fl
+  end;
+  t.fl_next.(base) <- a.a_fl_head.(gran);
+  a.a_fl_head.(gran) <- base
+
+let arena_take_free t a gran =
+  if gran >= Array.length a.a_fl_head then 0
+  else begin
+    let base = a.a_fl_head.(gran) in
+    if base <> 0 then begin
+      a.a_fl_head.(gran) <- t.fl_next.(base);
+      t.fl_next.(base) <- 0
+    end;
+    base
+  end
+
+(* Move every remotely freed block onto the owner's free lists. Pure
+   bookkeeping — zero cycles, no yield — so it is safe at every drain
+   point including terminal flushes, and its effects are a deterministic
+   function of the enqueue order (itself fixed by the virtual clock). *)
+let arena_drain_remote t a =
+  while a.a_rq_len > 0 do
+    let cap = Array.length a.a_rq_base in
+    let base = a.a_rq_base.(a.a_rq_head) and gran = a.a_rq_gran.(a.a_rq_head) in
+    a.a_rq_head <- (a.a_rq_head + 1) mod cap;
+    a.a_rq_len <- a.a_rq_len - 1;
+    arena_fl_push t a gran base
+  done
+
+let arena_rq_push a base gran =
+  let cap = Array.length a.a_rq_base in
+  if a.a_rq_len >= cap then begin
+    let ncap = max 64 (cap * 2) in
+    let nb = Array.make ncap 0 and ng = Array.make ncap 0 in
+    for k = 0 to a.a_rq_len - 1 do
+      nb.(k) <- a.a_rq_base.((a.a_rq_head + k) mod cap);
+      ng.(k) <- a.a_rq_gran.((a.a_rq_head + k) mod cap)
+    done;
+    a.a_rq_base <- nb;
+    a.a_rq_gran <- ng;
+    a.a_rq_head <- 0
+  end;
+  let cap = Array.length a.a_rq_base in
+  let i = (a.a_rq_head + a.a_rq_len) mod cap in
+  a.a_rq_base.(i) <- base;
+  a.a_rq_gran.(i) <- gran;
+  a.a_rq_len <- a.a_rq_len + 1;
+  a.a_remote_frees <- a.a_remote_frees + 1
+
+(* The owner's arena, created on first use. The fence-drain hook is
+   (re-)installed per context, exactly like the store-buffer hook: remote
+   frees parked on the ring become reusable at the owner's next fence or
+   allocation. *)
+let arena_of t ctx =
+  let tid = Sim.tid ctx in
+  let a =
+    match t.arenas.(tid) with
+    | Some a -> a
+    | None ->
+      let a =
+        {
+          a_tid = tid;
+          a_cursor = 0;
+          a_limit = 0;
+          a_carved = 0;
+          a_fl_head = [||];
+          a_rq_base = [||];
+          a_rq_gran = [||];
+          a_rq_head = 0;
+          a_rq_len = 0;
+          a_remote_frees = 0;
+          a_reg = None;
+        }
+      in
+      t.arenas.(tid) <- Some a;
+      a
+  in
+  let current = match a.a_reg with Some c -> c == ctx | None -> false in
+  if not current then begin
+    a.a_reg <- Some ctx;
+    Sim.register_drain ctx (fun ~terminal:_ -> arena_drain_remote t a)
+  end;
+  a
+
+(* Carve a fresh chunk off the global bump pointer. Chunks are always
+   line-aligned; [Cache_index_aware] additionally colors each thread's
+   chunk starts so different arenas land on different line-index residues
+   (the stand-in for set-index-aware placement on this flat memory). *)
+let arena_carve t a gran =
+  let align_line x = (x + line_words - 1) land lnot (line_words - 1) in
+  let start =
+    let s = align_line t.extent in
+    match t.alloc with
+    | Arena Cache_index_aware ->
+      let colors = 8 in
+      let color = a.a_tid mod colors in
+      let lane = (s lsr line_shift) mod colors in
+      s + (((color - lane + colors) mod colors) * line_words)
+    | _ -> s
+  in
+  let chunk = max chunk_min (align_line gran) in
+  if start + chunk > Array.length t.values then grow t (start + chunk);
+  a.a_carved <- a.a_carved + (start + chunk - t.extent);
+  t.extent <- start + chunk;
+  a.a_cursor <- start;
+  a.a_limit <- start + chunk
+
+let arena_alloc t ctx n =
+  let placement = match t.alloc with Arena p -> p | Shared_lifo -> assert false in
+  let a = arena_of t ctx in
+  arena_drain_remote t a;
+  let gran = granule_of placement n in
+  let base = arena_take_free t a gran in
+  let base =
+    if base <> 0 then base
+    else begin
+      if a.a_cursor + gran > a.a_limit then arena_carve t a gran;
+      let b = a.a_cursor in
+      a.a_cursor <- b + gran;
+      b
+    end
+  in
+  t.block_owner.(base) <- a.a_tid + 1;
+  base
+
 let malloc t ctx n =
   if n < 1 then invalid_arg "Simmem.malloc: size must be >= 1";
   (* Allocator entry points are full fences: a pending store must never
@@ -806,19 +1068,22 @@ let malloc t ctx n =
   drain t ctx;
   Sim.tick ctx (t.cost.malloc_base + (n * t.cost.malloc_per_word));
   let base =
-    let base = take_free t n in
-    if base <> 0 then base
+    if t.alloc <> Shared_lifo then arena_alloc t ctx n
     else begin
-      let base = t.extent in
-      if base + n > Array.length t.values then grow t (base + n);
-      t.extent <- base + n;
-      base
+      let base = take_free t n in
+      if base <> 0 then base
+      else begin
+        let base = t.extent in
+        if base + n > Array.length t.values then grow t (base + n);
+        t.extent <- base + n;
+        base
+      end
     end
   in
   for a = base to base + n - 1 do
     Bytes.unsafe_set t.state a (Char.chr st_live);
     t.values.(a) <- 0;
-    t.versions.(a) <- t.versions.(a) + 1
+    bump_version t ctx a
   done;
   t.block_words.(base) <- n;
   if t.obs_on then
@@ -849,15 +1114,34 @@ let free t ctx base =
     t.block_words.(base) <- 0;
     for a = base to base + n - 1 do
       Bytes.unsafe_set t.state a (Char.chr st_freed);
-      t.versions.(a) <- t.versions.(a) + 1
+      bump_version t ctx a
     done;
     if t.obs_on then
       for a = base to base + n - 1 do
         note_write t ctx a Op_free
       done;
-    let slot = fl_slot t n in
-    t.fl_next.(base) <- t.fl_head.(slot);
-    t.fl_head.(slot) <- base;
+    (if t.alloc <> Shared_lifo then begin
+       (* The free's semantic effects (state flip, version bumps, fault
+          checks) just happened; only *reuse* is routed. An owner free goes
+          straight to its arena's lists, a remote free parks on the
+          owner's ring until the owner's next allocation or fence. *)
+       let placement =
+         match t.alloc with Arena p -> p | Shared_lifo -> assert false
+       in
+       let gran = granule_of placement n in
+       let owner = t.block_owner.(base) - 1 in
+       let tid = Sim.tid ctx in
+       if owner = tid || owner < 0 then arena_fl_push t (arena_of t ctx) gran base
+       else
+         match t.arenas.(owner) with
+         | Some a -> arena_rq_push a base gran
+         | None -> arena_fl_push t (arena_of t ctx) gran base
+     end
+     else begin
+       let slot = fl_slot t n in
+       t.fl_next.(base) <- t.fl_head.(slot);
+       t.fl_head.(slot) <- base
+     end);
     Obs.Metrics.add t.g_live_words (-n);
     Obs.Metrics.add t.g_live_blocks (-1);
     Obs.Metrics.incr1 t.c_frees;
@@ -895,7 +1179,7 @@ module Tx_plane = struct
     else begin
       Sim.charge ctx (write_cost t ctx addr);
       t.values.(addr) <- v;
-      t.versions.(addr) <- t.versions.(addr) + 1;
+      bump_version t ctx addr;
       if t.obs_on then begin
         note_write t ctx addr Op_commit;
         emit t ctx (Write { addr; value = v })

@@ -49,6 +49,44 @@ type cost_model = {
 
 val default_costs : cost_model
 
+(** {1 Allocation policy}
+
+    [Shared_lifo] (the default) is the historical allocator: a single
+    bump pointer with exact-size LIFO free lists, shared by every thread.
+    Its address sequences — and therefore every downstream schedule and
+    committed baseline — are unchanged from the seed.
+
+    [Arena placement] shards it: each thread owns an arena that carves
+    line-aligned chunks off the global bump pointer and serves its own
+    allocations. A free by the owning thread returns the block to the
+    arena's per-granule free lists immediately; a free by any other
+    thread still takes full effect (state flip, version bumps, fault
+    checks) but the block parks on the {e owner's} remote-free ring and
+    only becomes reusable when the owner drains it — at its next
+    allocation or at any of its fence points. Both drains are pure
+    bookkeeping under the virtual clock, so runs stay deterministic.
+
+    The placement policy controls how blocks pack into 8-word cache
+    lines (docs/ALLOCATION.md):
+    - [Line_packed]: contiguous bump within the chunk; small blocks from
+      one arena share lines, maximizing false sharing — the adversarial
+      placement from "The Influence of Malloc Placement on TSX Hardware
+      Transactional Memory".
+    - [Line_isolated]: every block is rounded up to whole lines and
+      starts on a line boundary; no two blocks ever share a line.
+    - [Cache_index_aware]: line-isolated, plus each thread's chunk
+      starts are colored to distinct line-index residues — the
+      set-index-aware refinement (on this flat memory it behaves like
+      [Line_isolated] with spread chunk origins). *)
+
+type placement = Line_packed | Line_isolated | Cache_index_aware
+type alloc_policy = Shared_lifo | Arena of placement
+
+val placement_label : placement -> string
+val alloc_label : alloc_policy -> string
+(** Stable labels for artifacts/CLI: ["shared-lifo"], ["arena/line-packed"],
+    ["arena/line-isolated"], ["arena/cache-index-aware"]. *)
+
 type t
 
 type stats = {
@@ -58,7 +96,15 @@ type stats = {
   peak_live_blocks : int;
   total_allocs : int;
   total_frees : int;
-  heap_extent : int;  (** high-water mark of the bump allocator, in words *)
+  heap_extent : int;
+      (** total high-water mark of the heap in words: the global bump
+          pointer, which under an [Arena _] policy covers every chunk any
+          arena carved (plus alignment gaps) *)
+  arena_extents : (int * int) list;
+      (** per-arena [(tid, words carved)] in tid order; [[]] under
+          [Shared_lifo]. The carved words sum to [heap_extent - 8]. *)
+  remote_frees : int;  (** blocks ever freed by a non-owning thread *)
+  remote_pending : int;  (** remote frees not yet drained by their owner *)
   reads : int;  (** loads issued (all access planes) *)
   read_misses : int;  (** loads that required a coherence transfer *)
   writes : int;  (** stores issued *)
@@ -72,6 +118,7 @@ val create :
   ?metrics:Obs.Metrics.t ->
   ?threads:int ->
   ?initial_words:int ->
+  ?alloc:alloc_policy ->
   unit ->
   t
 (** [metrics] chains this heap's metrics registry to a parent (e.g. the
@@ -96,7 +143,10 @@ val create :
     {!Sim.fence}, an atomic ({!cas} / {!fetch_add}), {!malloc} / {!free},
     capacity overflow, or thread termination. Coherence costs, counters,
     version bumps and the access tap all fire at drain time, making each
-    drained store a scheduler-visible step. See docs/MEMORY_ORDERING.md. *)
+    drained store a scheduler-visible step. See docs/MEMORY_ORDERING.md.
+
+    [alloc] selects the allocation policy (default {!Shared_lifo}, the
+    historical allocator — byte-identical to the seed). *)
 
 val stats : t -> stats
 
@@ -112,6 +162,29 @@ val costs : t -> cost_model
 
 val model : t -> Sim.Memmodel.t
 (** The memory-consistency variant this heap was created with. *)
+
+val alloc : t -> alloc_policy
+(** The allocation policy this heap was created with. *)
+
+(** {1 Line-granularity conflict plane}
+
+    Besides per-word versions, every committed store bumps a per-line
+    version and records the bumping thread. Real HTMs track conflicts at
+    cache-line granularity; {!Htm} validates against this plane when its
+    config opts in, which is what makes placement-induced false sharing
+    abort transactions. Maintenance is unconditional and costs zero
+    virtual cycles. *)
+
+val line_of : int -> int
+(** The cache-line index covering an address (8-word lines). *)
+
+val line_version : t -> int -> int
+(** Current version of a line, by line index (no cost, no yield). *)
+
+val line_writer : t -> int -> int
+(** Tid whose committed store last bumped this line's version, [-1] if
+    never bumped (no cost, no yield). Lets a validator absorb its own
+    bumps instead of self-aborting. *)
 
 val set_profiler : t -> Obs.Profiler.t option -> unit
 (** Attach a contention profiler: every coherence transfer (read or write

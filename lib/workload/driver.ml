@@ -66,7 +66,7 @@ let profilers () = List.rev (state ()).st_profs
 let forensics () = List.rev (state ()).st_fors
 
 let machine ?(htm_config = Htm.default_config) ?(seed = 1) ?label ?threads
-    ?heap_words () =
+    ?heap_words ?alloc () =
   let st = state () in
   let o = st.st_obs in
   st.st_seq <- st.st_seq + 1;
@@ -74,7 +74,8 @@ let machine ?(htm_config = Htm.default_config) ?(seed = 1) ?label ?threads
     match label with Some l -> l | None -> Printf.sprintf "machine-%d" st.st_seq
   in
   let mem =
-    Simmem.create ?metrics:o.obs_metrics ?threads ?initial_words:heap_words ()
+    Simmem.create ?metrics:o.obs_metrics ?threads ?initial_words:heap_words
+      ?alloc ()
   in
   (match o.obs_tracer with
    | None -> Sim.set_default_tracer None

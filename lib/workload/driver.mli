@@ -56,6 +56,7 @@ val machine :
   ?label:string ->
   ?threads:int ->
   ?heap_words:int ->
+  ?alloc:Simmem.alloc_policy ->
   unit ->
   machine
 (** [label] names the machine's tracer process and profiler entry
@@ -63,7 +64,9 @@ val machine :
     heap's sharer sets for runs wider than the 61-thread default;
     [heap_words] sets the initial heap extent (see {!Simmem.create}) —
     the scale study passes million-word heaps so growth never perturbs
-    the measured region. *)
+    the measured region. [alloc] selects the allocation policy (default
+    {!Simmem.Shared_lifo}; [bench placement] builds arena machines per
+    placement and records the policy label in its artifact). *)
 
 val fresh_value : unit -> int
 (** Globally unique non-zero values; the spec checker relies on every

@@ -13,6 +13,7 @@ module Collect_dereg = Collect_dereg
 module Phased = Phased
 module Space_bench = Space_bench
 module Scale_bench = Scale_bench
+module Placement_bench = Placement_bench
 module Chaos_bench = Chaos_bench
 module Fallback_bench = Fallback_bench
 module Memorder_bench = Memorder_bench

@@ -77,6 +77,66 @@ let test_stats () =
   Alcotest.(check int) "alloc count" (s0.total_allocs + 2) s2.total_allocs;
   Alcotest.(check int) "free count" (s0.total_frees + 2) s2.total_frees
 
+(* Policy-aware extent accounting: under the shared allocator the heap
+   extent is the plain bump pointer and there are no arenas to report;
+   under an arena policy every carved word is attributed to exactly one
+   arena and the per-arena extents partition the heap past the null
+   line. *)
+let test_shared_extent () =
+  let mem, ctx = make () in
+  let s0 = Simmem.stats mem in
+  Alcotest.(check (list (pair int int))) "shared-lifo reports no arenas" []
+    s0.arena_extents;
+  let a = Simmem.malloc mem ctx 10 in
+  let s1 = Simmem.stats mem in
+  Alcotest.(check int) "bump allocation extends the extent exactly"
+    (s0.heap_extent + 10) s1.heap_extent;
+  Simmem.free mem ctx a;
+  let b = Simmem.malloc mem ctx 10 in
+  Alcotest.(check int) "LIFO reuse" a b;
+  Alcotest.(check int) "reuse leaves the extent alone" s1.heap_extent
+    (Simmem.stats mem).heap_extent;
+  Alcotest.(check (list (pair int int))) "still no arenas" []
+    (Simmem.stats mem).arena_extents
+
+let test_arena_extents () =
+  List.iter
+    (fun placement ->
+      let label = Simmem.placement_label placement in
+      let mem = Simmem.create ~alloc:(Simmem.Arena placement) () in
+      (* Heavy enough to outgrow one arena chunk even under the packing
+         policy, so the per-arena attribution is visible (chunks are
+         carved in 512-word units). *)
+      let t0 ctx =
+        for _ = 1 to 40 do
+          ignore (Simmem.malloc mem ctx 17)
+        done
+      in
+      let t1 ctx = ignore (Simmem.malloc mem ctx 1) in
+      Sim.run ~seed:1 [| t0; t1 |];
+      let st = Simmem.stats mem in
+      let sum = List.fold_left (fun acc (_, w) -> acc + w) 0 st.arena_extents in
+      Alcotest.(check int)
+        (label ^ ": arena extents partition the heap extent")
+        (st.heap_extent - 8) sum;
+      let w0 =
+        match List.assoc_opt 0 st.arena_extents with
+        | Some w -> w
+        | None -> Alcotest.failf "%s: thread 0 carved no arena" label
+      and w1 =
+        match List.assoc_opt 1 st.arena_extents with
+        | Some w -> w
+        | None -> Alcotest.failf "%s: thread 1 carved no arena" label
+      in
+      Alcotest.(check bool)
+        (label ^ ": the heavy allocator is attributed the larger extent")
+        true (w0 > w1);
+      Alcotest.(check bool)
+        (label ^ ": extents in tid order")
+        true
+        (List.sort compare st.arena_extents = st.arena_extents))
+    [ Simmem.Line_packed; Simmem.Line_isolated; Simmem.Cache_index_aware ]
+
 let test_block_size () =
   let mem, ctx = make () in
   let a = Simmem.malloc mem ctx 7 in
@@ -228,6 +288,8 @@ let () =
           Alcotest.test_case "reuse same size" `Quick test_reuse_same_size;
           Alcotest.test_case "reuse zeroes" `Quick test_reuse_zeroes;
           Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "shared-lifo extent" `Quick test_shared_extent;
+          Alcotest.test_case "arena extents" `Quick test_arena_extents;
           Alcotest.test_case "block size" `Quick test_block_size;
         ] );
       ( "faults",
